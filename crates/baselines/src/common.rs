@@ -1,0 +1,72 @@
+//! Shared detector interface and report type.
+
+use enld_datagen::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Result of one baseline detection run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Indices judged clean.
+    pub clean: Vec<usize>,
+    /// Indices judged noisy (complement of `clean` over the non-missing
+    /// samples).
+    pub noisy: Vec<usize>,
+    /// Wall-clock process time in seconds.
+    pub process_secs: f64,
+}
+
+impl BaselineReport {
+    /// Builds a report from a noisy-flag vector, skipping missing-label
+    /// samples entirely.
+    pub fn from_flags(noisy_flags: &[bool], missing: &[bool], process_secs: f64) -> Self {
+        assert_eq!(noisy_flags.len(), missing.len(), "flag length mismatch");
+        let mut clean = Vec::new();
+        let mut noisy = Vec::new();
+        for (i, (&is_noisy, &is_missing)) in noisy_flags.iter().zip(missing).enumerate() {
+            if is_missing {
+                continue;
+            }
+            if is_noisy {
+                noisy.push(i);
+            } else {
+                clean.push(i);
+            }
+        }
+        Self { clean, noisy, process_secs }
+    }
+}
+
+/// A noisy-label detector serving incremental datasets.
+pub trait NoisyLabelDetector {
+    /// Method name as reported in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Detects noisy labels in `d`.
+    fn detect(&mut self, d: &Dataset) -> BaselineReport;
+
+    /// One-off setup cost in seconds attributable to this method (shared
+    /// general-model training for the confidence-based methods).
+    fn setup_secs(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flags_partitions() {
+        let r = BaselineReport::from_flags(&[true, false, true, false], &[false; 4], 1.0);
+        assert_eq!(r.noisy, vec![0, 2]);
+        assert_eq!(r.clean, vec![1, 3]);
+        assert_eq!(r.process_secs, 1.0);
+    }
+
+    #[test]
+    fn from_flags_skips_missing() {
+        let r = BaselineReport::from_flags(&[true, true, false], &[false, true, false], 0.0);
+        assert_eq!(r.noisy, vec![0]);
+        assert_eq!(r.clean, vec![2]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Throughput of Alg. 2 (contrastive sampling) including the per-class
+//! index build — the operation ENLD repeats every iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use enld_core::probability::ConditionalLabelProbability;
+use enld_core::sampling::contrastive_sampling;
+use enld_knn::class_index::ClassIndex;
+use enld_nn::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 96;
+const CLASSES: usize = 10;
+
+fn bench_contrastive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("contrastive_sampling");
+    group.sample_size(20);
+    for hq_n in [500usize, 2_000] {
+        // High-quality pool features + labels.
+        let feats: Vec<f32> = (0..hq_n * DIM).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let labels: Vec<u32> = (0..hq_n).map(|i| (i % CLASSES) as u32).collect();
+        let keep: Vec<usize> = (0..hq_n).collect();
+        // Ambiguous queries.
+        let n_amb = 50usize;
+        let q: Vec<f32> = (0..n_amb * DIM).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let query_feats = Matrix::from_vec(n_amb, DIM, q);
+        let ambiguous: Vec<usize> = (0..n_amb).collect();
+        let amb_labels: Vec<u32> = (0..n_amb).map(|i| (i % CLASSES) as u32).collect();
+        let obs: Vec<u32> = labels.clone();
+        let preds: Vec<u32> = labels.clone();
+        let cond = ConditionalLabelProbability::estimate(&obs, &preds, CLASSES);
+        let label_set: Vec<u32> = (0..CLASSES as u32).collect();
+
+        group.bench_with_input(BenchmarkId::new("index+query", hq_n), &hq_n, |b, _| {
+            b.iter(|| {
+                let index = ClassIndex::build(&feats, DIM, &labels, &keep);
+                let mut rng = StdRng::seed_from_u64(3);
+                black_box(contrastive_sampling(
+                    &ambiguous,
+                    &amb_labels,
+                    &query_feats,
+                    &index,
+                    &label_set,
+                    &labels,
+                    &cond,
+                    3,
+                    false,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contrastive);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! End-to-end process time: ENLD vs Topofilter vs the confidence-based
+//! detectors on one incremental dataset — the microbenchmark behind the
+//! paper's Fig. 8 speedup claims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use enld_baselines::common::NoisyLabelDetector;
+use enld_baselines::confident::{ConfidentLearning, PruneMethod};
+use enld_baselines::default_detector::DefaultDetector;
+use enld_baselines::topofilter::{Topofilter, TopofilterConfig};
+use enld_core::config::EnldConfig;
+use enld_core::detector::Enld;
+use enld_datagen::presets::DatasetPreset;
+use enld_lake::lake::{DataLake, LakeConfig};
+
+fn bench_detection(c: &mut Criterion) {
+    let preset = DatasetPreset::test_sim();
+    let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 7 });
+    let mut cfg = EnldConfig::for_preset(&preset);
+    cfg.iterations = 6;
+    let enld0 = Enld::init(lake.inventory(), &cfg);
+    let d = lake.next_request().expect("queued").data;
+
+    let mut group = c.benchmark_group("detect_one_incremental_dataset");
+    group.sample_size(10);
+    group.bench_function("enld", |b| {
+        b.iter_with_setup(
+            || enld0.clone(),
+            |mut enld| black_box(enld.detect(&d)),
+        )
+    });
+    group.bench_function("topofilter", |b| {
+        b.iter_with_setup(
+            || {
+                Topofilter::new(
+                    enld0.model().clone(),
+                    lake.inventory().clone(),
+                    TopofilterConfig::default(),
+                )
+            },
+            |mut topo| black_box(topo.detect(&d)),
+        )
+    });
+    group.bench_function("default", |b| {
+        let mut det = DefaultDetector::new(enld0.model().clone());
+        b.iter(|| black_box(det.detect(&d)))
+    });
+    group.bench_function("confident_learning", |b| {
+        let mut det = ConfidentLearning::new(
+            enld0.model().clone(),
+            PruneMethod::ByClass,
+            Some(enld0.candidate_set()),
+        );
+        b.iter(|| black_box(det.detect(&d)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

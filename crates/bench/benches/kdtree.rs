@@ -1,0 +1,66 @@
+//! KD-tree vs VP-tree vs brute-force k-NN — the §IV-D implementation
+//! claim: per-class trees cut contrastive sampling's repeated k-nearest
+//! queries from O(c·|A|·|H'|) to O(k·|A|·log|H'|). The VP-tree probes
+//! whether axis-aligned splits still prune at feature width ~48–96.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use enld_knn::brute::brute_k_nearest;
+use enld_knn::kdtree::KdTree;
+use enld_knn::vptree::VpTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 48; // feature width of the default backbone's order
+
+fn points(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * DIM).map(|_| rng.gen_range(-5.0f32..5.0)).collect()
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_query_k3");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000, 20_000] {
+        let pts = points(n, 1);
+        let tree = KdTree::build(&pts, DIM);
+        let queries = points(64, 2);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
+            b.iter(|| {
+                for q in queries.chunks_exact(DIM) {
+                    black_box(tree.k_nearest(q, 3));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| {
+                for q in queries.chunks_exact(DIM) {
+                    black_box(brute_k_nearest(&pts, DIM, q, 3));
+                }
+            })
+        });
+        let vp = VpTree::build(&pts, DIM);
+        group.bench_with_input(BenchmarkId::new("vptree", n), &n, |b, _| {
+            b.iter(|| {
+                for q in queries.chunks_exact(DIM) {
+                    black_box(vp.k_nearest(q, 3));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut build = c.benchmark_group("kdtree_build");
+    build.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let pts = points(n, 3);
+        build.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(KdTree::build(&pts, DIM)))
+        });
+    }
+    build.finish();
+}
+
+criterion_group!(benches, bench_kdtree);
+criterion_main!(benches);

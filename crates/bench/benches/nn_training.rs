@@ -1,0 +1,54 @@
+//! Forward/backward throughput of the named backbones — the substrate
+//! cost model behind every timing figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use enld_nn::arch::ArchPreset;
+use enld_nn::data::DataRef;
+use enld_nn::model::Mlp;
+use enld_nn::trainer::{TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_training(c: &mut Criterion) {
+    let dim = 48;
+    let classes = 100;
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(5);
+    let xs: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let labels: Vec<u32> = (0..n).map(|i| (i % classes) as u32).collect();
+    let data = DataRef::new(&xs, &labels, dim);
+
+    let mut group = c.benchmark_group("train_epoch_256samples");
+    group.sample_size(10);
+    for arch in [ArchPreset::resnet110_sim(), ArchPreset::resnet164_sim(), ArchPreset::densenet121_sim()]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(arch.name), &arch, |b, arch| {
+            b.iter_with_setup(
+                || {
+                    (
+                        Mlp::new(&arch.config(dim, classes), 1),
+                        Trainer::new(TrainConfig { epochs: 1, ..Default::default() }, 1),
+                    )
+                },
+                |(mut model, mut trainer)| {
+                    trainer.fit(&mut model, data, None);
+                    black_box(model)
+                },
+            )
+        });
+    }
+    group.finish();
+
+    let mut inf = c.benchmark_group("inference_256samples");
+    inf.sample_size(20);
+    let model = Mlp::new(&ArchPreset::resnet110_sim().config(dim, classes), 1);
+    inf.bench_function("proba_and_features", |b| {
+        b.iter(|| black_box(model.proba_and_features(data)))
+    });
+    inf.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Dataset generation, noise corruption and incremental partitioning —
+//! the data-lake substrate's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use enld_datagen::noise::NoiseModel;
+use enld_datagen::presets::DatasetPreset;
+use enld_datagen::split::{inventory_incremental, partition_incremental};
+
+fn bench_noise_gen(c: &mut Criterion) {
+    let preset = DatasetPreset::cifar100_sim();
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("generate_cifar100_sim", |b| {
+        b.iter(|| black_box(preset.generate(1)))
+    });
+
+    let clean = preset.generate(1);
+    let model = NoiseModel::pair_asymmetric(preset.classes, 0.2);
+    group.bench_function("corrupt_pair_asymmetric", |b| {
+        b.iter(|| black_box(model.corrupt(&clean, 2)))
+    });
+
+    let noisy = model.corrupt(&clean, 2);
+    group.bench_function("split_and_partition", |b| {
+        b.iter(|| {
+            let (_inv, pool) = inventory_incremental(&noisy, 2, 1, 3);
+            black_box(partition_incremental(&pool, &preset.incremental, 4))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise_gen);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! `repro` — regenerates every table and figure of the ENLD paper.
+//!
+//! ```text
+//! repro <experiment>... [--quick] [--seed N] [--out DIR]
+//! repro all --quick
+//! ```
+//!
+//! Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//! fig13a fig13b fig14 table2 headline all. Results print as aligned
+//! tables and persist as JSON under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use enld_bench::experiments::{self, ExpContext};
+use enld_bench::scale::RunScale;
+
+fn usage() -> String {
+    format!(
+        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR]\n       experiments: {} {} all ext",
+        experiments::all_ids().join(" "),
+        experiments::extension_ids().join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = RunScale::full();
+    let mut seed = 7u64;
+    let mut out_dir = PathBuf::from("results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = RunScale::quick(),
+            "--exhaustive" => scale = RunScale::exhaustive(),
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--out requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_owned());
+    }
+
+    let ctx = ExpContext::new(scale, seed, out_dir);
+    eprintln!(
+        "[repro] scale: {} (seed {seed}, results → {})",
+        if ctx.scale.full { "full (paper-shaped)" } else { "quick (smoke)" },
+        ctx.out_dir.display()
+    );
+    for id in &ids {
+        if let Err(e) = experiments::run(id, &ctx) {
+            eprintln!("[repro] {id} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

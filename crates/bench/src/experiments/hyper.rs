@@ -1,0 +1,86 @@
+//! Fig. 11 / Fig. 12: the contrastive-sample-size sweep `k ∈ {1, 2, 3, 4}`
+//! on CIFAR100-sim. Fig. 11 reports detection quality, Fig. 12 process
+//! time vs quality; both come from the same sweep, so Fig. 12 reuses
+//! Fig. 11's payload when present.
+
+use std::io;
+
+use enld_datagen::presets::DatasetPreset;
+use enld_nn::arch::ArchPreset;
+
+use crate::experiments::ExpContext;
+use crate::rows::{f4, load_payload, secs, ExperimentOutput, MethodRow};
+use crate::runner::{run_method_sweep, MethodSet};
+
+fn run_k_sweep(ctx: &ExpContext) -> Vec<MethodRow> {
+    let mut rows: Vec<MethodRow> = Vec::new();
+    for k in 1..=4usize {
+        for &noise in &ctx.scale.noise_rates {
+            eprintln!("[fig11] k={k} noise {noise} …");
+            let sweep = run_method_sweep(
+                &ctx.scale,
+                DatasetPreset::cifar100_sim(),
+                noise,
+                ctx.seed,
+                ArchPreset::resnet110_sim(),
+                MethodSet::enld_only(),
+                &|cfg| cfg.k = k,
+            );
+            for mut row in sweep.rows {
+                row.method = format!("k={k}");
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 11: precision/recall/F1 for each `k`.
+pub fn fig11(ctx: &ExpContext) -> io::Result<()> {
+    let rows = run_k_sweep(ctx);
+    let mut table = ExperimentOutput::new(
+        "fig11",
+        "Contrastive sample size k on CIFAR100-sim — detection quality",
+        &["noise", "k", "precision", "recall", "f1"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            format!("{:.1}", r.noise),
+            r.method.clone(),
+            f4(r.precision),
+            f4(r.recall),
+            f4(r.f1),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &rows)?;
+    Ok(())
+}
+
+/// Fig. 12: average process time and F1 for each `k` (aggregated over
+/// noise rates, like the paper's bars).
+pub fn fig12(ctx: &ExpContext) -> io::Result<()> {
+    let rows: Vec<MethodRow> = match load_payload(&ctx.out_dir, "fig11") {
+        Some(rows) => rows,
+        None => run_k_sweep(ctx),
+    };
+    let mut table = ExperimentOutput::new(
+        "fig12",
+        "Contrastive sample size k on CIFAR100-sim — process time vs F1",
+        &["k", "avg process/dataset", "avg f1"],
+    );
+    let mut payload = Vec::new();
+    for k in 1..=4usize {
+        let group: Vec<&MethodRow> =
+            rows.iter().filter(|r| r.method == format!("k={k}")).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let n = group.len() as f64;
+        let time = group.iter().map(|r| r.process_secs).sum::<f64>() / n;
+        let f1 = group.iter().map(|r| r.f1).sum::<f64>() / n;
+        table.push_row(vec![k.to_string(), secs(time), f4(f1)]);
+        payload.push((k, time, f1));
+    }
+    table.emit(&ctx.out_dir, &payload)?;
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Fig. 4 / Fig. 5 / Fig. 7 (method comparison per dataset), Fig. 6
+//! (different backbones), Fig. 8 (setup/process time), and the headline
+//! aggregate of §V-B.
+
+use std::io;
+
+use enld_datagen::presets::DatasetPreset;
+use enld_nn::arch::ArchPreset;
+
+use crate::experiments::ExpContext;
+use crate::rows::{f4, load_payload, secs, ExperimentOutput, MethodRow};
+use crate::runner::{run_method_sweep, MethodSet};
+
+/// Shared implementation of the three per-dataset method figures.
+fn methods_figure(
+    ctx: &ExpContext,
+    id: &str,
+    title: &str,
+    preset: DatasetPreset,
+) -> io::Result<Vec<MethodRow>> {
+    let mut rows: Vec<MethodRow> = Vec::new();
+    for &noise in &ctx.scale.noise_rates {
+        eprintln!("[{id}] {} noise {noise} …", preset.name);
+        let sweep = run_method_sweep(
+            &ctx.scale,
+            preset,
+            noise,
+            ctx.seed,
+            ArchPreset::resnet110_sim(),
+            MethodSet::all(),
+            &|_| {},
+        );
+        rows.extend(sweep.rows);
+    }
+    let mut table = ExperimentOutput::new(
+        id,
+        title,
+        &["noise", "method", "precision", "recall", "f1", "f1_std", "process"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            format!("{:.1}", r.noise),
+            r.method.clone(),
+            f4(r.precision),
+            f4(r.recall),
+            f4(r.f1),
+            f4(r.f1_std),
+            secs(r.process_secs),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &rows)?;
+    Ok(rows)
+}
+
+/// Fig. 4: EMNIST, 10 incremental datasets.
+pub fn fig4(ctx: &ExpContext) -> io::Result<()> {
+    methods_figure(
+        ctx,
+        "fig4",
+        "Noisy label detection on EMNIST-sim (avg over incremental datasets)",
+        DatasetPreset::emnist_sim(),
+    )
+    .map(|_| ())
+}
+
+/// Fig. 5: CIFAR-100, 20 incremental datasets.
+pub fn fig5(ctx: &ExpContext) -> io::Result<()> {
+    methods_figure(
+        ctx,
+        "fig5",
+        "Noisy label detection on CIFAR100-sim (avg over incremental datasets)",
+        DatasetPreset::cifar100_sim(),
+    )
+    .map(|_| ())
+}
+
+/// Fig. 7: Tiny-ImageNet, 20 incremental datasets.
+pub fn fig7(ctx: &ExpContext) -> io::Result<()> {
+    methods_figure(
+        ctx,
+        "fig7",
+        "Noisy label detection on Tiny-ImageNet-sim (avg over incremental datasets)",
+        DatasetPreset::tiny_imagenet_sim(),
+    )
+    .map(|_| ())
+}
+
+/// Fig. 6: ENLD vs Topofilter with DenseNet-121 / ResNet-164 backbones on
+/// CIFAR-100.
+pub fn fig6(ctx: &ExpContext) -> io::Result<()> {
+    let mut rows: Vec<MethodRow> = Vec::new();
+    for arch in [ArchPreset::densenet121_sim(), ArchPreset::resnet164_sim()] {
+        for &noise in &ctx.scale.noise_rates {
+            eprintln!("[fig6] {} noise {noise} …", arch.name);
+            let sweep = run_method_sweep(
+                &ctx.scale,
+                DatasetPreset::cifar100_sim(),
+                noise,
+                ctx.seed,
+                arch,
+                MethodSet::training_based(),
+                &|_| {},
+            );
+            for mut row in sweep.rows {
+                row.method = format!("{}/{}", row.method, arch.name);
+                rows.push(row);
+            }
+        }
+    }
+    let mut table = ExperimentOutput::new(
+        "fig6",
+        "ENLD vs Topofilter with other backbones on CIFAR100-sim",
+        &["noise", "method", "precision", "recall", "f1", "process"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            format!("{:.1}", r.noise),
+            r.method.clone(),
+            f4(r.precision),
+            f4(r.recall),
+            f4(r.f1),
+            secs(r.process_secs),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &rows)?;
+    // Per-backbone speedups (the paper reports 2.46× / 2.64×).
+    for arch in ["densenet121-sim", "resnet164-sim"] {
+        if let Some(s) = speedup(&rows, &format!("ENLD/{arch}"), &format!("Topofilter/{arch}")) {
+            println!("[fig6] {arch}: ENLD process-time speedup vs Topofilter = {s:.2}x");
+        }
+    }
+    println!();
+    Ok(())
+}
+
+/// Fig. 8: setup time and mean process time per method per dataset. Reads
+/// the Fig. 4/5/7 payloads when present; runs them otherwise.
+pub fn fig8(ctx: &ExpContext) -> io::Result<()> {
+    let mut all: Vec<MethodRow> = Vec::new();
+    for (id, preset) in [
+        ("fig4", DatasetPreset::emnist_sim()),
+        ("fig5", DatasetPreset::cifar100_sim()),
+        ("fig7", DatasetPreset::tiny_imagenet_sim()),
+    ] {
+        let rows: Vec<MethodRow> = match load_payload(&ctx.out_dir, id) {
+            Some(rows) => rows,
+            None => methods_figure(ctx, id, "(rerun for fig8)", preset)?,
+        };
+        all.extend(rows);
+    }
+    let mut table = ExperimentOutput::new(
+        "fig8",
+        "Setup and process time per incremental dataset",
+        &["dataset", "noise", "method", "setup", "process/dataset"],
+    );
+    for r in &all {
+        table.push_row(vec![
+            r.dataset.clone(),
+            format!("{:.1}", r.noise),
+            r.method.clone(),
+            secs(r.setup_secs),
+            secs(r.process_secs),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &all)?;
+    Ok(())
+}
+
+/// Headline numbers of §V-B: average F1 of ENLD vs the next-best method
+/// and process-time speedups, per dataset.
+pub fn headline(ctx: &ExpContext) -> io::Result<()> {
+    let mut table = ExperimentOutput::new(
+        "headline",
+        "§V-B headline: ENLD vs Topofilter (avg F1 over noise rates; process-time speedup)",
+        &["dataset", "ENLD avg F1", "Topofilter avg F1", "speedup"],
+    );
+    let mut payload = Vec::new();
+    for (id, preset) in [
+        ("fig4", DatasetPreset::emnist_sim()),
+        ("fig5", DatasetPreset::cifar100_sim()),
+        ("fig7", DatasetPreset::tiny_imagenet_sim()),
+    ] {
+        let rows: Vec<MethodRow> = match load_payload(&ctx.out_dir, id) {
+            Some(rows) => rows,
+            None => methods_figure(ctx, id, "(rerun for headline)", preset)?,
+        };
+        let avg = |method: &str| -> f64 {
+            let f1s: Vec<f64> =
+                rows.iter().filter(|r| r.method == method).map(|r| r.f1).collect();
+            if f1s.is_empty() {
+                0.0
+            } else {
+                f1s.iter().sum::<f64>() / f1s.len() as f64
+            }
+        };
+        let enld_f1 = avg("ENLD");
+        let topo_f1 = avg("Topofilter");
+        let s = speedup(&rows, "ENLD", "Topofilter").unwrap_or(0.0);
+        table.push_row(vec![
+            preset.name.to_owned(),
+            f4(enld_f1),
+            f4(topo_f1),
+            format!("{s:.2}x"),
+        ]);
+        payload.push((preset.name.to_owned(), enld_f1, topo_f1, s));
+    }
+    table.emit(&ctx.out_dir, &payload)?;
+    Ok(())
+}
+
+/// Mean process-time ratio `slow/fast` over matching noise rates.
+fn speedup(rows: &[MethodRow], fast: &str, slow: &str) -> Option<f64> {
+    let mean = |m: &str| -> Option<f64> {
+        let v: Vec<f64> =
+            rows.iter().filter(|r| r.method == m).map(|r| r.process_secs).collect();
+        (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+    };
+    let f = mean(fast)?;
+    let s = mean(slow)?;
+    (f > 0.0).then(|| s / f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(method: &str, process: f64) -> MethodRow {
+        MethodRow {
+            dataset: "d".into(),
+            method: method.into(),
+            noise: 0.1,
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+            f1_std: 0.0,
+            process_secs: process,
+            setup_secs: 0.0,
+            datasets: 1,
+        }
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let rows = vec![row("ENLD", 1.0), row("ENLD", 3.0), row("Topofilter", 8.0)];
+        let s = speedup(&rows, "ENLD", "Topofilter").expect("defined");
+        assert!((s - 4.0).abs() < 1e-9);
+        assert!(speedup(&rows, "ENLD", "missing").is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! One function per paper table/figure, plus a registry the `repro`
+//! binary dispatches on. See DESIGN.md §4 for the experiment index.
+
+pub mod extensions;
+pub mod hyper;
+pub mod loss_gain;
+pub mod methods;
+pub mod missing;
+pub mod policies;
+pub mod training;
+pub mod update;
+
+use std::io;
+use std::path::PathBuf;
+
+use crate::scale::RunScale;
+
+/// Shared experiment context.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    pub scale: RunScale,
+    pub seed: u64,
+    pub out_dir: PathBuf,
+}
+
+impl ExpContext {
+    pub fn new(scale: RunScale, seed: u64, out_dir: PathBuf) -> Self {
+        Self { scale, seed, out_dir }
+    }
+}
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13a", "fig13b", "fig14", "table2", "headline",
+    ]
+}
+
+/// Extension experiments beyond the paper (run explicitly, or via `ext`).
+pub fn extension_ids() -> &'static [&'static str] {
+    &["ext-noise", "ext-queue"]
+}
+
+/// Runs one experiment by id.
+///
+/// # Errors
+/// Returns an error for an unknown id or on I/O failure while persisting
+/// results.
+pub fn run(id: &str, ctx: &ExpContext) -> io::Result<()> {
+    match id {
+        "fig3" => loss_gain::fig3(ctx),
+        "fig4" => methods::fig4(ctx),
+        "fig5" => methods::fig5(ctx),
+        "fig6" => methods::fig6(ctx),
+        "fig7" => methods::fig7(ctx),
+        "fig8" => methods::fig8(ctx),
+        "fig9" => training::fig9(ctx),
+        "fig10" => policies::fig10(ctx),
+        "fig11" => hyper::fig11(ctx),
+        "fig12" => hyper::fig12(ctx),
+        "fig13a" => missing::fig13a(ctx),
+        "fig13b" => training::fig13b(ctx),
+        "fig14" => policies::fig14(ctx),
+        "table2" => update::table2(ctx),
+        "headline" => methods::headline(ctx),
+        "ext-noise" => extensions::ext_noise(ctx),
+        "ext-queue" => extensions::ext_queue(ctx),
+        "all" => {
+            for id in all_ids() {
+                run(id, ctx)?;
+            }
+            Ok(())
+        }
+        "ext" => {
+            for id in extension_ids() {
+                run(id, ctx)?;
+            }
+            Ok(())
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unknown experiment '{other}'; known: {:?}", all_ids()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let ctx = ExpContext::new(RunScale::quick(), 1, std::env::temp_dir());
+        let err = run("fig99", &ctx).expect_err("unknown id");
+        assert!(err.to_string().contains("fig99"));
+    }
+
+    #[test]
+    fn registry_lists_every_paper_artifact() {
+        let ids = all_ids();
+        assert!(ids.contains(&"table2"));
+        assert_eq!(ids.iter().filter(|i| i.starts_with("fig")).count(), 13);
+        assert!(extension_ids().iter().all(|i| i.starts_with("ext-")));
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 9 (metric trajectories over fine-grained detection iterations)
+//! and Fig. 13b (ambiguous-sample counts per iteration), on CIFAR100-sim.
+
+use std::io;
+
+use serde::{Deserialize, Serialize};
+
+use enld_core::metrics::{detection_metrics, f1_std, mean_metrics, DetectionMetrics};
+use enld_datagen::presets::DatasetPreset;
+use enld_nn::arch::ArchPreset;
+
+use crate::experiments::ExpContext;
+use crate::rows::{f4, load_payload, ExperimentOutput};
+use crate::runner::{run_method_sweep, MethodSet};
+
+/// One (noise, iteration) point of the Fig. 9 trajectories, plus the mean
+/// ambiguous count reused by Fig. 13b.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    pub noise: f32,
+    pub iteration: usize,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub f1_std: f64,
+    pub mean_ambiguous: f64,
+}
+
+fn run_trajectories(ctx: &ExpContext) -> Vec<TrajectoryPoint> {
+    let mut points = Vec::new();
+    for &noise in &ctx.scale.noise_rates {
+        eprintln!("[fig9] cifar100-sim noise {noise} …");
+        let sweep = run_method_sweep(
+            &ctx.scale,
+            DatasetPreset::cifar100_sim(),
+            noise,
+            ctx.seed,
+            ArchPreset::resnet110_sim(),
+            MethodSet::enld_only(),
+            &|_| {},
+        );
+        let iterations = sweep.enld_reports.first().map_or(0, |r| r.history.len());
+        for it in 0..iterations {
+            let mut metrics: Vec<DetectionMetrics> = Vec::new();
+            let mut ambiguous = 0usize;
+            for (report, (truth, &len)) in
+                sweep.enld_reports.iter().zip(sweep.truths.iter().zip(&sweep.lens))
+            {
+                let eligible: Vec<usize> = (0..len).collect();
+                let (_, noisy) = report.split_at_iteration(it, &eligible);
+                metrics.push(detection_metrics(&noisy, truth, len));
+                ambiguous += report.history[it].ambiguous;
+            }
+            let mean = mean_metrics(&metrics);
+            points.push(TrajectoryPoint {
+                noise,
+                iteration: it,
+                precision: mean.precision,
+                recall: mean.recall,
+                f1: mean.f1,
+                f1_std: f1_std(&metrics),
+                mean_ambiguous: ambiguous as f64 / sweep.enld_reports.len().max(1) as f64,
+            });
+        }
+    }
+    points
+}
+
+/// Fig. 9: precision/recall/F1 trajectory per iteration, mean ± std over
+/// the incremental datasets, for each noise rate.
+pub fn fig9(ctx: &ExpContext) -> io::Result<()> {
+    let points = run_trajectories(ctx);
+    let mut table = ExperimentOutput::new(
+        "fig9",
+        "Detection trajectory during fine-grained NLD on CIFAR100-sim",
+        &["noise", "iter", "precision", "recall", "f1", "f1_std"],
+    );
+    for p in &points {
+        table.push_row(vec![
+            format!("{:.1}", p.noise),
+            p.iteration.to_string(),
+            f4(p.precision),
+            f4(p.recall),
+            f4(p.f1),
+            f4(p.f1_std),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &points)?;
+    Ok(())
+}
+
+/// Fig. 13b: number of ambiguous samples per iteration (reuses the Fig. 9
+/// payload when present).
+pub fn fig13b(ctx: &ExpContext) -> io::Result<()> {
+    let points: Vec<TrajectoryPoint> = match load_payload(&ctx.out_dir, "fig9") {
+        Some(points) => points,
+        None => run_trajectories(ctx),
+    };
+    let mut table = ExperimentOutput::new(
+        "fig13b",
+        "Ambiguous samples during fine-grained NLD on CIFAR100-sim",
+        &["noise", "iter", "mean_ambiguous"],
+    );
+    for p in &points {
+        table.push_row(vec![
+            format!("{:.1}", p.noise),
+            p.iteration.to_string(),
+            format!("{:.1}", p.mean_ambiguous),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &points)?;
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Table II: validation accuracy of the original model `θ` vs the updated
+//! model `θᵘ` (Alg. 4) on the remaining data, per noise rate, CIFAR100-sim.
+//!
+//! "Remaining data" is evaluated as the union of all incremental datasets
+//! against their *ground-truth* labels — the generalisation the update is
+//! supposed to improve.
+
+use std::io;
+
+use serde::{Deserialize, Serialize};
+
+use enld_datagen::presets::DatasetPreset;
+use enld_datagen::Dataset;
+use enld_nn::arch::ArchPreset;
+use enld_nn::data::DataRef;
+use enld_nn::model::Mlp;
+
+use crate::experiments::ExpContext;
+use crate::rows::ExperimentOutput;
+use crate::runner::{run_method_sweep, MethodSet};
+
+/// One noise-rate row of Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpdateRow {
+    pub noise: f32,
+    pub origin_acc: f64,
+    pub updated_acc: f64,
+    pub clean_samples_used: usize,
+}
+
+fn true_label_accuracy(model: &Mlp, datasets: &[Dataset]) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for d in datasets {
+        let view = DataRef::new(d.xs(), d.true_labels(), d.dim());
+        let acc = model.accuracy(view) as f64;
+        correct += (acc * d.len() as f64).round() as usize;
+        total += d.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+pub fn table2(ctx: &ExpContext) -> io::Result<()> {
+    let mut rows = Vec::new();
+    for &noise in &ctx.scale.noise_rates {
+        eprintln!("[table2] noise {noise} …");
+        let sweep = run_method_sweep(
+            &ctx.scale,
+            DatasetPreset::cifar100_sim(),
+            noise,
+            ctx.seed,
+            ArchPreset::resnet110_sim(),
+            MethodSet::enld_only(),
+            &|_| {},
+        );
+        let mut enld = sweep.enld.expect("enld ran");
+        let origin_acc = true_label_accuracy(enld.model(), &sweep.requests);
+        let used = enld.update_model();
+        let updated_acc = true_label_accuracy(enld.model(), &sweep.requests);
+        rows.push(UpdateRow { noise, origin_acc, updated_acc, clean_samples_used: used });
+    }
+    let mut table = ExperimentOutput::new(
+        "table2",
+        "Validation accuracy before/after the model update (CIFAR100-sim)",
+        &["noise", "origin model", "updated model", "clean samples"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            format!("{:.1}", r.noise),
+            format!("{:.2}%", r.origin_acc * 100.0),
+            format!("{:.2}%", r.updated_acc * 100.0),
+            r.clean_samples_used.to_string(),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &rows)?;
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Result-row types, table printing, and JSON persistence.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use enld_core::metrics::DetectionMetrics;
+
+/// One (method, noise-rate) cell of a method-comparison figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodRow {
+    pub dataset: String,
+    pub method: String,
+    pub noise: f32,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub f1_std: f64,
+    /// Mean process time per incremental dataset (seconds).
+    pub process_secs: f64,
+    /// One-off setup time (seconds).
+    pub setup_secs: f64,
+    /// Number of incremental datasets averaged over.
+    pub datasets: usize,
+}
+
+impl MethodRow {
+    pub fn from_metrics(
+        dataset: &str,
+        method: &str,
+        noise: f32,
+        per_dataset: &[DetectionMetrics],
+        process_secs: f64,
+        setup_secs: f64,
+    ) -> Self {
+        let mean = enld_core::metrics::mean_metrics(per_dataset);
+        Self {
+            dataset: dataset.to_owned(),
+            method: method.to_owned(),
+            noise,
+            precision: mean.precision,
+            recall: mean.recall,
+            f1: mean.f1,
+            f1_std: enld_core::metrics::f1_std(per_dataset),
+            process_secs,
+            setup_secs,
+            datasets: per_dataset.len(),
+        }
+    }
+}
+
+/// A generic experiment artifact: a title, column headers, and rows of
+/// printable cells, plus the raw JSON payload persisted to disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentOutput {
+    pub id: String,
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentOutput {
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and persists `payload` (typically richer than the
+    /// printable rows) as JSON under `out_dir/<id>.json`.
+    pub fn emit<T: Serialize>(&self, out_dir: &Path, payload: &T) -> std::io::Result<()> {
+        print!("{}", self.render());
+        println!();
+        fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(format!("{}.json", self.id));
+        let mut f = fs::File::create(&path)?;
+        let doc = serde_json::json!({
+            "table": self,
+            "data": payload,
+        });
+        f.write_all(serde_json::to_string_pretty(&doc).expect("serializable").as_bytes())?;
+        Ok(())
+    }
+}
+
+/// Loads the raw payload of a previously emitted experiment, if present.
+pub fn load_payload<T: for<'de> Deserialize<'de>>(out_dir: &Path, id: &str) -> Option<T> {
+    let path = out_dir.join(format!("{id}.json"));
+    let text = fs::read_to_string(path).ok()?;
+    let doc: serde_json::Value = serde_json::from_str(&text).ok()?;
+    serde_json::from_value(doc.get("data")?.clone()).ok()
+}
+
+/// Formats a float cell with 4 decimal places (paper style).
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a seconds cell with 2 decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = ExperimentOutput::new("t1", "demo", &["method", "f1"]);
+        t.push_row(vec!["ENLD".into(), "0.9191".into()]);
+        t.push_row(vec!["Topofilter".into(), "0.9021".into()]);
+        let s = t.render();
+        assert!(s.contains("ENLD"));
+        assert!(s.contains("0.9021"));
+        // Both data lines align to the same width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_validates_width() {
+        let mut t = ExperimentOutput::new("t2", "demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn emit_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("enld_rows_{}", std::process::id()));
+        let mut t = ExperimentOutput::new("t3", "demo", &["a"]);
+        t.push_row(vec!["x".into()]);
+        let payload = vec![1u32, 2, 3];
+        t.emit(&dir, &payload).expect("emit");
+        let loaded: Vec<u32> = load_payload(&dir, "t3").expect("load");
+        assert_eq!(loaded, payload);
+        assert!(load_payload::<Vec<u32>>(&dir, "missing").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(0.91912345), "0.9191");
+        assert_eq!(secs(1.234), "1.23s");
+    }
+}

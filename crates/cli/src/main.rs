@@ -1,0 +1,133 @@
+//! `enld` — command-line front end. See the crate docs for usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use enld_cli::{audit, detect, generate, load_lake, write_json, DetectOverrides};
+
+const USAGE: &str = "\
+usage:
+  enld generate --preset <name> [--noise R] [--seed N] --out FILE
+  enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N]
+  enld audit    --lake FILE [--arrival N]
+
+presets: emnist-sim cifar100-sim tiny-imagenet-sim test-sim";
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(rest: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, found '{flag}'"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} requires a value"))?;
+            flags.push((name.to_owned(), value.clone()));
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("--{name}: invalid value '{v}'")),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(USAGE.to_owned());
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "generate" => {
+            let preset = args.get("preset").ok_or("--preset is required")?;
+            let noise: f32 = args.parse_num("noise")?.unwrap_or(0.2);
+            let seed: u64 = args.parse_num("seed")?.unwrap_or(7);
+            let out = PathBuf::from(args.get("out").ok_or("--out is required")?);
+            let file = generate(preset, noise, seed, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {}: {} inventory samples, {} arrivals, {} classes",
+                out.display(),
+                file.inventory.len(),
+                file.arrivals.len(),
+                file.inventory.classes()
+            );
+            Ok(())
+        }
+        "detect" => {
+            let lake = PathBuf::from(args.get("lake").ok_or("--lake is required")?);
+            let file = load_lake(&lake).map_err(|e| e.to_string())?;
+            let overrides = DetectOverrides {
+                iterations: args.parse_num("iterations")?,
+                k: args.parse_num("k")?,
+                seed: args.parse_num("seed")?,
+            };
+            let verdicts = detect(&file, overrides);
+            for v in &verdicts {
+                match v.metrics {
+                    Some(m) => println!(
+                        "arrival {}: {} noisy / {} clean in {:.2}s  (P {:.3} R {:.3} F1 {:.3})",
+                        v.arrival,
+                        v.noisy.len(),
+                        v.clean.len(),
+                        v.process_secs,
+                        m.precision,
+                        m.recall,
+                        m.f1
+                    ),
+                    None => println!(
+                        "arrival {}: {} noisy / {} clean in {:.2}s",
+                        v.arrival,
+                        v.noisy.len(),
+                        v.clean.len(),
+                        v.process_secs
+                    ),
+                }
+            }
+            if let Some(out) = args.get("out") {
+                write_json(&PathBuf::from(out), &verdicts).map_err(|e| e.to_string())?;
+                println!("verdicts written to {out}");
+            }
+            Ok(())
+        }
+        "audit" => {
+            let lake = PathBuf::from(args.get("lake").ok_or("--lake is required")?);
+            let file = load_lake(&lake).map_err(|e| e.to_string())?;
+            let arrival: usize = args.parse_num("arrival")?.unwrap_or(0);
+            let rows = audit(&file, arrival).map_err(|e| e.to_string())?;
+            println!("per-class audit of arrival {arrival} (observed label → flagged share):");
+            for (class, flagged, total) in rows {
+                let share = flagged as f64 / total as f64;
+                let bar = "#".repeat((share * 30.0).round() as usize);
+                println!("  class {class:>4}: {flagged:>4}/{total:<4} {:>5.1}% {bar}", share * 100.0);
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Ablation variants of §V-I (Fig. 14).
+//!
+//! Each variant removes one ingredient of ENLD:
+//!
+//! * **ENLD-1** — no contrastive sampling: the fine-tune set is drawn
+//!   uniformly from the label-restricted candidate pool `I'`.
+//! * **ENLD-2** — no majority voting: a sample joins the clean set the
+//!   first time its prediction matches its observed label.
+//! * **ENLD-3** — no clean-merge: the selected clean set `S` is *not*
+//!   merged back into the contrastive set (`C = C ∪ S` removed).
+//! * **ENLD-4** — identity label: `j = i` replaces
+//!   `j = random_label(i, P̃, label(H'))` in Alg. 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Which ENLD variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AblationVariant {
+    /// Full ENLD (the paper's "ENLD-Origin").
+    #[default]
+    Origin,
+    /// ENLD-1: random fine-tune samples instead of contrastive sampling.
+    NoContrastiveSampling,
+    /// ENLD-2: aggressive selection without majority voting.
+    NoMajorityVoting,
+    /// ENLD-3: never merge the clean set into the contrastive set.
+    NoCleanMerge,
+    /// ENLD-4: query neighbours of the observed label directly.
+    IdentityLabel,
+}
+
+impl AblationVariant {
+    /// Paper-facing name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Origin => "ENLD-Origin",
+            Self::NoContrastiveSampling => "ENLD-1",
+            Self::NoMajorityVoting => "ENLD-2",
+            Self::NoCleanMerge => "ENLD-3",
+            Self::IdentityLabel => "ENLD-4",
+        }
+    }
+
+    /// All variants in the order Fig. 14 reports them.
+    pub fn all() -> [Self; 5] {
+        [
+            Self::Origin,
+            Self::NoContrastiveSampling,
+            Self::NoMajorityVoting,
+            Self::NoCleanMerge,
+            Self::IdentityLabel,
+        ]
+    }
+
+    /// Whether the clean-selection vote threshold is the majority
+    /// `⌊s/2⌋ + 1` (true) or a single hit (false, ENLD-2).
+    pub fn uses_majority_voting(&self) -> bool {
+        !matches!(self, Self::NoMajorityVoting)
+    }
+
+    /// Whether `C = C ∪ S` applies at re-sampling time (false for ENLD-3).
+    pub fn merges_clean_set(&self) -> bool {
+        !matches!(self, Self::NoCleanMerge)
+    }
+
+    /// Whether contrastive sampling is replaced by uniform draws (ENLD-1).
+    pub fn random_contrast(&self) -> bool {
+        matches!(self, Self::NoContrastiveSampling)
+    }
+
+    /// Whether `random_label` is replaced by the identity (ENLD-4).
+    pub fn identity_label(&self) -> bool {
+        matches!(self, Self::IdentityLabel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_enables_everything() {
+        let o = AblationVariant::Origin;
+        assert!(o.uses_majority_voting());
+        assert!(o.merges_clean_set());
+        assert!(!o.random_contrast());
+        assert!(!o.identity_label());
+    }
+
+    #[test]
+    fn each_variant_disables_exactly_one_ingredient() {
+        use AblationVariant::*;
+        assert!(!NoMajorityVoting.uses_majority_voting());
+        assert!(NoMajorityVoting.merges_clean_set());
+        assert!(!NoCleanMerge.merges_clean_set());
+        assert!(NoCleanMerge.uses_majority_voting());
+        assert!(NoContrastiveSampling.random_contrast());
+        assert!(NoContrastiveSampling.uses_majority_voting());
+        assert!(IdentityLabel.identity_label());
+        assert!(!IdentityLabel.random_contrast());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = AblationVariant::all().iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["ENLD-Origin", "ENLD-1", "ENLD-2", "ENLD-3", "ENLD-4"]);
+    }
+}

@@ -1,0 +1,710 @@
+//! The ENLD detector: model initialisation & probability estimation
+//! (Alg. 1 line 1–2), contrastive sampling (Alg. 2), fine-grained noisy
+//! label detection (Alg. 3), and the optional model update (Alg. 4).
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use enld_datagen::split::split_half;
+use enld_datagen::Dataset;
+use enld_knn::class_index::ClassIndex;
+use enld_lake::timing::Stopwatch;
+use enld_nn::data::DataRef;
+use enld_nn::matrix::Matrix;
+use enld_nn::model::{argmax, Mlp};
+use enld_nn::trainer::{TrainConfig, Trainer};
+
+use crate::config::EnldConfig;
+use crate::probability::ConditionalLabelProbability;
+use crate::report::{DetectionReport, IterationSnapshot};
+use crate::sampling::{
+    contrastive_sampling, policy_sampling, random_subset, ContrastSample, SampleSource,
+    SamplingPolicy,
+};
+
+/// The ENLD system state: general model `θ`, estimated conditional
+/// probability `P̃`, the inventory splits `I_t`/`I_c`, the high-quality
+/// set `H`, and the clean-inventory votes accumulated across tasks.
+#[derive(Clone)]
+pub struct Enld {
+    config: EnldConfig,
+    model: Mlp,
+    cond: ConditionalLabelProbability,
+    i_t: Dataset,
+    i_c: Dataset,
+    /// `H`: filtered high-quality indices into `I_c`.
+    hq: Vec<usize>,
+    /// Accumulated clean-inventory selection `S_c` (flags over `I_c`).
+    sc_accum: Vec<bool>,
+    setup_secs: f64,
+    /// Detection tasks served (feeds per-task sampling seeds).
+    tasks: usize,
+    /// Number of model updates performed (feeds seeds for retraining).
+    updates: usize,
+}
+
+impl Enld {
+    /// Alg. 1 lines 1–2: split `I` into `I_t`/`I_c`, train the general
+    /// model on `I_t` with Mixup, estimate `P̃` and the high-quality set
+    /// `H` on `I_c`.
+    pub fn init(inventory: &Dataset, config: &EnldConfig) -> Self {
+        config.validate();
+        assert!(!inventory.is_empty(), "inventory must be non-empty");
+        let sw = Stopwatch::start();
+        let (i_t, i_c) = split_half(inventory, config.seed.wrapping_add(1000));
+
+        let model_cfg = config.arch.config(inventory.dim(), inventory.classes());
+        let mut model = Mlp::new(&model_cfg, config.seed);
+        let mut trainer = Trainer::new(config.init_train, config.seed.wrapping_add(1));
+        let i_t_view = DataRef::new(i_t.xs(), i_t.labels(), i_t.dim());
+        trainer.fit(&mut model, i_t_view, None);
+
+        let i_c_view = DataRef::new(i_c.xs(), i_c.labels(), i_c.dim());
+        let probs = model.predict_proba(i_c_view);
+        let preds: Vec<u32> = (0..probs.rows()).map(|r| argmax(probs.row(r)) as u32).collect();
+        let cond = ConditionalLabelProbability::estimate(i_c.labels(), &preds, i_c.classes());
+        let candidates: Vec<usize> = (0..i_c.len()).collect();
+        let hq = high_quality_filtered(&probs, &preds, i_c.labels(), &candidates);
+
+        let sc_accum = vec![false; i_c.len()];
+        Self {
+            setup_secs: sw.elapsed().as_secs_f64(),
+            config: *config,
+            model,
+            cond,
+            i_t,
+            i_c,
+            hq,
+            sc_accum,
+            tasks: 0,
+            updates: 0,
+        }
+    }
+
+    /// The general model `θ` (shared with the confidence-based baselines).
+    pub fn model(&self) -> &Mlp {
+        &self.model
+    }
+
+    /// The estimated conditional probability `P̃(y* | ỹ)`.
+    pub fn conditional(&self) -> &ConditionalLabelProbability {
+        &self.cond
+    }
+
+    /// The contrastive-candidate split `I_c`.
+    pub fn candidate_set(&self) -> &Dataset {
+        &self.i_c
+    }
+
+    /// The training split `I_t`.
+    pub fn training_set(&self) -> &Dataset {
+        &self.i_t
+    }
+
+    /// The filtered high-quality set `H` (indices into `I_c`).
+    pub fn high_quality(&self) -> &[usize] {
+        &self.hq
+    }
+
+    /// One-off setup cost of [`Enld::init`] in seconds.
+    pub fn setup_secs(&self) -> f64 {
+        self.setup_secs
+    }
+
+    /// Indices of `I_c` accumulated into the clean selection `S_c` so far.
+    pub fn accumulated_clean(&self) -> Vec<usize> {
+        self.sc_accum.iter().enumerate().filter_map(|(i, &f)| f.then_some(i)).collect()
+    }
+
+    pub fn config(&self) -> &EnldConfig {
+        &self.config
+    }
+
+    /// Swaps in a new configuration for subsequent detections without
+    /// redoing setup. Only fields that do not shape [`Enld::init`] may
+    /// change (`k`, iteration budget, policy, ablation, fine-tune
+    /// settings); experiment harnesses use this to share one expensive
+    /// general-model setup across many configuration sweeps.
+    ///
+    /// # Panics
+    /// Panics if the new configuration differs in `arch`, `seed` or
+    /// `init_train` — those would make the trained state inconsistent.
+    pub fn reconfigure(&mut self, config: &EnldConfig) {
+        config.validate();
+        assert_eq!(config.arch, self.config.arch, "reconfigure cannot change the backbone");
+        assert_eq!(config.seed, self.config.seed, "reconfigure cannot change the seed");
+        assert_eq!(
+            config.init_train, self.config.init_train,
+            "reconfigure cannot change general-model training"
+        );
+        self.config = *config;
+    }
+
+    /// Alg. 2 + Alg. 3: fine-grained noisy-label detection with
+    /// contrastive sampling for one incremental dataset.
+    pub fn detect(&mut self, d: &Dataset) -> DetectionReport {
+        assert_eq!(d.dim(), self.i_c.dim(), "incremental dataset dimension mismatch");
+        assert_eq!(d.classes(), self.i_c.classes(), "incremental dataset class-count mismatch");
+        let sw = Stopwatch::start();
+        let cfg = self.config;
+        self.tasks += 1;
+        // Per-task sampling RNG: deterministic given (config seed, task #).
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed ^ (self.tasks as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let d_view = DataRef::new(d.xs(), d.labels(), d.dim());
+        let ic_view = DataRef::new(self.i_c.xs(), self.i_c.labels(), self.i_c.dim());
+
+        // Samples with an observed label participate in detection; missing
+        // ones only receive pseudo-labels (§V-H).
+        let eligible: Vec<usize> = (0..d.len()).filter(|&i| !d.missing_mask()[i]).collect();
+        let labels_d: BTreeSet<u32> = d.label_set();
+        // Alg. 3 line 3: I' = candidates whose observed label ∈ label(D).
+        let i_prime: Vec<usize> =
+            (0..self.i_c.len()).filter(|&i| labels_d.contains(&self.i_c.labels()[i])).collect();
+
+        // θ' starts from a snapshot of the general model.
+        let mut theta = self.model.clone();
+        theta.reset_momentum();
+        let mut trainer = Trainer::new(
+            TrainConfig {
+                epochs: 1,
+                batch_size: cfg.finetune_batch,
+                sgd: cfg.finetune_sgd,
+                mixup_alpha: None,
+                lr_decay: 1.0,
+            },
+            cfg.seed.wrapping_add(17),
+        );
+
+        // Initial A, H', C under θ (Alg. 1 lines 5–7).
+        let (probs_d, feats_d) = theta.proba_and_features(d_view);
+        let preds_d = row_argmax(&probs_d);
+        let mut ambiguous: Vec<usize> =
+            eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
+        let hq_in_prime: Vec<usize> = {
+            let prime: BTreeSet<usize> = i_prime.iter().copied().collect();
+            self.hq.iter().copied().filter(|i| prime.contains(i)).collect()
+        };
+        let mut contrast = self.select_contrast(
+            &theta, d, &feats_d, &ambiguous, &hq_in_prime, &i_prime, ic_view, &mut rng,
+        );
+
+        // Warm-up: fine-tune on C, keep the snapshot with the best
+        // validation accuracy on D (Alg. 3 line 4).
+        let eval_acc = |m: &Mlp| -> f32 {
+            if eligible.is_empty() {
+                return 0.0;
+            }
+            let preds = m.predict_labels(d_view);
+            let hit = eligible.iter().filter(|&&i| preds[i] == d.labels()[i]).count();
+            hit as f32 / eligible.len() as f32
+        };
+        let mut best = theta.clone();
+        let mut best_acc = eval_acc(&theta);
+        for _ in 0..cfg.warmup_epochs {
+            self.train_epoch(&mut theta, &mut trainer, &contrast, d);
+            let acc = eval_acc(&theta);
+            if acc >= best_acc {
+                best_acc = acc;
+                best = theta.clone();
+            }
+        }
+        theta = best;
+        let warmup_val_acc = best_acc;
+
+        // Fine-grained detection loop (Alg. 3 lines 5–22).
+        let threshold = cfg.vote_threshold();
+        let mut in_s = vec![false; d.len()];
+        let mut count_c = vec![0usize; self.i_c.len()];
+        let mut pseudo_votes: Vec<Vec<u32>> = vec![Vec::new(); d.len()];
+        let missing: Vec<usize> = d.missing_indices();
+        for &i in &missing {
+            pseudo_votes[i] = vec![0; d.classes()];
+        }
+        let mut history = Vec::with_capacity(cfg.iterations);
+
+        for iteration in 0..cfg.iterations {
+            let mut count = vec![0u32; d.len()];
+            for _step in 0..cfg.steps {
+                self.train_epoch(&mut theta, &mut trainer, &contrast, d);
+                let preds = theta.predict_labels(d_view);
+                for &i in &eligible {
+                    if preds[i] == d.labels()[i] {
+                        count[i] += 1;
+                        if count[i] as usize >= threshold {
+                            in_s[i] = true;
+                        }
+                    }
+                }
+                for &i in &missing {
+                    pseudo_votes[i][preds[i] as usize] += 1;
+                }
+            }
+
+            // Sample update & re-sampling (lines 15–21).
+            let (probs_d, feats_d) = theta.proba_and_features(d_view);
+            let preds_d = row_argmax(&probs_d);
+            ambiguous =
+                eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
+
+            // H' refresh on I' under θ', with the confidence filter; clean
+            // votes for the inventory selection (lines 16–19).
+            let h_now = self.refresh_high_quality(&theta, &i_prime, ic_view);
+            for &i in &h_now {
+                count_c[i] += 1;
+            }
+
+            contrast = self.select_contrast(
+                &theta, d, &feats_d, &ambiguous, &h_now, &i_prime, ic_view, &mut rng,
+            );
+            if cfg.ablation.merges_clean_set() {
+                // C = C ∪ S (line 21).
+                for (i, &flag) in in_s.iter().enumerate() {
+                    if flag {
+                        contrast.push(ContrastSample {
+                            source: SampleSource::Incremental(i),
+                            label: d.labels()[i],
+                        });
+                    }
+                }
+            }
+
+            history.push(IterationSnapshot {
+                iteration,
+                clean_so_far: flags_to_indices(&in_s),
+                ambiguous: ambiguous.len(),
+                contrastive_size: contrast.len(),
+            });
+        }
+
+        let clean = flags_to_indices(&in_s);
+        let noisy: Vec<usize> = eligible.iter().copied().filter(|&i| !in_s[i]).collect();
+        // Stringent inventory criterion: clean in *all* t iterations.
+        let inventory_clean: Vec<usize> =
+            i_prime.iter().copied().filter(|&i| count_c[i] == cfg.iterations).collect();
+        for &i in &inventory_clean {
+            self.sc_accum[i] = true;
+        }
+        let pseudo_labels: Vec<(usize, u32)> = missing
+            .iter()
+            .map(|&i| (i, argmax_u32(&pseudo_votes[i])))
+            .collect();
+
+        DetectionReport {
+            clean,
+            noisy,
+            pseudo_labels,
+            inventory_clean,
+            history,
+            process_secs: sw.elapsed().as_secs_f64(),
+            warmup_val_acc,
+        }
+    }
+
+    /// Alg. 4: retrain on the accumulated clean inventory selection,
+    /// swap `I_t`/`I_c`, and re-estimate `P̃` and `H`.
+    ///
+    /// Returns the number of clean samples the new model was trained on.
+    /// No-op (returns 0) when no clean samples have been selected yet.
+    pub fn update_model(&mut self) -> usize {
+        let clean = self.accumulated_clean();
+        if clean.is_empty() {
+            return 0;
+        }
+        let train_set = self.i_c.subset(&clean);
+        self.updates += 1;
+        let seed = self.config.seed.wrapping_add(5000 + self.updates as u64);
+        let model_cfg = self.config.arch.config(self.i_c.dim(), self.i_c.classes());
+        let mut new_model = Mlp::new(&model_cfg, seed);
+        // θᵘ = train(S_c) retrains from scratch; when few clean samples
+        // have accumulated, scale the epoch count up so the retrained
+        // model still sees a comparable number of SGD steps.
+        let mut train_cfg = self.config.init_train;
+        let steps_per_epoch = train_set.len().div_ceil(train_cfg.batch_size).max(1);
+        let target_steps = self.config.init_train.epochs
+            * self.i_t.len().div_ceil(train_cfg.batch_size).max(1);
+        train_cfg.epochs = train_cfg.epochs.max(target_steps.div_ceil(steps_per_epoch));
+        let mut trainer = Trainer::new(train_cfg, seed.wrapping_add(1));
+        let view = DataRef::new(train_set.xs(), train_set.labels(), train_set.dim());
+        trainer.fit(&mut new_model, view, None);
+        self.model = new_model;
+
+        // swap(I_t, I_c): the old training split becomes the candidate set.
+        std::mem::swap(&mut self.i_t, &mut self.i_c);
+        let ic_view = DataRef::new(self.i_c.xs(), self.i_c.labels(), self.i_c.dim());
+        let probs = self.model.predict_proba(ic_view);
+        let preds: Vec<u32> = (0..probs.rows()).map(|r| argmax(probs.row(r)) as u32).collect();
+        self.cond =
+            ConditionalLabelProbability::estimate(self.i_c.labels(), &preds, self.i_c.classes());
+        let candidates: Vec<usize> = (0..self.i_c.len()).collect();
+        self.hq = high_quality_filtered(&probs, &preds, self.i_c.labels(), &candidates);
+        self.sc_accum = vec![false; self.i_c.len()];
+        clean.len()
+    }
+
+    /// Builds the fine-tune set according to the configured policy /
+    /// ablation variant.
+    #[allow(clippy::too_many_arguments)]
+    fn select_contrast(
+        &self,
+        theta: &Mlp,
+        d: &Dataset,
+        feats_d: &Matrix,
+        ambiguous: &[usize],
+        hq_candidates: &[usize],
+        i_prime: &[usize],
+        ic_view: DataRef<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<ContrastSample> {
+        let want = self.config.k * ambiguous.len();
+        if ambiguous.is_empty() {
+            return Vec::new();
+        }
+        if self.config.ablation.random_contrast() {
+            // ENLD-1: uniform draws from I' replace contrastive sampling.
+            return random_subset(i_prime, want, self.i_c.labels(), rng);
+        }
+        match self.config.policy {
+            SamplingPolicy::Contrastive => {
+                if hq_candidates.is_empty() {
+                    // No high-quality samples share D's labels; fall back to
+                    // uniform draws from I' so fine-tuning can still proceed.
+                    return random_subset(i_prime, want, self.i_c.labels(), rng);
+                }
+                let hq_batch = ic_view.gather(hq_candidates);
+                let (hq_feats, _) = theta.forward_inference(&hq_batch);
+                let hq_labels: Vec<u32> =
+                    hq_candidates.iter().map(|&i| self.i_c.labels()[i]).collect();
+                let index =
+                    ClassIndex::build(hq_feats.data(), hq_feats.cols(), &hq_labels, hq_candidates);
+                let label_set: Vec<u32> = {
+                    let set: BTreeSet<u32> = hq_labels.iter().copied().collect();
+                    set.into_iter().collect()
+                };
+                let amb_labels: Vec<u32> = ambiguous.iter().map(|&i| d.labels()[i]).collect();
+                contrastive_sampling(
+                    ambiguous,
+                    &amb_labels,
+                    feats_d,
+                    &index,
+                    &label_set,
+                    self.i_c.labels(),
+                    &self.cond,
+                    self.config.k,
+                    self.config.ablation.identity_label(),
+                    rng,
+                )
+            }
+            policy => {
+                // §V-D alternatives score the whole candidate set I_c.
+                let probs_ic = theta.predict_proba(ic_view);
+                let all: Vec<usize> = (0..self.i_c.len()).collect();
+                policy_sampling(policy, want, &probs_ic, self.i_c.labels(), &all, rng)
+            }
+        }
+    }
+
+    /// One fine-tune epoch over the materialised contrastive set.
+    fn train_epoch(
+        &self,
+        theta: &mut Mlp,
+        trainer: &mut Trainer,
+        contrast: &[ContrastSample],
+        d: &Dataset,
+    ) {
+        if contrast.is_empty() {
+            return;
+        }
+        let dim = d.dim();
+        let mut xs = Vec::with_capacity(contrast.len() * dim);
+        let mut labels = Vec::with_capacity(contrast.len());
+        for s in contrast {
+            match s.source {
+                SampleSource::Inventory(i) => xs.extend_from_slice(self.i_c.row(i)),
+                SampleSource::Incremental(i) => xs.extend_from_slice(d.row(i)),
+            }
+            labels.push(s.label);
+        }
+        let view = DataRef::new(&xs, &labels, dim);
+        trainer.fit(theta, view, None);
+    }
+
+    /// H' refresh: agreeing samples of `I'` under the current model, kept
+    /// only when their predicted-class confidence reaches the class mean.
+    fn refresh_high_quality(
+        &self,
+        theta: &Mlp,
+        i_prime: &[usize],
+        ic_view: DataRef<'_>,
+    ) -> Vec<usize> {
+        if i_prime.is_empty() {
+            return Vec::new();
+        }
+        let batch = ic_view.gather(i_prime);
+        let (_, logits) = theta.forward_inference(&batch);
+        let mut probs = logits;
+        enld_nn::loss::softmax_inplace(&mut probs);
+        let preds: Vec<u32> = (0..probs.rows()).map(|r| argmax(probs.row(r)) as u32).collect();
+        let labels: Vec<u32> = i_prime.iter().map(|&i| self.i_c.labels()[i]).collect();
+        let local = high_quality_filtered(&probs, &preds, &labels, &(0..i_prime.len()).collect::<Vec<_>>());
+        local.into_iter().map(|r| i_prime[r]).collect()
+    }
+}
+
+/// Definition 1 plus the paper's confidence filter: keep samples whose
+/// prediction matches the observed label *and* whose predicted-class
+/// confidence is at least the mean confidence of that predicted class.
+fn high_quality_filtered(
+    probs: &Matrix,
+    preds: &[u32],
+    labels: &[u32],
+    candidates: &[usize],
+) -> Vec<usize> {
+    let classes = probs.cols();
+    let mut sum = vec![0.0f64; classes];
+    let mut cnt = vec![0usize; classes];
+    for &i in candidates {
+        let p = preds[i] as usize;
+        sum[p] += probs.row(i)[p] as f64;
+        cnt[p] += 1;
+    }
+    let mean: Vec<f64> =
+        (0..classes).map(|c| if cnt[c] == 0 { 0.0 } else { sum[c] / cnt[c] as f64 }).collect();
+    candidates
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let p = preds[i] as usize;
+            preds[i] == labels[i] && probs.row(i)[p] as f64 >= mean[p]
+        })
+        .collect()
+}
+
+fn row_argmax(m: &Matrix) -> Vec<u32> {
+    (0..m.rows()).map(|r| argmax(m.row(r)) as u32).collect()
+}
+
+fn flags_to_indices(flags: &[bool]) -> Vec<usize> {
+    flags.iter().enumerate().filter_map(|(i, &f)| f.then_some(i)).collect()
+}
+
+fn argmax_u32(votes: &[u32]) -> u32 {
+    let mut best = 0usize;
+    let mut best_v = 0u32;
+    for (i, &v) in votes.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::detection_metrics;
+    use enld_datagen::noise::apply_missing_labels;
+    use enld_datagen::presets::DatasetPreset;
+    use enld_lake::lake::{DataLake, LakeConfig};
+
+    fn small_lake(noise: f32, seed: u64) -> DataLake {
+        let preset = DatasetPreset::test_sim().scaled(0.5);
+        DataLake::build(&LakeConfig { preset, noise_rate: noise, seed })
+    }
+
+    #[test]
+    fn init_produces_sane_state() {
+        let lake = small_lake(0.2, 1);
+        let enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let inv = lake.inventory().len();
+        assert_eq!(enld.training_set().len() + enld.candidate_set().len(), inv);
+        assert!(!enld.high_quality().is_empty(), "some samples must be high quality");
+        assert!(enld.high_quality().len() <= enld.candidate_set().len());
+        assert!(enld.setup_secs() > 0.0);
+        // Conditional rows are stochastic.
+        for i in 0..8 {
+            let s: f64 = enld.conditional().row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert!(enld.accumulated_clean().is_empty());
+    }
+
+    #[test]
+    fn detect_partitions_the_dataset() {
+        let mut lake = small_lake(0.2, 2);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+        // Clean + noisy together cover every sample exactly once.
+        let mut seen = vec![false; req.data.len()];
+        for &i in report.clean.iter().chain(&report.noisy) {
+            assert!(!seen[i], "sample {i} in both sets");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(report.history.len(), EnldConfig::fast_test().iterations);
+        assert!(report.process_secs > 0.0);
+        assert!(report.pseudo_labels.is_empty());
+    }
+
+    #[test]
+    fn detect_beats_chance_on_noise() {
+        let mut lake = small_lake(0.2, 3);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+        let m = detection_metrics(&report.noisy, &req.data.noisy_indices(), req.data.len());
+        // The test preset is easy; fast_test ENLD should do clearly better
+        // than the 20% base rate.
+        assert!(m.f1 > 0.5, "f1 {} (p {}, r {})", m.f1, m.precision, m.recall);
+    }
+
+    #[test]
+    fn clean_dataset_detects_little_noise() {
+        let mut lake = small_lake(0.0, 4);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+        let flagged = report.noisy.len() as f64 / req.data.len() as f64;
+        assert!(flagged < 0.25, "flagged {flagged} of a clean dataset");
+    }
+
+    #[test]
+    fn missing_labels_get_pseudo_labels() {
+        let mut lake = small_lake(0.2, 5);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let masked = apply_missing_labels(&req.data, 0.3, 9);
+        let report = enld.detect(&masked);
+        let missing = masked.missing_indices();
+        assert_eq!(report.pseudo_labels.len(), missing.len());
+        // Pseudo-labelled samples never appear in the clean/noisy split.
+        for &(i, l) in &report.pseudo_labels {
+            assert!(missing.contains(&i));
+            assert!((l as usize) < masked.classes());
+            assert!(!report.clean.contains(&i));
+            assert!(!report.noisy.contains(&i));
+        }
+    }
+
+    #[test]
+    fn ambiguous_count_tends_downward() {
+        let mut lake = small_lake(0.2, 6);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+        let traj = report.ambiguous_trajectory();
+        assert!(
+            traj.last().expect("non-empty") <= traj.first().expect("non-empty"),
+            "ambiguous count should not grow: {traj:?}"
+        );
+    }
+
+    #[test]
+    fn detection_accumulates_inventory_clean_votes() {
+        let mut lake = small_lake(0.2, 7);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let mut total = 0;
+        for _ in 0..2 {
+            let req = lake.next_request().expect("queued");
+            let report = enld.detect(&req.data);
+            total += report.inventory_clean.len();
+        }
+        assert!(total > 0, "some inventory samples should be voted clean");
+        assert!(enld.accumulated_clean().len() <= total);
+        assert!(!enld.accumulated_clean().is_empty());
+    }
+
+    #[test]
+    fn model_update_swaps_splits_and_resets_votes() {
+        let mut lake = small_lake(0.2, 8);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let _ = enld.detect(&req.data);
+        let old_it_len = enld.training_set().len();
+        let old_ic_len = enld.candidate_set().len();
+        let used = enld.update_model();
+        assert!(used > 0, "update must consume accumulated clean samples");
+        assert_eq!(enld.training_set().len(), old_ic_len);
+        assert_eq!(enld.candidate_set().len(), old_it_len);
+        assert!(enld.accumulated_clean().is_empty(), "votes reset after update");
+    }
+
+    #[test]
+    fn update_without_votes_is_noop() {
+        let lake = small_lake(0.2, 9);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        assert_eq!(enld.update_model(), 0);
+    }
+
+    #[test]
+    fn detect_is_deterministic_given_seed() {
+        let run = || {
+            let mut lake = small_lake(0.2, 10);
+            let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+            let req = lake.next_request().expect("queued");
+            enld.detect(&req.data).noisy
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_class_incremental_dataset_is_handled() {
+        let mut lake = small_lake(0.2, 11);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        // Restrict to one observed class.
+        let target = req.data.labels()[0];
+        let idx: Vec<usize> =
+            (0..req.data.len()).filter(|&i| req.data.labels()[i] == target).collect();
+        let single = req.data.subset(&idx);
+        let report = enld.detect(&single);
+        assert_eq!(report.clean.len() + report.noisy.len(), single.len());
+    }
+
+    #[test]
+    fn high_quality_filter_uses_class_mean() {
+        // Two agreeing samples of class 0: one confident, one barely.
+        let probs = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.6, 0.4, 0.2, 0.8]);
+        let preds = vec![0u32, 0, 1];
+        let labels = vec![0u32, 0, 0]; // third disagrees
+        let hq = high_quality_filtered(&probs, &preds, &labels, &[0, 1, 2]);
+        // Mean class-0 confidence = 0.75 → only the 0.9 sample survives.
+        assert_eq!(hq, vec![0]);
+    }
+
+    #[test]
+    fn oversized_k_is_handled() {
+        // k far beyond the candidate pool must still produce a valid
+        // partition (KD-tree queries return what exists).
+        let mut lake = small_lake(0.2, 12);
+        let mut cfg = EnldConfig::fast_test();
+        cfg.k = 500;
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+        assert_eq!(report.clean.len() + report.noisy.len(), req.data.len());
+    }
+
+    #[test]
+    fn all_labels_missing_yields_only_pseudo_labels() {
+        let mut lake = small_lake(0.2, 13);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let masked = enld_datagen::noise::apply_missing_labels(&req.data, 1.0, 3);
+        let report = enld.detect(&masked);
+        assert!(report.clean.is_empty());
+        assert!(report.noisy.is_empty());
+        assert_eq!(report.pseudo_labels.len(), masked.len());
+    }
+
+    #[test]
+    fn vote_argmax() {
+        assert_eq!(argmax_u32(&[0, 3, 2]), 1);
+        assert_eq!(argmax_u32(&[5]), 0);
+    }
+}

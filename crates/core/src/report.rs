@@ -1,0 +1,113 @@
+//! Detection results and per-iteration training history.
+//!
+//! The history drives two of the paper's figures directly: Fig. 9 (metric
+//! trajectories over fine-grained detection iterations) and Fig. 13b
+//! (ambiguous-sample counts per iteration).
+
+use serde::{Deserialize, Serialize};
+
+/// State captured at the end of each fine-grained detection iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationSnapshot {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Clean set `S` accumulated so far (indices into the incremental
+    /// dataset).
+    pub clean_so_far: Vec<usize>,
+    /// |A| after the post-iteration refresh.
+    pub ambiguous: usize,
+    /// Size of the contrastive set `C` prepared for the next iteration
+    /// (including merged clean samples, with multiplicity).
+    pub contrastive_size: usize,
+}
+
+/// Result of one [`crate::detector::Enld::detect`] call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Indices of the incremental dataset judged clean (`S`).
+    pub clean: Vec<usize>,
+    /// Indices judged noisy (`N = D \ S`, non-missing only).
+    pub noisy: Vec<usize>,
+    /// Voted pseudo-labels for missing-label samples (§V-H).
+    pub pseudo_labels: Vec<(usize, u32)>,
+    /// Inventory candidates selected as clean during this task
+    /// (`S'_c`, indices into `I_c`).
+    pub inventory_clean: Vec<usize>,
+    /// Per-iteration history (Fig. 9 / Fig. 13b).
+    pub history: Vec<IterationSnapshot>,
+    /// Wall-clock process time in seconds (§V-A3).
+    pub process_secs: f64,
+    /// Validation accuracy of the best warm-up snapshot on the incremental
+    /// dataset's observed labels.
+    pub warmup_val_acc: f32,
+}
+
+impl DetectionReport {
+    /// The clean/noisy split restricted to iteration `i`'s knowledge:
+    /// clean = snapshot's `clean_so_far`, noisy = everything else that is
+    /// eligible. Used to score Fig. 9 trajectories after the fact.
+    pub fn split_at_iteration(&self, i: usize, eligible: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let snapshot = &self.history[i];
+        let clean: Vec<usize> = snapshot.clean_so_far.clone();
+        let mut is_clean = vec![false; eligible.iter().copied().max().map_or(0, |m| m + 1)];
+        for &c in &clean {
+            if c < is_clean.len() {
+                is_clean[c] = true;
+            }
+        }
+        let noisy = eligible.iter().copied().filter(|&e| !is_clean.get(e).copied().unwrap_or(false)).collect();
+        (clean, noisy)
+    }
+
+    /// Ambiguous-count trajectory (Fig. 13b).
+    pub fn ambiguous_trajectory(&self) -> Vec<usize> {
+        self.history.iter().map(|s| s.ambiguous).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> DetectionReport {
+        DetectionReport {
+            clean: vec![0, 2],
+            noisy: vec![1, 3],
+            pseudo_labels: vec![],
+            inventory_clean: vec![],
+            history: vec![
+                IterationSnapshot {
+                    iteration: 0,
+                    clean_so_far: vec![0],
+                    ambiguous: 3,
+                    contrastive_size: 6,
+                },
+                IterationSnapshot {
+                    iteration: 1,
+                    clean_so_far: vec![0, 2],
+                    ambiguous: 1,
+                    contrastive_size: 4,
+                },
+            ],
+            process_secs: 0.5,
+            warmup_val_acc: 0.8,
+        }
+    }
+
+    #[test]
+    fn split_at_iteration_partitions_eligible() {
+        let r = report();
+        let eligible = vec![0, 1, 2, 3];
+        let (clean, noisy) = r.split_at_iteration(0, &eligible);
+        assert_eq!(clean, vec![0]);
+        assert_eq!(noisy, vec![1, 2, 3]);
+        let (clean, noisy) = r.split_at_iteration(1, &eligible);
+        assert_eq!(clean, vec![0, 2]);
+        assert_eq!(noisy, vec![1, 3]);
+    }
+
+    #[test]
+    fn ambiguous_trajectory() {
+        assert_eq!(report().ambiguous_trajectory(), vec![3, 1]);
+    }
+}

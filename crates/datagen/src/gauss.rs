@@ -1,0 +1,49 @@
+//! Standard-normal sampling via Box–Muller.
+//!
+//! `rand` 0.8 without `rand_distr` only provides uniform draws offline, so
+//! the normal sampler lives here and is shared by the manifold generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One draw from `N(0, 1)`.
+pub fn standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-12f32..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fills `out` with i.i.d. `N(0, 1)` draws.
+pub fn fill_standard_normal(out: &mut [f32], rng: &mut StdRng) {
+    for v in out.iter_mut() {
+        *v = standard_normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut va = vec![0.0f32; 16];
+        let mut vb = vec![0.0f32; 16];
+        fill_standard_normal(&mut va, &mut a);
+        fill_standard_normal(&mut vb, &mut b);
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,233 @@
+//! Label-noise models.
+//!
+//! The paper generates noise from a label transition matrix
+//! `T[i][j] = P(ỹ = j | y* = i)` and evaluates with *pair asymmetric*
+//! noise: `T[i][i] = 1−η` and `T[i][succ(i)] = η` (§V-A2). Symmetric and
+//! general-asymmetric variants are provided for extension experiments, and
+//! missing labels (§V-H) are modelled as a separate mask.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Row-stochastic label transition matrix `T[i][j] = P(ỹ=j | y*=i)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    classes: usize,
+    /// Row-major `classes × classes` transition probabilities.
+    t: Vec<f32>,
+}
+
+impl NoiseModel {
+    /// Pair asymmetric noise: class `i` flips to `(i+1) mod classes` with
+    /// probability `η` (the paper's evaluation setting).
+    pub fn pair_asymmetric(classes: usize, eta: f32) -> Self {
+        Self::validate(classes, eta);
+        let mut t = vec![0.0; classes * classes];
+        for i in 0..classes {
+            t[i * classes + i] = 1.0 - eta;
+            t[i * classes + (i + 1) % classes] = eta;
+        }
+        Self { classes, t }
+    }
+
+    /// Symmetric (uniform) noise: flips to any *other* class uniformly.
+    pub fn symmetric(classes: usize, eta: f32) -> Self {
+        Self::validate(classes, eta);
+        assert!(classes > 1, "symmetric noise needs at least 2 classes");
+        let off = eta / (classes - 1) as f32;
+        let mut t = vec![off; classes * classes];
+        for i in 0..classes {
+            t[i * classes + i] = 1.0 - eta;
+        }
+        Self { classes, t }
+    }
+
+    /// General asymmetric noise: each class flips to one random partner
+    /// class with probability `η` (satisfies the paper's Def. of asymmetric
+    /// noise: `∃ i≠j, T_ij > T_ik`).
+    pub fn asymmetric_random(classes: usize, eta: f32, seed: u64) -> Self {
+        Self::validate(classes, eta);
+        assert!(classes > 1, "asymmetric noise needs at least 2 classes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = vec![0.0; classes * classes];
+        for i in 0..classes {
+            let mut partner = rng.gen_range(0..classes - 1);
+            if partner >= i {
+                partner += 1; // uniform over classes != i
+            }
+            t[i * classes + i] = 1.0 - eta;
+            t[i * classes + partner] = eta;
+        }
+        Self { classes, t }
+    }
+
+    /// Identity matrix (no corruption); useful as a control.
+    pub fn clean(classes: usize) -> Self {
+        Self::pair_asymmetric(classes, 0.0)
+    }
+
+    fn validate(classes: usize, eta: f32) {
+        assert!(classes > 0, "classes must be positive");
+        assert!((0.0..=1.0).contains(&eta), "noise rate must be in [0, 1]");
+    }
+
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// `T[i][j]`.
+    pub fn prob(&self, i: usize, j: usize) -> f32 {
+        self.t[i * self.classes + j]
+    }
+
+    /// Row `i` of the matrix.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.t[i * self.classes..(i + 1) * self.classes]
+    }
+
+    /// Samples an observed label for true label `y`.
+    pub fn sample_observed(&self, y: u32, rng: &mut StdRng) -> u32 {
+        let row = self.row(y as usize);
+        let mut u: f32 = rng.gen_range(0.0..1.0);
+        for (j, &p) in row.iter().enumerate() {
+            if u < p {
+                return j as u32;
+            }
+            u -= p;
+        }
+        y // numerical fallback: rows sum to 1 up to float error
+    }
+
+    /// Returns a copy of `dataset` with observed labels corrupted by this
+    /// transition matrix. Ground-truth labels and ids are untouched.
+    pub fn corrupt(&self, dataset: &Dataset, seed: u64) -> Dataset {
+        assert_eq!(dataset.classes(), self.classes, "class-count mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = dataset.clone();
+        for i in 0..out.len() {
+            let observed = self.sample_observed(dataset.true_labels()[i], &mut rng);
+            out.set_label(i, observed);
+        }
+        out
+    }
+}
+
+/// Marks a uniformly-random fraction `rate` of samples as missing-label
+/// (paper §V-H). The observed label value of a missing sample is
+/// meaningless and excluded from `label_set`/`class_counts`.
+pub fn apply_missing_labels(dataset: &Dataset, rate: f32, seed: u64) -> Dataset {
+    assert!((0.0..=1.0).contains(&rate), "missing rate must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = dataset.clone();
+    for i in 0..out.len() {
+        if rng.gen_range(0.0f32..1.0) < rate {
+            out.set_missing(i, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifold::ManifoldSpec;
+
+    fn toy(classes: usize, per_class: usize) -> Dataset {
+        ManifoldSpec {
+            classes,
+            dim: 4,
+            manifold_dim: 1,
+            modes: 1,
+            separation: 5.0,
+            basis_scale: 0.5,
+            jitter: 0.2,
+        }
+        .generate(per_class, 1)
+    }
+
+    #[test]
+    fn pair_asymmetric_structure() {
+        let m = NoiseModel::pair_asymmetric(4, 0.3);
+        for i in 0..4 {
+            assert!((m.prob(i, i) - 0.7).abs() < 1e-6);
+            assert!((m.prob(i, (i + 1) % 4) - 0.3).abs() < 1e-6);
+            let row_sum: f32 = m.row(i).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_rows_are_uniform_off_diagonal() {
+        let m = NoiseModel::symmetric(5, 0.4);
+        for i in 0..5 {
+            assert!((m.prob(i, i) - 0.6).abs() < 1e-6);
+            for j in 0..5 {
+                if j != i {
+                    assert!((m.prob(i, j) - 0.1).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_random_has_single_partner() {
+        let m = NoiseModel::asymmetric_random(6, 0.2, 3);
+        for i in 0..6 {
+            let partners: Vec<usize> =
+                (0..6).filter(|&j| j != i && m.prob(i, j) > 0.0).collect();
+            assert_eq!(partners.len(), 1, "class {i} must flip to exactly one partner");
+            assert_ne!(partners[0], i);
+        }
+    }
+
+    #[test]
+    fn corrupt_hits_target_rate() {
+        let d = toy(6, 400);
+        let noisy = NoiseModel::pair_asymmetric(6, 0.3).corrupt(&d, 11);
+        let rate = noisy.noisy_indices().len() as f32 / noisy.len() as f32;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+        // Ground truth untouched.
+        assert_eq!(noisy.true_labels(), d.true_labels());
+        // Every corruption is to the successor class.
+        for &i in &noisy.noisy_indices() {
+            let y = noisy.true_labels()[i];
+            assert_eq!(noisy.labels()[i], (y + 1) % 6);
+        }
+    }
+
+    #[test]
+    fn clean_model_changes_nothing() {
+        let d = toy(3, 50);
+        let c = NoiseModel::clean(3).corrupt(&d, 2);
+        assert_eq!(c.labels(), d.labels());
+    }
+
+    #[test]
+    fn corrupt_is_deterministic_per_seed() {
+        let d = toy(4, 100);
+        let m = NoiseModel::pair_asymmetric(4, 0.2);
+        assert_eq!(m.corrupt(&d, 5).labels(), m.corrupt(&d, 5).labels());
+        assert_ne!(m.corrupt(&d, 5).labels(), m.corrupt(&d, 6).labels());
+    }
+
+    #[test]
+    fn missing_labels_hit_target_rate() {
+        let d = toy(4, 300);
+        let masked = apply_missing_labels(&d, 0.5, 9);
+        let rate = masked.missing_indices().len() as f32 / masked.len() as f32;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+        // Missing samples are excluded from noisy_indices.
+        let noisy = NoiseModel::pair_asymmetric(4, 1.0).corrupt(&d, 1);
+        let masked_noisy = apply_missing_labels(&noisy, 1.0, 2);
+        assert!(masked_noisy.noisy_indices().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "noise rate")]
+    fn rejects_bad_eta() {
+        let _ = NoiseModel::pair_asymmetric(3, 1.5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Named dataset presets mirroring the paper's three tasks.
+//!
+//! | Preset | Paper dataset | Classes | Incremental split |
+//! |---|---|---|---|
+//! | `emnist_sim` | EMNIST-letters | 26 | 10 subsets of 5–6 classes |
+//! | `cifar100_sim` | CIFAR-100 | 100 | 20 subsets of 10 classes |
+//! | `tiny_imagenet_sim` | Tiny-ImageNet | 200 | 20 subsets of 20 classes |
+//!
+//! Difficulty ordering (separability of the class manifolds) matches the
+//! paper's accuracy ordering: EMNIST easiest, Tiny-ImageNet hardest. Sample
+//! counts are scaled to CPU budgets; `scaled` shrinks them further for
+//! tests and micro-benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::manifold::ManifoldSpec;
+
+/// Incremental-partition shape (paper §V-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncrementalSpec {
+    /// Number of incremental datasets `D_i`.
+    pub subsets: usize,
+    /// Minimum classes per incremental dataset.
+    pub classes_min: usize,
+    /// Maximum classes per incremental dataset.
+    pub classes_max: usize,
+}
+
+/// A named dataset preset: generator parameters plus split shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetPreset {
+    pub name: &'static str,
+    pub classes: usize,
+    pub samples_per_class: usize,
+    pub spec: ManifoldSpec,
+    pub incremental: IncrementalSpec,
+}
+
+impl DatasetPreset {
+    /// EMNIST-letters stand-in: 26 classes, well separated (easy).
+    pub fn emnist_sim() -> Self {
+        let classes = 26;
+        Self {
+            name: "emnist-sim",
+            classes,
+            samples_per_class: 150,
+            spec: ManifoldSpec {
+                classes,
+                dim: 32,
+                manifold_dim: 4,
+                modes: 2,
+                separation: 3.2,
+                basis_scale: 1.0,
+                jitter: 0.5,
+            },
+            incremental: IncrementalSpec { subsets: 10, classes_min: 5, classes_max: 6 },
+        }
+    }
+
+    /// CIFAR-100 stand-in: 100 classes, moderately separated.
+    pub fn cifar100_sim() -> Self {
+        let classes = 100;
+        Self {
+            name: "cifar100-sim",
+            classes,
+            samples_per_class: 90,
+            spec: ManifoldSpec {
+                classes,
+                dim: 48,
+                manifold_dim: 6,
+                modes: 2,
+                separation: 0.82,
+                basis_scale: 1.0,
+                jitter: 0.5,
+            },
+            incremental: IncrementalSpec { subsets: 20, classes_min: 10, classes_max: 10 },
+        }
+    }
+
+    /// Tiny-ImageNet stand-in: 200 classes, weakly separated (hard).
+    pub fn tiny_imagenet_sim() -> Self {
+        let classes = 200;
+        Self {
+            name: "tiny-imagenet-sim",
+            classes,
+            samples_per_class: 60,
+            spec: ManifoldSpec {
+                classes,
+                dim: 64,
+                manifold_dim: 8,
+                modes: 3,
+                separation: 0.80,
+                basis_scale: 1.0,
+                jitter: 0.55,
+            },
+            incremental: IncrementalSpec { subsets: 20, classes_min: 20, classes_max: 20 },
+        }
+    }
+
+    /// Small synthetic task for unit/integration tests: 8 classes,
+    /// 4 incremental subsets of 3–4 classes.
+    pub fn test_sim() -> Self {
+        let classes = 8;
+        Self {
+            name: "test-sim",
+            classes,
+            samples_per_class: 60,
+            spec: ManifoldSpec {
+                classes,
+                dim: 12,
+                manifold_dim: 2,
+                modes: 1,
+                separation: 3.5,
+                basis_scale: 0.8,
+                jitter: 0.3,
+            },
+            incremental: IncrementalSpec { subsets: 4, classes_min: 3, classes_max: 4 },
+        }
+    }
+
+    /// Shrinks `samples_per_class` by `factor` (at least 8 per class) for
+    /// fast test/bench variants.
+    pub fn scaled(mut self, factor: f32) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scaled = (self.samples_per_class as f32 * factor).round() as usize;
+        self.samples_per_class = scaled.max(8);
+        self
+    }
+
+    /// Generates the full clean dataset for this preset.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        self.spec.generate(self.samples_per_class, seed)
+    }
+
+    /// All paper presets, in the order the paper reports them.
+    pub fn paper_presets() -> [Self; 3] {
+        [Self::emnist_sim(), Self::cifar100_sim(), Self::tiny_imagenet_sim()]
+    }
+
+    /// Looks up a preset by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "emnist-sim" => Some(Self::emnist_sim()),
+            "cifar100-sim" => Some(Self::cifar100_sim()),
+            "tiny-imagenet-sim" => Some(Self::tiny_imagenet_sim()),
+            "test-sim" => Some(Self::test_sim()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_class_counts() {
+        assert_eq!(DatasetPreset::emnist_sim().classes, 26);
+        assert_eq!(DatasetPreset::cifar100_sim().classes, 100);
+        assert_eq!(DatasetPreset::tiny_imagenet_sim().classes, 200);
+        let e = DatasetPreset::emnist_sim().incremental;
+        assert_eq!((e.subsets, e.classes_min, e.classes_max), (10, 5, 6));
+        let c = DatasetPreset::cifar100_sim().incremental;
+        assert_eq!((c.subsets, c.classes_min, c.classes_max), (20, 10, 10));
+        let t = DatasetPreset::tiny_imagenet_sim().incremental;
+        assert_eq!((t.subsets, t.classes_min, t.classes_max), (20, 20, 20));
+    }
+
+    #[test]
+    fn difficulty_ordering_matches_paper() {
+        let e = DatasetPreset::emnist_sim().spec.separability();
+        let c = DatasetPreset::cifar100_sim().spec.separability();
+        let t = DatasetPreset::tiny_imagenet_sim().spec.separability();
+        assert!(e > c && c > t, "separability must order emnist > cifar100 > tiny ({e}, {c}, {t})");
+    }
+
+    #[test]
+    fn scaled_shrinks_but_clamps() {
+        let p = DatasetPreset::cifar100_sim().scaled(0.1);
+        assert_eq!(p.samples_per_class, 9);
+        let tiny = DatasetPreset::test_sim().scaled(1e-6);
+        assert_eq!(tiny.samples_per_class, 8);
+    }
+
+    #[test]
+    fn generate_has_expected_size() {
+        let p = DatasetPreset::test_sim();
+        let d = p.generate(1);
+        assert_eq!(d.len(), p.classes * p.samples_per_class);
+        assert_eq!(d.classes(), p.classes);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for p in DatasetPreset::paper_presets() {
+            assert_eq!(DatasetPreset::by_name(p.name).map(|q| q.name), Some(p.name));
+        }
+        assert!(DatasetPreset::by_name("imagenet").is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Data-lake splits (paper §V-A1).
+//!
+//! * `inventory_incremental` — the 2:1 split of the full corpus into
+//!   inventory `I` and the pool that becomes incremental datasets `D`.
+//! * `split_half` — the uniform random split of `I` into the training set
+//!   `I_t` and the contrastive-candidate set `I_c` (Alg. 1 line 1).
+//! * `partition_incremental` — divides the incremental pool into
+//!   *unbalanced* datasets covering a few classes each (e.g. 10 subsets of
+//!   5–6 classes for EMNIST).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::presets::IncrementalSpec;
+
+/// Splits `dataset` into two parts with sizes proportional to
+/// `ratio_a : ratio_b`, uniformly at random.
+pub fn inventory_incremental(
+    dataset: &Dataset,
+    ratio_a: usize,
+    ratio_b: usize,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    assert!(ratio_a > 0 && ratio_b > 0, "ratios must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(&mut rng);
+    let cut = dataset.len() * ratio_a / (ratio_a + ratio_b);
+    (dataset.subset(&indices[..cut]), dataset.subset(&indices[cut..]))
+}
+
+/// Uniform random half split (`I → I_t, I_c`).
+pub fn split_half(dataset: &Dataset, seed: u64) -> (Dataset, Dataset) {
+    inventory_incremental(dataset, 1, 1, seed)
+}
+
+/// Partitions `pool` into `spec.subsets` unbalanced incremental datasets.
+///
+/// Classes (by ground-truth label, mirroring how a platform collects a
+/// themed batch) are dealt to subsets so that every subset holds between
+/// `classes_min` and `classes_max` distinct classes and every class with
+/// samples appears in at least one subset. Samples of a class are then
+/// distributed among its subsets with random unbalanced weights.
+///
+/// # Panics
+/// Panics if the total class slots are fewer than the number of distinct
+/// classes present (some class could not be placed).
+pub fn partition_incremental(pool: &Dataset, spec: &IncrementalSpec, seed: u64) -> Vec<Dataset> {
+    assert!(spec.subsets > 0 && spec.classes_min > 0 && spec.classes_min <= spec.classes_max);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Distinct classes actually present (by ground truth).
+    let mut present: Vec<u32> = {
+        let mut counts = vec![false; pool.classes()];
+        for &y in pool.true_labels() {
+            counts[y as usize] = true;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &p)| p.then_some(c as u32))
+            .collect()
+    };
+
+    // Quotas per subset.
+    let quotas: Vec<usize> =
+        (0..spec.subsets).map(|_| rng.gen_range(spec.classes_min..=spec.classes_max)).collect();
+    let total_slots: usize = quotas.iter().sum();
+    assert!(
+        total_slots >= present.len(),
+        "not enough class slots ({total_slots}) for {} classes",
+        present.len()
+    );
+
+    // Deal classes round-robin from a shuffled sequence; the first pass
+    // places every class once, later passes duplicate classes into the
+    // remaining slots (a class may serve several incremental datasets, as
+    // in the paper where 100 CIFAR classes fill 200 slots).
+    present.shuffle(&mut rng);
+    let mut subset_classes: Vec<Vec<u32>> = vec![Vec::new(); spec.subsets];
+    let mut class_cycle = present.iter().copied().cycle();
+    // Fill subsets in round-robin order so classes spread evenly.
+    let max_quota = *quotas.iter().max().expect("subsets > 0");
+    for round in 0..max_quota {
+        for (s, quota) in quotas.iter().enumerate() {
+            if round < *quota {
+                // Skip classes already in this subset (possible once the
+                // cycle wraps); bounded by the class count so it terminates.
+                for _ in 0..present.len() {
+                    let c = class_cycle.next().expect("cycle is infinite");
+                    if !subset_classes[s].contains(&c) {
+                        subset_classes[s].push(c);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Map class → subsets that contain it.
+    let mut class_subsets: Vec<Vec<usize>> = vec![Vec::new(); pool.classes()];
+    for (s, classes) in subset_classes.iter().enumerate() {
+        for &c in classes {
+            class_subsets[c as usize].push(s);
+        }
+    }
+
+    // Distribute each class's samples among its subsets with random
+    // unbalanced weights (squared uniforms skew the shares).
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); spec.subsets];
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); pool.classes()];
+    for (i, &y) in pool.true_labels().iter().enumerate() {
+        by_class[y as usize].push(i);
+    }
+    for (c, samples) in by_class.iter_mut().enumerate() {
+        if samples.is_empty() {
+            continue;
+        }
+        let subsets = &class_subsets[c];
+        debug_assert!(!subsets.is_empty(), "class {c} has samples but no subset");
+        samples.shuffle(&mut rng);
+        let weights: Vec<f32> = subsets
+            .iter()
+            .map(|_| {
+                let u: f32 = rng.gen_range(0.05f32..1.0);
+                u * u
+            })
+            .collect();
+        let total: f32 = weights.iter().sum();
+        let mut cursor = 0usize;
+        for (k, &s) in subsets.iter().enumerate() {
+            let take = if k + 1 == subsets.len() {
+                samples.len() - cursor
+            } else {
+                ((weights[k] / total) * samples.len() as f32).round() as usize
+            };
+            let take = take.min(samples.len() - cursor);
+            assignment[s].extend_from_slice(&samples[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+
+    assignment.iter().map(|idx| pool.subset(idx)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifold::ManifoldSpec;
+    use crate::noise::NoiseModel;
+    use std::collections::BTreeSet;
+
+    fn pool(classes: usize, per_class: usize) -> Dataset {
+        ManifoldSpec {
+            classes,
+            dim: 6,
+            manifold_dim: 2,
+            modes: 1,
+            separation: 5.0,
+            basis_scale: 0.6,
+            jitter: 0.2,
+        }
+        .generate(per_class, 3)
+    }
+
+    #[test]
+    fn inventory_split_sizes() {
+        let d = pool(6, 60); // 360 samples
+        let (inv, inc) = inventory_incremental(&d, 2, 1, 1);
+        assert_eq!(inv.len(), 240);
+        assert_eq!(inc.len(), 120);
+        // Disjoint by id, jointly exhaustive.
+        let ids: BTreeSet<u64> =
+            inv.ids().iter().chain(inc.ids()).copied().collect();
+        assert_eq!(ids.len(), 360);
+    }
+
+    #[test]
+    fn split_half_is_even() {
+        let d = pool(4, 50);
+        let (a, b) = split_half(&d, 2);
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 100);
+    }
+
+    #[test]
+    fn partition_covers_all_samples_exactly_once() {
+        let d = pool(8, 40);
+        let spec = IncrementalSpec { subsets: 4, classes_min: 3, classes_max: 4 };
+        let parts = partition_incremental(&d, &spec, 7);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(Dataset::len).sum();
+        assert_eq!(total, d.len(), "partition must conserve samples");
+        let mut seen = BTreeSet::new();
+        for p in &parts {
+            for &id in p.ids() {
+                assert!(seen.insert(id), "sample {id} assigned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_respects_class_quotas() {
+        let d = pool(8, 40);
+        let spec = IncrementalSpec { subsets: 4, classes_min: 3, classes_max: 4 };
+        let parts = partition_incremental(&d, &spec, 11);
+        for p in &parts {
+            let classes: BTreeSet<u32> = p.true_labels().iter().copied().collect();
+            assert!(
+                classes.len() <= spec.classes_max,
+                "subset holds {} classes > max {}",
+                classes.len(),
+                spec.classes_max
+            );
+        }
+        // Every class appears somewhere.
+        let all: BTreeSet<u32> =
+            parts.iter().flat_map(|p| p.true_labels().iter().copied()).collect();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn partition_is_unbalanced() {
+        let d = pool(8, 100);
+        let spec = IncrementalSpec { subsets: 4, classes_min: 4, classes_max: 4 };
+        let parts = partition_incremental(&d, &spec, 13);
+        let sizes: Vec<usize> = parts.iter().map(Dataset::len).collect();
+        let min = *sizes.iter().min().expect("non-empty");
+        let max = *sizes.iter().max().expect("non-empty");
+        assert!(max > min, "expected unbalanced subset sizes, got {sizes:?}");
+    }
+
+    #[test]
+    fn partition_keeps_noisy_labels_with_samples() {
+        let d = NoiseModel::pair_asymmetric(8, 0.3).corrupt(&pool(8, 40), 5);
+        let spec = IncrementalSpec { subsets: 4, classes_min: 3, classes_max: 4 };
+        let parts = partition_incremental(&d, &spec, 7);
+        let noisy_total: usize = parts.iter().map(|p| p.noisy_indices().len()).sum();
+        assert_eq!(noisy_total, d.noisy_indices().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough class slots")]
+    fn partition_rejects_too_few_slots() {
+        let d = pool(8, 10);
+        let spec = IncrementalSpec { subsets: 2, classes_min: 2, classes_max: 3 };
+        let _ = partition_incremental(&d, &spec, 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! KNN graph + union-find connected components.
+//!
+//! Topofilter (Wu et al., NeurIPS 2020; the paper's strongest baseline)
+//! builds a k-NN graph over the feature representations of each class and
+//! keeps only the largest connected component, dropping isolated samples
+//! as noisy. This module supplies the graph machinery.
+
+use crate::kdtree::KdTree;
+
+/// Disjoint-set forest with union by size and path compression.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns false if already
+    /// merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+}
+
+/// Builds the mutual-reachability k-NN graph over `points` and returns the
+/// member indices of the **largest connected component** (ties broken by
+/// smallest representative). An edge joins every point to each of its `k`
+/// nearest neighbours.
+///
+/// Returns an empty vector for an empty point set.
+pub fn largest_knn_component(points: &[f32], dim: usize, k: usize) -> Vec<usize> {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(points.len() % dim, 0, "point buffer not a multiple of dim");
+    let n = points.len() / dim;
+    if n == 0 {
+        return Vec::new();
+    }
+    let tree = KdTree::build(points, dim);
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        let q = &points[i * dim..(i + 1) * dim];
+        // k+1 because the query point itself is among the results.
+        for hit in tree.k_nearest(q, k + 1) {
+            if hit.index != i {
+                uf.union(i, hit.index);
+            }
+        }
+    }
+    let mut best_root = 0;
+    let mut best_size = 0;
+    for i in 0..n {
+        let s = uf.set_size(i);
+        let root = uf.find(i);
+        if s > best_size || (s == best_size && root < uf.find(best_root)) {
+            best_size = s;
+            best_root = root;
+        }
+    }
+    let best_root = uf.find(best_root);
+    (0..n).filter(|&i| uf.find(i) == best_root).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(3), 1);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(4));
+    }
+
+    #[test]
+    fn largest_component_separates_far_cluster() {
+        // 6 chained points near the origin (non-uniform spacing so every
+        // point has a unique nearest neighbour), 2 outliers far away.
+        let mut pts = Vec::new();
+        for x in [0.0f32, 0.1, 0.25, 0.45, 0.7, 1.0] {
+            pts.push(x);
+            pts.push(0.0);
+        }
+        pts.extend_from_slice(&[100.0, 100.0, 100.5, 100.0]);
+        let comp = largest_knn_component(&pts, 2, 1);
+        assert_eq!(comp, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn k_large_connects_everything() {
+        let pts = vec![0.0f32, 0.0, 1.0, 0.0, 50.0, 50.0];
+        let comp = largest_knn_component(&pts, 2, 2);
+        assert_eq!(comp.len(), 3, "k = n-1 must connect all points");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(largest_knn_component(&[], 2, 3).is_empty());
+        assert_eq!(largest_knn_component(&[1.0, 2.0], 2, 3), vec![0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_component_is_nonempty_and_in_range(
+            pts in proptest::collection::vec(-10.0f32..10.0, 2..100),
+            k in 1usize..4,
+        ) {
+            let n = pts.len() / 2;
+            prop_assume!(n > 0);
+            let pts = &pts[..n * 2];
+            let comp = largest_knn_component(pts, 2, k);
+            prop_assert!(!comp.is_empty());
+            prop_assert!(comp.iter().all(|&i| i < n));
+            // Members are unique and sorted (by construction).
+            for w in comp.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_union_find_transitivity(ops in proptest::collection::vec((0usize..20, 0usize..20), 1..60)) {
+            let mut uf = UnionFind::new(20);
+            for &(a, b) in &ops {
+                uf.union(a, b);
+            }
+            // find is idempotent and roots are self-parenting.
+            for x in 0..20 {
+                let r = uf.find(x);
+                prop_assert_eq!(uf.find(r), r);
+            }
+        }
+    }
+}

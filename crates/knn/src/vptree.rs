@@ -1,0 +1,240 @@
+//! Vantage-point tree — an alternative exact k-NN index.
+//!
+//! KD-trees degrade toward linear scans as dimensionality grows (the
+//! backbone's feature width is 96, far beyond the ~20-dimension regime
+//! where axis-aligned splits prune well). A VP-tree partitions by
+//! *distance to a vantage point* instead of by axis, which often prunes
+//! better on high-dimensional data with cluster structure — exactly the
+//! shape of ENLD's per-class feature sets. The `kdtree` bench compares
+//! all three search structures; both trees return exactly the brute-force
+//! answer.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::kdtree::Neighbor;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index (into the point buffer) of the vantage point.
+    point: usize,
+    /// Median distance from the vantage point to the inside subtree.
+    radius: f32,
+    inside: Option<Box<Node>>,
+    outside: Option<Box<Node>>,
+}
+
+/// Exact k-NN index over points packed in a flat `Vec<f32>`.
+#[derive(Debug, Clone)]
+pub struct VpTree {
+    points: Vec<f32>,
+    dim: usize,
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+/// Max-heap entry mirroring the KD-tree's bounded priority queue.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry(Neighbor);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.dist_sq == other.0.dist_sq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .dist_sq
+            .partial_cmp(&other.0.dist_sq)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+impl VpTree {
+    /// Builds a tree over `points` (flat row-major).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or the buffer is not a multiple of `dim`.
+    pub fn build(points: &[f32], dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(points.len() % dim, 0, "point buffer not a multiple of dim");
+        let n = points.len() / dim;
+        let points = points.to_vec();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let root = Self::build_node(&points, dim, &mut indices);
+        Self { points, dim, root, len: n }
+    }
+
+    fn build_node(points: &[f32], dim: usize, indices: &mut [usize]) -> Option<Box<Node>> {
+        let (&vantage, rest) = indices.split_first()?;
+        if rest.is_empty() {
+            return Some(Box::new(Node { point: vantage, radius: 0.0, inside: None, outside: None }));
+        }
+        let vp = &points[vantage * dim..(vantage + 1) * dim];
+        let dist = |i: usize| -> f32 {
+            points[i * dim..(i + 1) * dim]
+                .iter()
+                .zip(vp)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        let mid = rest.len() / 2;
+        let rest_mut = &mut indices[1..];
+        rest_mut.select_nth_unstable_by(mid, |&a, &b| {
+            dist(a).partial_cmp(&dist(b)).unwrap_or(Ordering::Equal)
+        });
+        let radius = dist(rest_mut[mid]);
+        let (inside, outside) = rest_mut.split_at_mut(mid);
+        Some(Box::new(Node {
+            point: vantage,
+            radius,
+            inside: Self::build_node(points, dim, inside),
+            // `outside` includes the median point itself.
+            outside: Self::build_node(points, dim, outside),
+        }))
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `k` nearest points to `query`, sorted ascending by distance.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != dim`.
+    pub fn k_nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        if k == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        self.search(self.root.as_deref(), query, k, &mut heap);
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
+        out.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    fn search(
+        &self,
+        node: Option<&Node>,
+        query: &[f32],
+        k: usize,
+        heap: &mut BinaryHeap<HeapEntry>,
+    ) {
+        let Some(node) = node else { return };
+        let vp = &self.points[node.point * self.dim..(node.point + 1) * self.dim];
+        let dist_sq: f32 = vp.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+        if heap.len() < k {
+            heap.push(HeapEntry(Neighbor { index: node.point, dist_sq }));
+        } else if dist_sq < heap.peek().expect("heap non-empty").0.dist_sq {
+            heap.pop();
+            heap.push(HeapEntry(Neighbor { index: node.point, dist_sq }));
+        }
+
+        // Triangle-inequality pruning works on true distances, so take
+        // square roots at the boundary test only.
+        let d = dist_sq.sqrt();
+        let r = node.radius.sqrt();
+        let (near, far) =
+            if d < r { (&node.inside, &node.outside) } else { (&node.outside, &node.inside) };
+        self.search(near.as_deref(), query, k, heap);
+        let worst = heap.peek().map(|e| e.0.dist_sq.sqrt()).unwrap_or(f32::INFINITY);
+        if heap.len() < k || (d - r).abs() <= worst {
+            self.search(far.as_deref(), query, k, heap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_k_nearest;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn nearest_on_small_set() {
+        let pts = vec![0.0f32, 0.0, 1.0, 1.0, 5.0, 5.0, -2.0, 0.5];
+        let tree = VpTree::build(&pts, 2);
+        assert_eq!(tree.len(), 4);
+        let hits = tree.k_nearest(&[0.9, 0.9], 2);
+        assert_eq!(hits[0].index, 1);
+        assert_eq!(hits[1].index, 0);
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let tree = VpTree::build(&[], 3);
+        assert!(tree.is_empty());
+        assert!(tree.k_nearest(&[0.0, 0.0, 0.0], 2).is_empty());
+        let tree = VpTree::build(&[1.0, 2.0], 2);
+        assert!(tree.k_nearest(&[0.0, 0.0], 0).is_empty());
+        assert_eq!(tree.k_nearest(&[0.0, 0.0], 5).len(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_in_high_dimensions() {
+        // The raison d'être: exactness must hold where KD-trees struggle.
+        let mut rng = StdRng::seed_from_u64(23);
+        for dim in [16usize, 96] {
+            let n = 300;
+            let pts: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+            let tree = VpTree::build(&pts, dim);
+            for _ in 0..10 {
+                let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+                let k = rng.gen_range(1..6usize);
+                let got: Vec<f32> =
+                    tree.k_nearest(&q, k).iter().map(|h| h.dist_sq).collect();
+                let want: Vec<f32> =
+                    brute_k_nearest(&pts, dim, &q, k).iter().map(|h| h.dist_sq).collect();
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() <= 1e-3 * (1.0 + w), "dim {dim}: {g} vs {w}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vptree_equals_brute(
+            pts in proptest::collection::vec(-50.0f32..50.0, 4..150),
+            qx in -60.0f32..60.0,
+            qy in -60.0f32..60.0,
+            k in 1usize..5,
+        ) {
+            let n = pts.len() / 2;
+            prop_assume!(n > 0);
+            let pts = &pts[..n * 2];
+            let tree = VpTree::build(pts, 2);
+            let got = tree.k_nearest(&[qx, qy], k);
+            let want = brute_k_nearest(pts, 2, &[qx, qy], k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.dist_sq - w.dist_sq).abs() <= 1e-3 * (1.0 + w.dist_sq));
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The data lake: inventory plus an ordered queue of incremental arrivals.
+//!
+//! [`DataLake::build`] performs the paper's experimental setup end to end
+//! (§V-A1/§V-A2): generate the corpus from a preset, corrupt labels with
+//! pair-asymmetric noise at rate `η` (both inventory *and* incremental
+//! data are noisy), split 2:1 into inventory and incremental pool, and
+//! partition the pool into unbalanced incremental datasets, registering
+//! everything in the catalog.
+
+use std::collections::VecDeque;
+
+use enld_datagen::noise::apply_missing_labels;
+use enld_datagen::presets::DatasetPreset;
+use enld_datagen::split::{inventory_incremental, partition_incremental};
+use enld_datagen::{Dataset, NoiseModel};
+
+use crate::catalog::{Catalog, DatasetKind};
+use crate::request::DetectionRequest;
+
+/// Everything needed to stand up a lake for one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct LakeConfig {
+    pub preset: DatasetPreset,
+    /// Pair-asymmetric noise rate η applied to all labels.
+    pub noise_rate: f32,
+    /// Master seed; sub-seeds for generation/noise/splits derive from it.
+    pub seed: u64,
+}
+
+/// The platform state for one run.
+pub struct DataLake {
+    catalog: Catalog,
+    inventory: Dataset,
+    queue: VecDeque<DetectionRequest>,
+    config: LakeConfig,
+}
+
+impl DataLake {
+    /// Builds the lake per the paper's setup (pair-asymmetric noise).
+    pub fn build(config: &LakeConfig) -> Self {
+        Self::build_with_missing(config, 0.0)
+    }
+
+    /// Like [`DataLake::build`], but additionally masks a fraction
+    /// `missing_rate` of labels in every incremental dataset (§V-H).
+    pub fn build_with_missing(config: &LakeConfig, missing_rate: f32) -> Self {
+        let model = NoiseModel::pair_asymmetric(config.preset.classes, config.noise_rate);
+        Self::build_full(config, &model, missing_rate)
+    }
+
+    /// Builds the lake with an arbitrary label-noise model (extension
+    /// experiments evaluate symmetric and random-asymmetric corruption;
+    /// `config.noise_rate` is ignored in favour of `model`).
+    pub fn build_with_noise_model(config: &LakeConfig, model: &NoiseModel) -> Self {
+        Self::build_full(config, model, 0.0)
+    }
+
+    fn build_full(config: &LakeConfig, model: &NoiseModel, missing_rate: f32) -> Self {
+        let clean = config.preset.generate(config.seed);
+        let noisy = model.corrupt(&clean, config.seed.wrapping_add(1));
+        let (mut inventory, pool) = inventory_incremental(&noisy, 2, 1, config.seed.wrapping_add(2));
+        let parts =
+            partition_incremental(&pool, &config.preset.incremental, config.seed.wrapping_add(3));
+
+        let catalog = Catalog::new();
+        catalog.register(&mut inventory, &format!("{}/inventory", config.preset.name), DatasetKind::Inventory);
+        let mut queue = VecDeque::with_capacity(parts.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            let mut part = if missing_rate > 0.0 {
+                apply_missing_labels(&part, missing_rate, config.seed.wrapping_add(100 + i as u64))
+            } else {
+                part
+            };
+            let id = catalog.register(
+                &mut part,
+                &format!("{}/incremental-{i}", config.preset.name),
+                DatasetKind::Incremental,
+            );
+            let entry = catalog.get(id).expect("just registered");
+            queue.push_back(DetectionRequest { dataset_id: id, arrival: entry.arrival, data: part });
+        }
+        Self { catalog, inventory, queue, config: *config }
+    }
+
+    pub fn config(&self) -> &LakeConfig {
+        &self.config
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The (noisy-labelled) inventory `I`.
+    pub fn inventory(&self) -> &Dataset {
+        &self.inventory
+    }
+
+    /// Number of incremental datasets still waiting for detection.
+    pub fn pending_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pops the next arrival, FIFO.
+    pub fn next_request(&mut self) -> Option<DetectionRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Iterates the remaining queue without consuming it.
+    pub fn peek_requests(&self) -> impl Iterator<Item = &DetectionRequest> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> LakeConfig {
+        LakeConfig { preset: DatasetPreset::test_sim(), noise_rate: 0.2, seed: 9 }
+    }
+
+    #[test]
+    fn build_registers_everything() {
+        let lake = DataLake::build(&config());
+        let preset = config().preset;
+        assert_eq!(lake.pending_requests(), preset.incremental.subsets);
+        // Catalog: 1 inventory + subsets incremental.
+        assert_eq!(lake.catalog().len(), 1 + preset.incremental.subsets);
+        // 2:1 split.
+        let total = preset.classes * preset.samples_per_class;
+        assert_eq!(lake.inventory().len(), total * 2 / 3);
+        let queued: usize = lake.peek_requests().map(|r| r.data.len()).sum();
+        assert_eq!(lake.inventory().len() + queued, total);
+    }
+
+    #[test]
+    fn arrivals_are_fifo_and_noisy() {
+        let mut lake = DataLake::build(&config());
+        let first = lake.next_request().expect("non-empty");
+        let second = lake.next_request().expect("non-empty");
+        assert!(first.arrival < second.arrival);
+        // Noise rate is roughly η across the whole pool.
+        let mut noisy = first.data.noisy_indices().len() + second.data.noisy_indices().len();
+        let mut n = first.data.len() + second.data.len();
+        while let Some(r) = lake.next_request() {
+            noisy += r.data.noisy_indices().len();
+            n += r.data.len();
+        }
+        let rate = noisy as f32 / n as f32;
+        assert!((rate - 0.2).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn missing_labels_propagate_to_requests() {
+        let mut lake = DataLake::build_with_missing(&config(), 0.5);
+        let r = lake.next_request().expect("non-empty");
+        let missing = r.data.missing_indices().len() as f32 / r.data.len() as f32;
+        assert!(missing > 0.25 && missing < 0.75, "missing {missing}");
+        // Inventory is never masked.
+        assert!(lake.inventory().missing_indices().is_empty());
+    }
+
+    #[test]
+    fn custom_noise_model_flows_through() {
+        let model = NoiseModel::symmetric(config().preset.classes, 0.3);
+        let lake = DataLake::build_with_noise_model(&config(), &model);
+        // Symmetric noise flips to arbitrary classes, not just successors.
+        let mut non_successor = 0;
+        let mut noisy = 0;
+        for r in lake.peek_requests() {
+            for &i in &r.data.noisy_indices() {
+                noisy += 1;
+                let truth = r.data.true_labels()[i];
+                if r.data.labels()[i] != (truth + 1) % 8 {
+                    non_successor += 1;
+                }
+            }
+        }
+        assert!(noisy > 0);
+        assert!(non_successor > 0, "symmetric noise must hit non-successor classes");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = DataLake::build(&config());
+        let b = DataLake::build(&config());
+        assert_eq!(a.inventory().labels(), b.inventory().labels());
+        let qa: Vec<usize> = a.peek_requests().map(|r| r.data.len()).collect();
+        let qb: Vec<usize> = b.peek_requests().map(|r| r.data.len()).collect();
+        assert_eq!(qa, qb);
+    }
+}

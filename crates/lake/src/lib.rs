@@ -1,0 +1,39 @@
+//! `enld-lake` — the data-lake substrate the paper deploys ENLD into.
+//!
+//! A data platform holds a large *inventory* dataset and continuously
+//! receives *incremental* datasets with noisy-label-detection requests
+//! (paper §I, Fig. 1). This crate models that platform:
+//!
+//! * [`catalog::Catalog`] — thread-safe registry of datasets with stable
+//!   ids and logical arrival timestamps;
+//! * [`lake::DataLake`] — the inventory plus an ordered arrival queue of
+//!   incremental datasets, built from an `enld-datagen` preset;
+//! * [`request::DetectionRequest`]/[`request::DetectionResponse`] — the
+//!   unit of work a detection service consumes and produces;
+//! * [`timing`] — setup/process stopwatches matching the paper's
+//!   time-cost metrics (§V-A3).
+//!
+//! # Example
+//!
+//! ```
+//! use enld_datagen::presets::DatasetPreset;
+//! use enld_lake::lake::{DataLake, LakeConfig};
+//!
+//! let preset = DatasetPreset::test_sim().scaled(0.5);
+//! let lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 1 });
+//! assert!(lake.inventory().len() > 0);
+//! assert_eq!(lake.pending_requests(), preset.incremental.subsets);
+//! ```
+
+pub mod catalog;
+pub mod lake;
+pub mod queueing;
+pub mod request;
+pub mod service;
+pub mod timing;
+
+pub use catalog::{Catalog, DatasetKind};
+pub use lake::{DataLake, LakeConfig};
+pub use request::{DetectionRequest, DetectionResponse};
+pub use service::DetectionService;
+pub use timing::{Stopwatch, TimingReport};

@@ -1,0 +1,216 @@
+//! A background detection worker — the deployment shape of Fig. 1.
+//!
+//! The platform's ingestion side enqueues [`DetectionRequest`]s as
+//! incremental datasets arrive; a dedicated worker thread owns the
+//! detector (detectors are stateful: ENLD accumulates clean-inventory
+//! votes across tasks) and streams [`DetectionResponse`]s back. Requests
+//! are served FIFO, matching the paper's definition of process time as
+//! the waiting time for results (§V-A3).
+//!
+//! The service is generic over a closure so this crate stays below
+//! `enld-core` in the dependency order; wire ENLD in with:
+//!
+//! ```ignore
+//! let service = DetectionService::spawn(move |data| {
+//!     let report = enld.detect(data);
+//!     (report.clean, report.noisy, report.pseudo_labels)
+//! });
+//! ```
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+
+use enld_datagen::Dataset;
+
+use crate::request::{DetectionRequest, DetectionResponse};
+use crate::timing::Stopwatch;
+
+/// Verdict returned by a detector closure: `(clean, noisy, pseudo_labels)`.
+pub type Verdict = (Vec<usize>, Vec<usize>, Vec<(usize, u32)>);
+
+/// Handle to a running detection worker.
+pub struct DetectionService {
+    tx: Option<Sender<DetectionRequest>>,
+    rx: Receiver<DetectionResponse>,
+    worker: Option<JoinHandle<()>>,
+    submitted: usize,
+    received: usize,
+}
+
+impl DetectionService {
+    /// Spawns a worker owning `detector`. `queue_capacity` bounds the
+    /// number of requests waiting in the channel; submits block the
+    /// producer when the backlog is full (back-pressure instead of
+    /// unbounded memory growth).
+    pub fn spawn<F>(queue_capacity: usize, mut detector: F) -> Self
+    where
+        F: FnMut(&Dataset) -> Verdict + Send + 'static,
+    {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        let (tx, rx_req) = bounded::<DetectionRequest>(queue_capacity);
+        let (tx_resp, rx) = bounded::<DetectionResponse>(queue_capacity.max(16));
+        let worker = std::thread::Builder::new()
+            .name("enld-detection-worker".into())
+            .spawn(move || {
+                while let Ok(request) = rx_req.recv() {
+                    let sw = Stopwatch::start();
+                    let (clean, noisy, pseudo_labels) = detector(&request.data);
+                    let response = DetectionResponse {
+                        dataset_id: request.dataset_id,
+                        clean,
+                        noisy,
+                        pseudo_labels,
+                        process_secs: sw.elapsed().as_secs_f64(),
+                    };
+                    if tx_resp.send(response).is_err() {
+                        return; // consumer went away
+                    }
+                }
+            })
+            .expect("spawn detection worker");
+        Self { tx: Some(tx), rx, worker: Some(worker), submitted: 0, received: 0 }
+    }
+
+    /// Enqueues a request; blocks when the queue is full.
+    ///
+    /// # Panics
+    /// Panics if the service was already shut down.
+    pub fn submit(&mut self, request: DetectionRequest) {
+        self.submitted += 1;
+        self.tx
+            .as_ref()
+            .expect("service already shut down")
+            .send(request)
+            .expect("worker thread alive while the sender exists");
+    }
+
+    /// Non-blocking poll for a finished response.
+    pub fn try_next(&mut self) -> Option<DetectionResponse> {
+        match self.rx.try_recv() {
+            Ok(resp) => {
+                self.received += 1;
+                Some(resp)
+            }
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Requests submitted but not yet received back.
+    pub fn in_flight(&self) -> usize {
+        self.submitted - self.received
+    }
+
+    /// Stops accepting requests, drains every outstanding response, joins
+    /// the worker, and returns the drained responses in completion order.
+    pub fn shutdown(mut self) -> Vec<DetectionResponse> {
+        drop(self.tx.take()); // closes the request channel; worker exits
+        let mut out = Vec::with_capacity(self.in_flight());
+        while self.received < self.submitted {
+            match self.rx.recv() {
+                Ok(resp) => {
+                    self.received += 1;
+                    out.push(resp);
+                }
+                Err(_) => break,
+            }
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        out
+    }
+}
+
+impl Drop for DetectionService {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lake::{DataLake, LakeConfig};
+    use enld_datagen::presets::DatasetPreset;
+
+    fn lake() -> DataLake {
+        let preset = DatasetPreset::test_sim().scaled(0.3);
+        DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 55 })
+    }
+
+    /// A toy detector: everything whose observed label is even is "clean".
+    fn toy_verdict(d: &Dataset) -> Verdict {
+        let mut clean = Vec::new();
+        let mut noisy = Vec::new();
+        for i in 0..d.len() {
+            if d.missing_mask()[i] {
+                continue;
+            }
+            if d.labels()[i].is_multiple_of(2) {
+                clean.push(i);
+            } else {
+                noisy.push(i);
+            }
+        }
+        (clean, noisy, Vec::new())
+    }
+
+    #[test]
+    fn serves_a_full_stream_fifo() {
+        let mut lake = lake();
+        let total = lake.pending_requests();
+        let mut service = DetectionService::spawn(8, toy_verdict);
+        let mut sizes = Vec::new();
+        while let Some(req) = lake.next_request() {
+            sizes.push((req.dataset_id, req.data.len(), req.data.missing_indices().len()));
+            service.submit(req);
+        }
+        let responses = service.shutdown();
+        assert_eq!(responses.len(), total);
+        // FIFO order and complete partitions.
+        for ((id, len, missing), resp) in sizes.into_iter().zip(&responses) {
+            assert_eq!(resp.dataset_id, id);
+            assert_eq!(resp.clean.len() + resp.noisy.len(), len - missing);
+            assert!(resp.process_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn try_next_is_nonblocking() {
+        let mut service = DetectionService::spawn(4, toy_verdict);
+        assert!(service.try_next().is_none(), "nothing submitted yet");
+        assert_eq!(service.in_flight(), 0);
+        let mut lake = lake();
+        service.submit(lake.next_request().expect("queued"));
+        assert_eq!(service.in_flight(), 1);
+        // Eventually the response arrives.
+        let mut got = None;
+        for _ in 0..1000 {
+            if let Some(r) = service.try_next() {
+                got = Some(r);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(got.is_some(), "worker must answer");
+        assert_eq!(service.in_flight(), 0);
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_cleanly() {
+        let mut lake = lake();
+        let mut service = DetectionService::spawn(4, toy_verdict);
+        service.submit(lake.next_request().expect("queued"));
+        drop(service); // must not hang or panic
+    }
+
+    #[test]
+    fn shutdown_with_nothing_submitted() {
+        let service = DetectionService::spawn(2, toy_verdict);
+        assert!(service.shutdown().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Setup/process time accounting (paper §V-A3).
+//!
+//! * **Setup time** — one-off system initialisation (training the general
+//!   model, estimating probabilities).
+//! * **Process time** — the waiting time to obtain detection results after
+//!   an incremental dataset arrives; the paper reports this per dataset
+//!   and ENLD's headline claim is a 3.65×–4.97× process-time speedup.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Simple monotonic stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Accumulated timing for one detection method over a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// One-off setup cost in seconds.
+    pub setup_secs: f64,
+    /// Per-incremental-dataset process cost in seconds.
+    pub process_secs: Vec<f64>,
+}
+
+impl TimingReport {
+    pub fn record_setup(&mut self, d: Duration) {
+        self.setup_secs = d.as_secs_f64();
+    }
+
+    pub fn record_process(&mut self, d: Duration) {
+        self.process_secs.push(d.as_secs_f64());
+    }
+
+    /// Mean process time per incremental dataset (0 when none recorded).
+    pub fn mean_process_secs(&self) -> f64 {
+        if self.process_secs.is_empty() {
+            0.0
+        } else {
+            self.process_secs.iter().sum::<f64>() / self.process_secs.len() as f64
+        }
+    }
+
+    /// Total wall time: setup plus all processing.
+    pub fn total_secs(&self) -> f64 {
+        self.setup_secs + self.process_secs.iter().sum::<f64>()
+    }
+
+    /// Process-time speedup of `self` relative to `other`
+    /// (`other.mean / self.mean`); `None` when either mean is zero.
+    pub fn speedup_vs(&self, other: &TimingReport) -> Option<f64> {
+        let mine = self.mean_process_secs();
+        let theirs = other.mean_process_secs();
+        (mine > 0.0 && theirs > 0.0).then(|| theirs / mine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sw.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = TimingReport::default();
+        r.record_setup(Duration::from_secs_f64(2.0));
+        r.record_process(Duration::from_secs_f64(1.0));
+        r.record_process(Duration::from_secs_f64(3.0));
+        assert!((r.mean_process_secs() - 2.0).abs() < 1e-9);
+        assert!((r.total_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mut fast = TimingReport::default();
+        fast.record_process(Duration::from_secs_f64(1.0));
+        let mut slow = TimingReport::default();
+        slow.record_process(Duration::from_secs_f64(4.0));
+        assert!((fast.speedup_vs(&slow).expect("defined") - 4.0).abs() < 1e-9);
+        let empty = TimingReport::default();
+        assert!(fast.speedup_vs(&empty).is_none());
+        assert_eq!(empty.mean_process_secs(), 0.0);
+    }
+}

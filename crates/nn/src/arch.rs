@@ -1,0 +1,127 @@
+//! Named architecture presets.
+//!
+//! The paper evaluates ResNet-110, ResNet-164 and DenseNet-121. Those are
+//! GPU-scale convolutional networks; this reproduction maps them onto
+//! CPU-sized MLPs that preserve the *ordering* the experiments rely on:
+//! ResNet-164 is deeper than ResNet-110, and DenseNet-121 uses dense
+//! (every-block-sees-the-embedding) connectivity instead of plain residual
+//! skips. See DESIGN.md §2 for the substitution rationale.
+
+use serde::{Deserialize, Serialize};
+
+/// Skip-connection topology of the backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// Each block adds a skip from its own input (ResNet-style).
+    Residual,
+    /// Each block additionally adds a skip from the embedding output
+    /// (additive DenseNet-style connectivity).
+    DenselyConnected,
+}
+
+/// Fully-specified model shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Hidden width of every block.
+    pub width: usize,
+    /// Number of two-layer blocks between embedding and head.
+    pub blocks: usize,
+    /// Skip topology.
+    pub connectivity: Connectivity,
+}
+
+/// A named preset that still needs the task shape (`input_dim`, `classes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchPreset {
+    /// Human-readable name used in experiment output.
+    pub name: &'static str,
+    pub width: usize,
+    pub blocks: usize,
+    pub connectivity: Connectivity,
+}
+
+impl ArchPreset {
+    /// CPU stand-in for ResNet-110 (the paper's default backbone).
+    pub fn resnet110_sim() -> Self {
+        Self { name: "resnet110-sim", width: 96, blocks: 5, connectivity: Connectivity::Residual }
+    }
+
+    /// CPU stand-in for ResNet-164 (deeper than ResNet-110).
+    pub fn resnet164_sim() -> Self {
+        Self { name: "resnet164-sim", width: 96, blocks: 8, connectivity: Connectivity::Residual }
+    }
+
+    /// CPU stand-in for DenseNet-121 (dense additive connectivity).
+    pub fn densenet121_sim() -> Self {
+        Self {
+            name: "densenet121-sim",
+            width: 96,
+            blocks: 6,
+            connectivity: Connectivity::DenselyConnected,
+        }
+    }
+
+    /// Small preset for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        Self { name: "tiny", width: 16, blocks: 1, connectivity: Connectivity::Residual }
+    }
+
+    /// Binds the preset to a task shape.
+    pub fn config(&self, input_dim: usize, classes: usize) -> ModelConfig {
+        ModelConfig {
+            input_dim,
+            classes,
+            width: self.width,
+            blocks: self.blocks,
+            connectivity: self.connectivity,
+        }
+    }
+
+    /// Look up a preset by its experiment name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "resnet110-sim" => Some(Self::resnet110_sim()),
+            "resnet164-sim" => Some(Self::resnet164_sim()),
+            "densenet121-sim" => Some(Self::densenet121_sim()),
+            "tiny" => Some(Self::tiny()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_preserve_paper_ordering() {
+        let r110 = ArchPreset::resnet110_sim();
+        let r164 = ArchPreset::resnet164_sim();
+        let d121 = ArchPreset::densenet121_sim();
+        assert!(r164.blocks > r110.blocks, "ResNet-164 must be deeper than ResNet-110");
+        assert_eq!(d121.connectivity, Connectivity::DenselyConnected);
+        assert_eq!(r110.connectivity, Connectivity::Residual);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for preset in
+            [ArchPreset::resnet110_sim(), ArchPreset::resnet164_sim(), ArchPreset::densenet121_sim()]
+        {
+            assert_eq!(ArchPreset::by_name(preset.name), Some(preset));
+        }
+        assert_eq!(ArchPreset::by_name("vgg"), None);
+    }
+
+    #[test]
+    fn config_binds_task_shape() {
+        let cfg = ArchPreset::tiny().config(12, 5);
+        assert_eq!(cfg.input_dim, 12);
+        assert_eq!(cfg.classes, 5);
+        assert_eq!(cfg.width, 16);
+    }
+}

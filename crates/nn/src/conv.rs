@@ -1,0 +1,512 @@
+//! 2-D convolution and pooling layers, plus a small CNN classifier.
+//!
+//! The paper's actual backbones are convolutional (ResNet-110/164,
+//! DenseNet-121 over 28×28–64×64 images). The default ENLD backbone in
+//! this reproduction is the residual MLP in [`crate::model`] — CPU
+//! budgets rule out per-task CNN fine-tuning at benchmark scale — but
+//! the convolutional substrate itself is implemented and tested here so
+//! the image path is real: [`Conv2d`] (stride 1, zero same-padding),
+//! [`MaxPool2`] (2×2, stride 2) and [`Cnn`] (conv–pool ×2 → dense head)
+//! expose the same observable interface ENLD needs (confidences +
+//! penultimate features). See `examples/cnn_backbone.rs`.
+
+use rand::rngs::StdRng;
+
+use crate::init::seeded_rng;
+use crate::loss::softmax_inplace;
+use crate::matrix::Matrix;
+use crate::model::argmax;
+use crate::optimizer::SgdConfig;
+
+/// Image shape `(channels, height, width)`; samples are flattened rows
+/// of length `c·h·w` in CHW order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageShape {
+    pub channels: usize,
+    pub height: usize,
+    pub width: usize,
+}
+
+impl ImageShape {
+    pub fn len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// 2-D convolution, stride 1, zero padding that preserves `h × w`
+/// (`pad = k / 2` with odd kernels).
+#[derive(Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    /// `out_c × in_c × k × k`, row-major.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    vel_w: Vec<f32>,
+    vel_b: Vec<f32>,
+    input: Option<(Vec<f32>, usize, usize, usize)>, // (data, n, h, w)
+}
+
+impl Conv2d {
+    /// He-initialised convolution with an odd kernel size.
+    ///
+    /// # Panics
+    /// Panics when `k` is even (same-padding needs odd kernels).
+    pub fn new(in_c: usize, out_c: usize, k: usize, rng: &mut StdRng) -> Self {
+        assert!(!k.is_multiple_of(2), "same-padding convolution requires an odd kernel");
+        let fan_in = in_c * k * k;
+        let limit = (6.0 / fan_in as f32).sqrt();
+        use rand::Rng;
+        let w = (0..out_c * in_c * k * k).map(|_| rng.gen_range(-limit..limit)).collect();
+        Self {
+            in_c,
+            out_c,
+            k,
+            w,
+            b: vec![0.0; out_c],
+            grad_w: vec![0.0; out_c * in_c * k * k],
+            grad_b: vec![0.0; out_c],
+            vel_w: vec![0.0; out_c * in_c * k * k],
+            vel_b: vec![0.0; out_c],
+            input: None,
+        }
+    }
+
+    #[inline]
+    fn w_at(&self, oc: usize, ic: usize, dy: usize, dx: usize) -> f32 {
+        self.w[((oc * self.in_c + ic) * self.k + dy) * self.k + dx]
+    }
+
+    /// Forward over a batch of `n` CHW images; returns `n × (out_c·h·w)`.
+    pub fn forward(&mut self, x: &[f32], n: usize, h: usize, w: usize, train: bool) -> Vec<f32> {
+        assert_eq!(x.len(), n * self.in_c * h * w, "conv input shape mismatch");
+        let pad = self.k / 2;
+        let mut out = vec![0.0f32; n * self.out_c * h * w];
+        for img in 0..n {
+            let x_base = img * self.in_c * h * w;
+            let o_base = img * self.out_c * h * w;
+            for oc in 0..self.out_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let mut acc = self.b[oc];
+                        for ic in 0..self.in_c {
+                            for dy in 0..self.k {
+                                let sy = y + dy;
+                                if sy < pad || sy - pad >= h {
+                                    continue;
+                                }
+                                let sy = sy - pad;
+                                for dx in 0..self.k {
+                                    let sx = xx + dx;
+                                    if sx < pad || sx - pad >= w {
+                                        continue;
+                                    }
+                                    let sx = sx - pad;
+                                    acc += self.w_at(oc, ic, dy, dx)
+                                        * x[x_base + (ic * h + sy) * w + sx];
+                                }
+                            }
+                        }
+                        out[o_base + (oc * h + y) * w + xx] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.input = Some((x.to_vec(), n, h, w));
+        }
+        out
+    }
+
+    /// Backward from `dout` (same layout as the forward output); returns
+    /// `dx` and accumulates `dW`, `db`.
+    pub fn backward(&mut self, dout: &[f32]) -> Vec<f32> {
+        let (x, n, h, w) = self.input.as_ref().expect("Conv2d::backward before forward");
+        let (n, h, w) = (*n, *h, *w);
+        assert_eq!(dout.len(), n * self.out_c * h * w, "conv grad shape mismatch");
+        let pad = self.k / 2;
+        let mut dx = vec![0.0f32; n * self.in_c * h * w];
+        for img in 0..n {
+            let x_base = img * self.in_c * h * w;
+            let o_base = img * self.out_c * h * w;
+            for oc in 0..self.out_c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let g = dout[o_base + (oc * h + y) * w + xx];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_b[oc] += g;
+                        for ic in 0..self.in_c {
+                            for dy in 0..self.k {
+                                let sy = y + dy;
+                                if sy < pad || sy - pad >= h {
+                                    continue;
+                                }
+                                let sy = sy - pad;
+                                for dx_k in 0..self.k {
+                                    let sx = xx + dx_k;
+                                    if sx < pad || sx - pad >= w {
+                                        continue;
+                                    }
+                                    let sx = sx - pad;
+                                    let xi = x_base + (ic * h + sy) * w + sx;
+                                    self.grad_w
+                                        [((oc * self.in_c + ic) * self.k + dy) * self.k + dx_k] +=
+                                        g * x[xi];
+                                    dx[xi] += g * self.w_at(oc, ic, dy, dx_k);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Applies and clears accumulated gradients.
+    pub fn apply_gradients(&mut self, cfg: &SgdConfig) {
+        cfg.step(&mut self.w, &self.grad_w, &mut self.vel_w, true);
+        let gb = self.grad_b.clone();
+        cfg.step(&mut self.b, &gb, &mut self.vel_b, false);
+        self.grad_w.iter_mut().for_each(|v| *v = 0.0);
+        self.grad_b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// 2×2 max pooling with stride 2 (`h`, `w` must be even).
+#[derive(Clone, Default)]
+pub struct MaxPool2 {
+    /// Argmax positions from the last forward pass.
+    switches: Option<(Vec<usize>, usize, usize, usize, usize)>, // (idx, n, c, h, w)
+}
+
+impl MaxPool2 {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward; returns the pooled buffer (`n × c × h/2 × w/2`).
+    ///
+    /// # Panics
+    /// Panics when `h` or `w` is odd.
+    pub fn forward(&mut self, x: &[f32], n: usize, c: usize, h: usize, w: usize, train: bool) -> Vec<f32> {
+        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "MaxPool2 needs even spatial dims");
+        assert_eq!(x.len(), n * c * h * w, "pool input shape mismatch");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut switches = vec![0usize; out.len()];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                let obase = (img * c + ch) * oh * ow;
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let i = base + (2 * y + dy) * w + 2 * xx + dx;
+                                if x[i] > best {
+                                    best = x[i];
+                                    best_i = i;
+                                }
+                            }
+                        }
+                        out[obase + y * ow + xx] = best;
+                        switches[obase + y * ow + xx] = best_i;
+                    }
+                }
+            }
+        }
+        if train {
+            self.switches = Some((switches, n, c, h, w));
+        }
+        out
+    }
+
+    /// Backward: routes gradients to the argmax positions.
+    pub fn backward(&mut self, dout: &[f32]) -> Vec<f32> {
+        let (switches, n, c, h, w) =
+            self.switches.as_ref().expect("MaxPool2::backward before forward");
+        assert_eq!(dout.len(), switches.len(), "pool grad shape mismatch");
+        let mut dx = vec![0.0f32; n * c * h * w];
+        for (o, &src) in dout.iter().zip(switches.iter()) {
+            dx[src] += o;
+        }
+        dx
+    }
+}
+
+/// A small CNN classifier: `conv(k3) → ReLU → pool → conv(k3) → ReLU →
+/// pool → flatten → dense head`, exposing ENLD's observable interface
+/// (softmax confidences + penultimate features).
+#[derive(Clone)]
+pub struct Cnn {
+    shape: ImageShape,
+    classes: usize,
+    conv1: Conv2d,
+    pool1: MaxPool2,
+    conv2: Conv2d,
+    pool2: MaxPool2,
+    head: crate::dense::Dense,
+    mask1: Option<Vec<bool>>,
+    mask2: Option<Vec<bool>>,
+    feat_len: usize,
+}
+
+impl Cnn {
+    /// Builds the network; `shape.height`/`width` must be divisible by 4.
+    pub fn new(shape: ImageShape, channels: (usize, usize), classes: usize, seed: u64) -> Self {
+        assert!(
+            shape.height.is_multiple_of(4) && shape.width.is_multiple_of(4),
+            "spatial dims must divide by 4"
+        );
+        let mut rng = seeded_rng(seed);
+        let conv1 = Conv2d::new(shape.channels, channels.0, 3, &mut rng);
+        let conv2 = Conv2d::new(channels.0, channels.1, 3, &mut rng);
+        let feat_len = channels.1 * (shape.height / 4) * (shape.width / 4);
+        let head = crate::dense::Dense::new(feat_len, classes, &mut rng);
+        Self {
+            shape,
+            classes,
+            conv1,
+            pool1: MaxPool2::new(),
+            conv2,
+            pool2: MaxPool2::new(),
+            head,
+            mask1: None,
+            mask2: None,
+            feat_len,
+        }
+    }
+
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    pub fn feature_len(&self) -> usize {
+        self.feat_len
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.conv1.param_count() + self.conv2.param_count() + self.head.param_count()
+    }
+
+    fn relu(buf: &mut [f32]) -> Vec<bool> {
+        let mut mask = vec![false; buf.len()];
+        for (v, m) in buf.iter_mut().zip(mask.iter_mut()) {
+            if *v > 0.0 {
+                *m = true;
+            } else {
+                *v = 0.0;
+            }
+        }
+        mask
+    }
+
+    /// Forward over a flat CHW batch; returns `(features, logits)`.
+    pub fn forward(&mut self, x: &[f32], n: usize, train: bool) -> (Matrix, Matrix) {
+        let (h, w) = (self.shape.height, self.shape.width);
+        let mut a = self.conv1.forward(x, n, h, w, train);
+        let mask1 = Self::relu(&mut a);
+        let a = self.pool1.forward(&a, n, self.conv1.out_c, h, w, train);
+        let (h2, w2) = (h / 2, w / 2);
+        let mut b = self.conv2.forward(&a, n, h2, w2, train);
+        let mask2 = Self::relu(&mut b);
+        let b = self.pool2.forward(&b, n, self.conv2.out_c, h2, w2, train);
+        if train {
+            self.mask1 = Some(mask1);
+            self.mask2 = Some(mask2);
+        }
+        let features = Matrix::from_vec(n, self.feat_len, b);
+        let logits = if train {
+            self.head.forward(&features)
+        } else {
+            self.head.forward_inference(&features)
+        };
+        (features, logits)
+    }
+
+    /// Backward from the logits gradient.
+    pub fn backward(&mut self, dlogits: &Matrix) {
+        let dfeat = self.head.backward(dlogits);
+        let mut d = self.pool2.backward(dfeat.data());
+        apply_mask(&mut d, self.mask2.as_ref().expect("backward before forward"));
+        let d = self.conv2.backward(&d);
+        let mut d = self.pool1.backward(&d);
+        apply_mask(&mut d, self.mask1.as_ref().expect("backward before forward"));
+        let _ = self.conv1.backward(&d);
+    }
+
+    pub fn apply_gradients(&mut self, cfg: &SgdConfig) {
+        self.conv1.apply_gradients(cfg);
+        self.conv2.apply_gradients(cfg);
+        self.head.apply_gradients(cfg);
+    }
+
+    /// Softmax confidences for a flat CHW batch (inference).
+    pub fn predict_proba(&mut self, x: &[f32], n: usize) -> Matrix {
+        let (_, mut logits) = self.forward(x, n, false);
+        softmax_inplace(&mut logits);
+        logits
+    }
+
+    /// Accuracy against `labels`.
+    pub fn accuracy(&mut self, x: &[f32], labels: &[u32]) -> f32 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let probs = self.predict_proba(x, labels.len());
+        let hit = (0..labels.len())
+            .filter(|&i| argmax(probs.row(i)) as u32 == labels[i])
+            .count();
+        hit as f32 / labels.len() as f32
+    }
+}
+
+fn apply_mask(buf: &mut [f32], mask: &[bool]) {
+    debug_assert_eq!(buf.len(), mask.len());
+    for (v, &m) in buf.iter_mut().zip(mask) {
+        if !m {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{one_hot, softmax_cross_entropy};
+
+    #[test]
+    fn conv_identity_kernel_preserves_input() {
+        let mut rng = seeded_rng(1);
+        let mut conv = Conv2d::new(1, 1, 3, &mut rng);
+        // Hand-craft an identity kernel: centre 1, rest 0, bias 0.
+        conv.w.iter_mut().for_each(|v| *v = 0.0);
+        conv.w[4] = 1.0; // centre of the 3x3 kernel
+        conv.b[0] = 0.0;
+        let x: Vec<f32> = (0..16).map(|v| v as f32).collect(); // 1 image, 1ch, 4x4
+        let y = conv.forward(&x, 1, 4, 4, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = seeded_rng(2);
+        let mut conv = Conv2d::new(2, 3, 3, &mut rng);
+        let x: Vec<f32> = (0..2 * 4 * 4).map(|v| ((v * 7 % 11) as f32 - 5.0) * 0.1).collect();
+
+        // Loss = 0.5 * sum(y²)  ⇒  dL/dy = y.
+        let loss_of = |conv: &mut Conv2d, x: &[f32]| -> f32 {
+            let y = conv.forward(x, 1, 4, 4, false);
+            y.iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        let y = conv.forward(&x, 1, 4, 4, true);
+        let dx = conv.backward(&y);
+
+        let eps = 1e-3f32;
+        // dX check on a sample of positions.
+        for idx in [0usize, 5, 13, 21, 31] {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let num = (loss_of(&mut conv, &xp) - loss_of(&mut conv, &xm)) / (2.0 * eps);
+            assert!((num - dx[idx]).abs() < 2e-2, "dX[{idx}]: {num} vs {}", dx[idx]);
+        }
+        // dW check on a sample of weights.
+        for widx in [0usize, 7, 20, 40] {
+            let mut cp = conv.clone();
+            cp.w[widx] += eps;
+            let mut cm = conv.clone();
+            cm.w[widx] -= eps;
+            let num = (loss_of(&mut cp, &x) - loss_of(&mut cm, &x)) / (2.0 * eps);
+            assert!(
+                (num - conv.grad_w[widx]).abs() < 2e-2,
+                "dW[{widx}]: {num} vs {}",
+                conv.grad_w[widx]
+            );
+        }
+    }
+
+    #[test]
+    fn pool_selects_maxima_and_routes_gradients() {
+        let mut pool = MaxPool2::new();
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0, 0.0, 0.0,
+            3.0, 4.0, 0.0, 5.0,
+            0.0, 0.0, 7.0, 6.0,
+            0.0, 0.0, 0.0, 0.0f32,
+        ];
+        let y = pool.forward(&x, 1, 1, 4, 4, true);
+        assert_eq!(y, vec![4.0, 5.0, 0.0, 7.0]);
+        let dx = pool.backward(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(dx[5], 1.0); // position of the 4.0
+        assert_eq!(dx[7], 2.0); // position of the 5.0
+        assert_eq!(dx[10], 4.0); // position of the 7.0
+        assert_eq!(dx.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    /// Renders a tiny two-class image problem: class 0 bright on the
+    /// left half, class 1 bright on the right half.
+    fn image_data(n_per: usize) -> (Vec<f32>, Vec<u32>, ImageShape) {
+        let shape = ImageShape { channels: 1, height: 8, width: 8 };
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..2 * n_per {
+            let c = i % 2;
+            for y in 0..8 {
+                for x in 0..8 {
+                    let lit = if c == 0 { x < 4 } else { x >= 4 };
+                    let jitter = ((i * 31 + y * 7 + x) as f32 * 0.61).sin() * 0.1;
+                    xs.push(if lit { 1.0 + jitter } else { jitter });
+                }
+            }
+            labels.push(c as u32);
+        }
+        (xs, labels, shape)
+    }
+
+    #[test]
+    fn cnn_learns_a_spatial_task() {
+        let (xs, labels, shape) = image_data(20);
+        let mut cnn = Cnn::new(shape, (4, 8), 2, 3);
+        let cfg = SgdConfig { lr: 0.02, momentum: 0.9, weight_decay: 1e-4 };
+        let targets = one_hot(&labels, 2);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..25 {
+            let (_, logits) = cnn.forward(&xs, labels.len(), true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+            cnn.backward(&grad);
+            cnn.apply_gradients(&cfg);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.2, "loss {last_loss}");
+        assert!(cnn.accuracy(&xs, &labels) > 0.95);
+        // Features have the advertised width.
+        let (features, _) = cnn.forward(&xs[..shape.len()], 1, false);
+        assert_eq!(features.cols(), cnn.feature_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernels_rejected() {
+        let mut rng = seeded_rng(1);
+        let _ = Conv2d::new(1, 1, 4, &mut rng);
+    }
+}

@@ -1,0 +1,118 @@
+//! Zero-copy views over flat feature stores.
+//!
+//! ENLD repeatedly trains on *subsets* of a large inventory (contrastive
+//! sample sets change every iteration), so the trainer works on index lists
+//! into a single flat `&[f32]` buffer rather than copying sample vectors.
+
+use crate::matrix::Matrix;
+
+/// Borrowed view of a labelled dataset: `xs.len() == labels.len() * dim`.
+#[derive(Debug, Clone, Copy)]
+pub struct DataRef<'a> {
+    xs: &'a [f32],
+    labels: &'a [u32],
+    dim: usize,
+}
+
+impl<'a> DataRef<'a> {
+    /// Creates a view.
+    ///
+    /// # Panics
+    /// Panics if `xs.len() != labels.len() * dim` or `dim == 0`.
+    pub fn new(xs: &'a [f32], labels: &'a [u32], dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(xs.len(), labels.len() * dim, "feature buffer / label count mismatch");
+        Self { xs, labels, dim }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature vector of sample `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        &self.xs[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Observed label of sample `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// All observed labels.
+    pub fn labels(&self) -> &'a [u32] {
+        self.labels
+    }
+
+    /// Copies the rows named by `indices` into a dense batch matrix.
+    pub fn gather(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(indices.len(), self.dim, data)
+    }
+
+    /// Labels of the rows named by `indices`.
+    pub fn gather_labels(&self, indices: &[usize]) -> Vec<u32> {
+        indices.iter().map(|&i| self.labels[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_accessors() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let labels = vec![0u32, 1, 2];
+        let d = DataRef::new(&xs, &labels, 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.label(2), 2);
+    }
+
+    #[test]
+    fn gather_preserves_order_and_repeats() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let labels = vec![7u32, 8, 9];
+        let d = DataRef::new(&xs, &labels, 2);
+        let batch = d.gather(&[2, 0, 2]);
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.row(0), &[5.0, 6.0]);
+        assert_eq!(batch.row(1), &[1.0, 2.0]);
+        assert_eq!(batch.row(2), &[5.0, 6.0]);
+        assert_eq!(d.gather_labels(&[2, 0, 2]), vec![9, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_shape_panics() {
+        let xs = vec![1.0; 5];
+        let labels = vec![0u32; 2];
+        let _ = DataRef::new(&xs, &labels, 2);
+    }
+
+    #[test]
+    fn empty_view() {
+        let xs: Vec<f32> = vec![];
+        let labels: Vec<u32> = vec![];
+        let d = DataRef::new(&xs, &labels, 3);
+        assert!(d.is_empty());
+        assert_eq!(d.gather(&[]).rows(), 0);
+    }
+}

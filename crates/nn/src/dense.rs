@@ -1,0 +1,195 @@
+//! Fully-connected layer with cached activations for backprop.
+
+use rand::rngs::StdRng;
+
+use crate::init::he_uniform;
+use crate::matrix::Matrix;
+use crate::optimizer::SgdConfig;
+
+/// `y = x·W + b` with gradient accumulation and SGD state.
+///
+/// `W` is stored `(in_dim × out_dim)` so the forward pass is a plain
+/// row-major matmul over a batch `(n × in_dim)`.
+#[derive(Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    vel_w: Vec<f32>,
+    vel_b: Vec<f32>,
+    /// Input cached by the most recent forward pass (needed for `dW`).
+    input: Option<Matrix>,
+}
+
+impl Dense {
+    /// He-initialised layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            w: he_uniform(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            vel_w: vec![0.0; in_dim * out_dim],
+            vel_b: vec![0.0; out_dim],
+            input: None,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass caching the input for the next backward call.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_bias(&self.b);
+        self.input = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward pass (no caching, `&self`).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_bias(&self.b);
+        y
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dX`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.input.as_ref().expect("Dense::backward called before forward");
+        // dW = xᵀ · dy
+        let dw = x.matmul_at(dy);
+        self.grad_w.add_assign(&dw);
+        // db = column sums of dy
+        for r in 0..dy.rows() {
+            for (gb, &d) in self.grad_b.iter_mut().zip(dy.row(r)) {
+                *gb += d;
+            }
+        }
+        // dX = dy · Wᵀ
+        dy.matmul_bt(&self.w)
+    }
+
+    /// Applies accumulated gradients with `cfg` and clears them.
+    pub fn apply_gradients(&mut self, cfg: &SgdConfig) {
+        cfg.step(self.w.data_mut(), self.grad_w.data(), &mut self.vel_w, true);
+        // Biases are conventionally exempt from weight decay.
+        let gb = self.grad_b.clone();
+        cfg.step(&mut self.b, &gb, &mut self.vel_b, false);
+        self.zero_gradients();
+    }
+
+    /// Clears accumulated gradients without applying them.
+    pub fn zero_gradients(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Resets momentum buffers (used when a fine-tune run starts from a
+    /// snapshot of the general model).
+    pub fn reset_momentum(&mut self) {
+        self.vel_w.iter_mut().for_each(|v| *v = 0.0);
+        self.vel_b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.data().len() + self.b.len()
+    }
+
+    /// Borrow the weight matrix and bias (for persistence/inspection).
+    pub fn weights(&self) -> (&Matrix, &[f32]) {
+        (&self.w, &self.b)
+    }
+
+    /// Replaces the trained parameters (persistence restore). Optimiser
+    /// state is reset — a freshly loaded model starts momentum-free.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn set_weights(&mut self, w: Matrix, b: Vec<f32>) {
+        assert_eq!((w.rows(), w.cols()), (self.w.rows(), self.w.cols()), "weight shape mismatch");
+        assert_eq!(b.len(), self.b.len(), "bias length mismatch");
+        self.w = w;
+        self.b = b;
+        self.zero_gradients();
+        self.reset_momentum();
+        self.input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    /// Numerically checks dW and dX on a tiny layer via central differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = seeded_rng(3);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.3, -0.7]);
+
+        // Loss = sum(y^2)/2 so dL/dy = y.
+        let loss_of = |layer: &Dense, x: &Matrix| -> f32 {
+            let y = layer.forward_inference(x);
+            y.data().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+
+        let y = layer.forward(&x);
+        let dx = layer.backward(&y);
+
+        // Check dX numerically.
+        let eps = 1e-3f32;
+        for idx in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss_of(&layer, &xp) - loss_of(&layer, &xm)) / (2.0 * eps);
+            let ana = dx.data()[idx];
+            assert!((num - ana).abs() < 1e-2, "dX[{idx}]: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn apply_gradients_changes_weights_and_clears() {
+        let mut rng = seeded_rng(5);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let before = layer.weights().0.clone();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = layer.forward(&x);
+        let _ = layer.backward(&y);
+        layer.apply_gradients(&SgdConfig::default());
+        assert_ne!(layer.weights().0.data(), before.data());
+        // Gradients are cleared: a second apply with zero grads only decays.
+        let after_first = layer.weights().0.clone();
+        layer.apply_gradients(&SgdConfig { lr: 0.0, momentum: 0.0, weight_decay: 0.0 });
+        assert_eq!(layer.weights().0.data(), after_first.data());
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward() {
+        let mut rng = seeded_rng(11);
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let x = Matrix::from_vec(2, 4, vec![0.1; 8]);
+        let a = layer.forward(&x);
+        let b = layer.forward_inference(&x);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = seeded_rng(1);
+        let layer = Dense::new(10, 7, &mut rng);
+        assert_eq!(layer.param_count(), 10 * 7 + 7);
+    }
+}

@@ -1,0 +1,152 @@
+//! Softmax and cross-entropy with soft targets.
+//!
+//! Soft targets are required because Mixup (paper Eq. 1–2) produces convex
+//! label combinations; the hard-label case is just a one-hot soft target.
+
+use crate::matrix::Matrix;
+
+/// Numerically-stable in-place row softmax.
+pub fn softmax_inplace(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// One-hot encodes `labels` into a `(n × classes)` target matrix.
+///
+/// # Panics
+/// Panics if any label is `>= classes`.
+pub fn one_hot(labels: &[u32], classes: usize) -> Matrix {
+    let mut t = Matrix::zeros(labels.len(), classes);
+    for (r, &l) in labels.iter().enumerate() {
+        assert!((l as usize) < classes, "label {l} out of range for {classes} classes");
+        t.row_mut(r)[l as usize] = 1.0;
+    }
+    t
+}
+
+/// Mean cross-entropy between `softmax(logits)` and soft `targets`, plus
+/// the gradient w.r.t. the logits (`(p − t) / n`).
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.rows(), "batch mismatch");
+    assert_eq!(logits.cols(), targets.cols(), "class mismatch");
+    let n = logits.rows().max(1) as f32;
+    let mut probs = logits.clone();
+    softmax_inplace(&mut probs);
+
+    let mut loss = 0.0;
+    for r in 0..probs.rows() {
+        for (&p, &t) in probs.row(r).iter().zip(targets.row(r)) {
+            if t > 0.0 {
+                loss -= t * p.max(1e-12).ln();
+            }
+        }
+    }
+    loss /= n;
+
+    let mut grad = probs;
+    for r in 0..grad.rows() {
+        for (g, &t) in grad.row_mut(r).iter_mut().zip(targets.row(r)) {
+            *g = (*g - t) / n;
+        }
+    }
+    (loss, grad)
+}
+
+/// Shannon entropy of one probability row (nats). Used by the
+/// entropy sampling policy (paper §V-A5).
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        softmax_inplace(&mut m);
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(m.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // Largest logit gets the largest probability.
+        assert!(m.row(0)[2] > m.row(0)[1] && m.row(0)[1] > m.row(0)[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let mut b = Matrix::from_vec(1, 3, vec![1001.0, 1002.0, 1003.0]);
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_vec(1, 3, vec![20.0, 0.0, 0.0]);
+        let targets = one_hot(&[0], 3);
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+        assert!(loss < 1e-3, "loss {loss}");
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-3));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.3, 0.1, 1.0, 0.0, -1.0]);
+        let targets = Matrix::from_vec(2, 3, vec![0.7, 0.2, 0.1, 0.0, 1.0, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for idx in 0..logits.data().len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &targets);
+            let (loss_m, _) = softmax_cross_entropy(&lm, &targets);
+            let num = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-3,
+                "grad[{idx}]: numeric {num} vs analytic {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn one_hot_shape() {
+        let t = one_hot(&[2, 0], 3);
+        assert_eq!(t.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(t.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_out_of_range() {
+        let _ = one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(entropy(&[1.0, 0.0, 0.0]) < 1e-9);
+        let uniform = entropy(&[1.0 / 3.0; 3]);
+        assert!((uniform - 3.0f32.ln()).abs() < 1e-5);
+        // Uniform maximises entropy.
+        assert!(uniform > entropy(&[0.5, 0.3, 0.2]));
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal row-major dense matrix used by every layer.
+//!
+//! The workloads here are small-batch MLP passes (batch ≤ 256, width ≤ 512),
+//! so a straightforward ikj-ordered matmul with a flat `Vec<f32>` backing
+//! store is both cache-friendly and easy for LLVM to vectorise; no BLAS
+//! binding is needed at this scale.
+
+use std::fmt;
+
+/// Row-major dense `f32` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch: {}x{} vs {}", rows, cols, data.len());
+        Self { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reset every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self @ other` — (m×k) · (k×n) → (m×n).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner-dim mismatch");
+        let (m, n) = (self.rows, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // ikj order: the innermost loop walks contiguous rows of both
+        // `other` and `out`, which is the cache-friendly layout for
+        // row-major storage.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // ReLU outputs are frequently exactly zero.
+                }
+                let b_row = other.row(kk);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` — (k×m)ᵀ·(k×n) → (m×n), without materialising the
+    /// transpose. Used for weight gradients (`xᵀ · dy`).
+    pub fn matmul_at(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_at outer-dim mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` — (m×k)·(n×k)ᵀ → (m×n), without materialising the
+    /// transpose. Used for input gradients (`dy · Wᵀ`).
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_bt inner-dim mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `bias` (length = cols) to every row in place.
+    pub fn add_row_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// In-place ReLU; returns the activation mask needed for backprop.
+    pub fn relu_inplace(&mut self) -> Vec<bool> {
+        let mut mask = vec![false; self.data.len()];
+        for (v, m) in self.data.iter_mut().zip(mask.iter_mut()) {
+            if *v > 0.0 {
+                *m = true;
+            } else {
+                *v = 0.0;
+            }
+        }
+        mask
+    }
+
+    /// Zeroes elements where `mask` is false (ReLU backward).
+    pub fn apply_mask(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.data.len(), "mask length mismatch");
+        for (v, &m) in self.data.iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Frobenius norm; handy in tests and gradient diagnostics.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let id = m(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&id).data(), a.data());
+        assert_eq!(id.matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
+        let b = m(3, 2, &[0.5, 1.5, 2.5, 3.5, 4.5, 5.5]); // 3x2
+        let at = m(2, 3, &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        let want = at.matmul(&b);
+        let got = a.matmul_at(&b);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 2x3
+        let b = m(4, 3, &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0]); // 4x3
+        let bt = m(3, 4, &[1.0, 0.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0, 2.0, 1.0]);
+        let want = a.matmul(&bt);
+        let got = a.matmul_bt(&b);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn bias_and_scale() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        a.add_row_bias(&[10.0, 20.0]);
+        assert_eq!(a.data(), &[11.0, 22.0, 13.0, 24.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[5.5, 11.0, 6.5, 12.0]);
+    }
+
+    #[test]
+    fn relu_mask_roundtrip() {
+        let mut a = m(1, 4, &[-1.0, 2.0, 0.0, 3.0]);
+        let mask = a.relu_inplace();
+        assert_eq!(a.data(), &[0.0, 2.0, 0.0, 3.0]);
+        assert_eq!(mask, vec![false, true, false, true]);
+        let mut g = m(1, 4, &[5.0, 5.0, 5.0, 5.0]);
+        g.apply_mask(&mask);
+        assert_eq!(g.data(), &[0.0, 5.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner-dim mismatch")]
+    fn matmul_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,228 @@
+//! Model persistence.
+//!
+//! A deployed platform trains its general model once (the paper's setup
+//! times run to hours) and must keep it across process restarts; this
+//! module serialises an [`Mlp`]'s configuration and trained tensors to a
+//! self-describing JSON document. Optimiser state (momentum, gradient
+//! buffers) is deliberately *not* persisted: a restored model starts a
+//! fresh fine-tune, matching how [`crate::model::Mlp::reset_momentum`] is
+//! used before every detection task.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::ModelConfig;
+use crate::matrix::Matrix;
+use crate::model::Mlp;
+
+/// Format version; bumped on breaking layout changes.
+const FORMAT_VERSION: u32 = 1;
+
+/// Serialisable snapshot of a trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    version: u32,
+    config: ModelConfig,
+    tensors: Vec<SavedTensor>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SavedTensor {
+    name: String,
+    rows: usize,
+    cols: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+/// Errors from loading a saved model.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Format(msg) => write!(f, "invalid saved model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl SavedModel {
+    /// Snapshots a trained model.
+    pub fn from_model(model: &Mlp) -> Self {
+        let tensors = model
+            .export_tensors()
+            .into_iter()
+            .map(|(name, w, b)| SavedTensor {
+                name,
+                rows: w.rows(),
+                cols: w.cols(),
+                weights: w.data().to_vec(),
+                bias: b,
+            })
+            .collect();
+        Self { version: FORMAT_VERSION, config: *model.config(), tensors }
+    }
+
+    /// Reconstructs the model.
+    ///
+    /// # Errors
+    /// Returns [`PersistError::Format`] on version or shape mismatch.
+    pub fn into_model(self) -> Result<Mlp, PersistError> {
+        if self.version != FORMAT_VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported format version {} (expected {FORMAT_VERSION})",
+                self.version
+            )));
+        }
+        let mut model = Mlp::new(&self.config, 0);
+        let expected = model.export_tensors().len();
+        if self.tensors.len() != expected {
+            return Err(PersistError::Format(format!(
+                "expected {expected} tensors, found {}",
+                self.tensors.len()
+            )));
+        }
+        let mut tensors = Vec::with_capacity(self.tensors.len());
+        for t in self.tensors {
+            if t.weights.len() != t.rows * t.cols {
+                return Err(PersistError::Format(format!(
+                    "tensor '{}' claims {}x{} but holds {} values",
+                    t.name,
+                    t.rows,
+                    t.cols,
+                    t.weights.len()
+                )));
+            }
+            tensors.push((t.name, Matrix::from_vec(t.rows, t.cols, t.weights), t.bias));
+        }
+        // `import_tensors` panics on name/shape mismatches; map that to a
+        // structured error so callers can handle hostile files.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            model.import_tensors(tensors);
+            model
+        }));
+        result.map_err(|_| PersistError::Format("tensor name/shape mismatch".to_owned()))
+    }
+}
+
+/// Saves `model` as pretty JSON at `path`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_model(model: &Mlp, path: &Path) -> Result<(), PersistError> {
+    let saved = SavedModel::from_model(model);
+    let json = serde_json::to_string(&saved)
+        .map_err(|e| PersistError::Format(format!("serialisation failed: {e}")))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a model previously written by [`save_model`].
+///
+/// # Errors
+/// Returns [`PersistError`] on I/O failure or malformed content.
+pub fn load_model(path: &Path) -> Result<Mlp, PersistError> {
+    let text = fs::read_to_string(path)?;
+    let saved: SavedModel =
+        serde_json::from_str(&text).map_err(|e| PersistError::Format(e.to_string()))?;
+    saved.into_model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchPreset;
+    use crate::data::DataRef;
+    use crate::trainer::{TrainConfig, Trainer};
+
+    fn trained_model() -> (Mlp, Vec<f32>, Vec<u32>) {
+        let dim = 4;
+        let n = 60;
+        let mut xs = vec![0.0f32; n * dim];
+        let mut labels = vec![0u32; n];
+        for i in 0..n {
+            let c = i % 3;
+            for d in 0..dim {
+                xs[i * dim + d] = c as f32 * 2.0 + ((i * 3 + d) as f32 * 0.7).sin() * 0.2;
+            }
+            labels[i] = c as u32;
+        }
+        let mut model = Mlp::new(&ArchPreset::tiny().config(dim, 3), 5);
+        let data = DataRef::new(&xs, &labels, dim);
+        let mut trainer = Trainer::new(TrainConfig { epochs: 15, ..Default::default() }, 5);
+        trainer.fit(&mut model, data, None);
+        (model, xs, labels)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (model, xs, labels) = trained_model();
+        let data = DataRef::new(&xs, &labels, 4);
+        let before = model.predict_proba(data);
+
+        let restored = SavedModel::from_model(&model).into_model().expect("round trip");
+        let after = restored.predict_proba(data);
+        assert_eq!(before.data(), after.data());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, xs, labels) = trained_model();
+        let data = DataRef::new(&xs, &labels, 4);
+        let path = std::env::temp_dir().join(format!("enld_model_{}.json", std::process::id()));
+        save_model(&model, &path).expect("save");
+        let restored = load_model(&path).expect("load");
+        assert_eq!(model.predict_proba(data).data(), restored.predict_proba(data).data());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (model, _, _) = trained_model();
+        let mut saved = SavedModel::from_model(&model);
+        saved.version = 99;
+        let Err(err) = saved.into_model() else { panic!("version mismatch must fail") };
+        match err {
+            PersistError::Format(msg) => assert!(msg.contains("version")),
+            other => panic!("expected format error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_shape_is_rejected() {
+        let (model, _, _) = trained_model();
+        let mut saved = SavedModel::from_model(&model);
+        saved.tensors[0].weights.pop();
+        assert!(matches!(saved.into_model().err(), Some(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn missing_tensor_is_rejected() {
+        let (model, _, _) = trained_model();
+        let mut saved = SavedModel::from_model(&model);
+        saved.tensors.pop();
+        assert!(matches!(saved.into_model().err(), Some(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_model(Path::new("/nonexistent/enld.json")).expect_err("missing file");
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,92 @@
+//! The convolutional substrate on image-mode data: trains the `Cnn`
+//! backbone on a noisy-labelled synthetic image task and uses its
+//! confidences for detection — the paper's actual backbone family,
+//! demonstrated end to end. (ENLD's benchmark backbone stays the residual
+//! MLP for CPU budget; see `enld_nn::conv` docs.)
+//!
+//! ```text
+//! cargo run --release -p enld-examples --bin cnn_backbone
+//! ```
+
+use enld_core::metrics::detection_metrics;
+use enld_datagen::images::ImageSpec;
+use enld_datagen::noise::NoiseModel;
+use enld_nn::conv::{Cnn, ImageShape};
+use enld_nn::loss::{one_hot, softmax_cross_entropy};
+use enld_nn::model::argmax;
+use enld_nn::optimizer::SgdConfig;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    // A 6-class image task with 20% pair-asymmetric label noise.
+    let spec = ImageSpec::small();
+    let spec = enld_datagen::images::ImageSpec { noise: 0.25, ..spec };
+    let clean = spec.generate(60, 11);
+    let noisy = NoiseModel::pair_asymmetric(spec.classes, 0.2).corrupt(&clean, 12);
+    println!(
+        "image task: {} samples of {}x{}, {} truly mislabelled",
+        noisy.len(),
+        spec.height,
+        spec.width,
+        noisy.noisy_indices().len()
+    );
+
+    // Train the CNN on the noisy labels.
+    let shape = ImageShape { channels: 1, height: spec.height, width: spec.width };
+    let mut cnn = Cnn::new(shape, (8, 16), spec.classes, 7);
+    println!("cnn backbone: {} parameters", cnn.param_count());
+    // Early stopping matters: trained to convergence the CNN memorises
+    // the noisy labels and flags nothing (exactly the failure mode that
+    // motivates ENLD's fine-grained detection over the raw Default rule).
+    let sgd = SgdConfig { lr: 0.01, momentum: 0.9, weight_decay: 1e-4 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut order: Vec<usize> = (0..noisy.len()).collect();
+    let dim = spec.dim();
+    for epoch in 0..12 {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(32) {
+            let mut xs = Vec::with_capacity(chunk.len() * dim);
+            let mut labels = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                xs.extend_from_slice(noisy.row(i));
+                labels.push(noisy.labels()[i]);
+            }
+            let targets = one_hot(&labels, spec.classes);
+            let (_, logits) = cnn.forward(&xs, chunk.len(), true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+            cnn.backward(&grad);
+            cnn.apply_gradients(&sgd);
+            epoch_loss += loss;
+            batches += 1;
+        }
+        if epoch % 4 == 3 {
+            println!("epoch {:>2}: loss {:.4}", epoch + 1, epoch_loss / batches as f32);
+        }
+    }
+
+    // Default-style detection from the CNN's confidences.
+    let probs = cnn.predict_proba(noisy.xs(), noisy.len());
+    let detected: Vec<usize> = (0..noisy.len())
+        .filter(|&i| argmax(probs.row(i)) as u32 != noisy.labels()[i])
+        .collect();
+    let m = detection_metrics(&detected, &noisy.noisy_indices(), noisy.len());
+    println!(
+        "confidence-based detection with the CNN backbone: \
+         {} flagged — precision {:.3}, recall {:.3}, F1 {:.3}",
+        detected.len(),
+        m.precision,
+        m.recall,
+        m.f1
+    );
+    println!(
+        "true-label accuracy of the trained CNN: {:.3}",
+        {
+            let mut cnn = cnn.clone();
+            cnn.accuracy(noisy.xs(), noisy.true_labels())
+        }
+    );
+    println!("(base rate of random flagging at 20% noise would score F1 ≈ 0.2)");
+}

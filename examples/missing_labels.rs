@@ -1,0 +1,45 @@
+//! Missing-label handling (paper §V-H): a batch arrives with part of its
+//! labels absent; ENLD pseudo-labels the unlabelled part by voting across
+//! fine-tune steps while still detecting noise in the labelled part.
+//!
+//! ```text
+//! cargo run --release -p enld-examples --bin missing_labels
+//! ```
+
+use enld_core::{
+    config::EnldConfig,
+    detector::Enld,
+    metrics::{detection_metrics, pseudo_label_accuracy},
+};
+use enld_datagen::presets::DatasetPreset;
+use enld_lake::lake::{DataLake, LakeConfig};
+
+fn main() {
+    let preset = DatasetPreset::test_sim();
+    for missing_rate in [0.25f32, 0.5, 0.75] {
+        let mut lake = DataLake::build_with_missing(
+            &LakeConfig { preset, noise_rate: 0.2, seed: 5 },
+            missing_rate,
+        );
+        let mut config = EnldConfig::for_preset(&preset);
+        config.iterations = 6;
+        let mut enld = Enld::init(lake.inventory(), &config);
+
+        let batch = lake.next_request().expect("queued").data;
+        let report = enld.detect(&batch);
+
+        let labelled = batch.len() - batch.missing_indices().len();
+        let det = detection_metrics(&report.noisy, &batch.noisy_indices(), batch.len());
+        let pseudo_acc = pseudo_label_accuracy(&report.pseudo_labels, batch.true_labels());
+        println!(
+            "missing {:>3.0}%: {labelled:>3} labelled / {:>3} unlabelled — \
+             detection F1 {:.3}, pseudo-label accuracy {:.3}",
+            missing_rate * 100.0,
+            batch.missing_indices().len(),
+            det.f1,
+            pseudo_acc,
+        );
+    }
+    println!("\nas in the paper's Fig. 13a: more missing labels degrade both the");
+    println!("pseudo-labels and the noisy-label detection on the remaining part.");
+}

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Summarise results/*.json into the EXPERIMENTS.md tables.
+
+Usage: python3 scripts/summarize_results.py [results_dir]
+
+Prints per-artifact summaries (average F1 per method, speedups, trajectory
+endpoints) from the JSON payloads the `repro` harness writes, so the
+numbers in EXPERIMENTS.md can be regenerated mechanically.
+"""
+import json
+import sys
+from pathlib import Path
+
+RESULTS = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+
+
+def load(fid):
+    path = RESULTS / f"{fid}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())["data"]
+
+
+def by_method(rows):
+    out = {}
+    for r in rows:
+        out.setdefault(r["method"], []).append(r)
+    return out
+
+
+def avg(rows, key):
+    return sum(r[key] for r in rows) / len(rows)
+
+
+def main():
+    for fid in ("fig4", "fig5", "fig7"):
+        rows = load(fid)
+        if not rows:
+            continue
+        print(f"== {fid} ({rows[0]['dataset']}) — avg over noise rates ==")
+        methods = by_method(rows)
+        for m, rs in methods.items():
+            print(
+                f"  {m:>10}: F1={avg(rs, 'f1'):.4f} P={avg(rs, 'precision'):.3f} "
+                f"R={avg(rs, 'recall'):.3f} process={avg(rs, 'process_secs'):.2f}s "
+                f"setup={rs[0]['setup_secs']:.1f}s"
+            )
+        if "ENLD" in methods and "Topofilter" in methods:
+            s = avg(methods["Topofilter"], "process_secs") / avg(methods["ENLD"], "process_secs")
+            print(f"  speedup ENLD vs Topofilter: {s:.2f}x")
+
+    rows = load("fig6")
+    if rows:
+        print("== fig6 — per-backbone ==")
+        for arch in ("densenet121-sim", "resnet164-sim"):
+            enld = [r for r in rows if r["method"] == f"ENLD/{arch}"]
+            topo = [r for r in rows if r["method"] == f"Topofilter/{arch}"]
+            if enld and topo:
+                s = avg(topo, "process_secs") / avg(enld, "process_secs")
+                print(
+                    f"  {arch}: ENLD F1={avg(enld, 'f1'):.4f} "
+                    f"Topofilter F1={avg(topo, 'f1'):.4f} speedup={s:.2f}x"
+                )
+
+    rows = load("fig9")
+    if rows:
+        print("== fig9 — trajectory endpoints ==")
+        for noise in sorted({round(r["noise"], 1) for r in rows}):
+            pts = [r for r in rows if round(r["noise"], 1) == noise]
+            first, last = pts[0], pts[-1]
+            print(
+                f"  eta={noise}: F1 {first['f1']:.3f}->{last['f1']:.3f}  "
+                f"R {first['recall']:.3f}->{last['recall']:.3f}  "
+                f"|A| {first['mean_ambiguous']:.1f}->{last['mean_ambiguous']:.1f}"
+            )
+
+    rows = load("fig10")
+    if rows:
+        print("== fig10 — policy avg F1 ==")
+        for m, rs in by_method(rows).items():
+            print(f"  {m:>14}: {avg(rs, 'f1'):.4f}")
+
+    rows = load("fig11")
+    if rows:
+        print("== fig11/fig12 — k sweep ==")
+        for m, rs in by_method(rows).items():
+            eta04 = [r for r in rs if round(r["noise"], 1) == 0.4]
+            print(
+                f"  {m}: avgF1={avg(rs, 'f1'):.4f} F1@0.4={avg(eta04, 'f1'):.4f} "
+                f"process={avg(rs, 'process_secs'):.2f}s"
+            )
+
+    rows = load("fig13a")
+    if rows:
+        print("== fig13a — missing labels ==")
+        for r in rows:
+            print(
+                f"  missing={r['missing_rate']:.2f}: pseudoF1={r['pseudo_label_f1']:.4f} "
+                f"detF1={r['detection_f1']:.4f}"
+            )
+
+    rows = load("fig14")
+    if rows:
+        print("== fig14 — ablations ==")
+        for m, rs in by_method(rows).items():
+            eta01 = [r for r in rs if round(r["noise"], 1) == 0.1]
+            eta04 = [r for r in rs if round(r["noise"], 1) == 0.4]
+            print(
+                f"  {m:>12}: avgF1={avg(rs, 'f1'):.4f} F1@0.1={avg(eta01, 'f1'):.4f} "
+                f"F1@0.4={avg(eta04, 'f1'):.4f} process={avg(rs, 'process_secs'):.2f}s"
+            )
+
+    rows = load("table2")
+    if rows:
+        print("== table2 — model update ==")
+        for r in rows:
+            print(
+                f"  eta={r['noise']:.1f}: origin {r['origin_acc'] * 100:.2f}% -> "
+                f"updated {r['updated_acc'] * 100:.2f}% (clean used {r['clean_samples_used']})"
+            )
+
+    rows = load("headline")
+    if rows:
+        print("== headline ==")
+        for name, enld_f1, topo_f1, speedup in rows:
+            print(f"  {name}: ENLD {enld_f1:.4f} vs Topofilter {topo_f1:.4f}, {speedup:.2f}x")
+
+    rows = load("ext-noise")
+    if rows:
+        print("== ext-noise ==")
+        for r in rows:
+            print(f"  {r['noise_model']:>18} {r['method']:>8}: F1={r['f1']:.4f}")
+
+    rows = load("ext-queue")
+    if rows:
+        print("== ext-queue ==")
+        for r in rows:
+            print(
+                f"  {r['method']:>10} @{r['arrival_per_hour']:.0f}/h: rho={r['utilisation']:.2f} "
+                f"sojourn={r['mean_sojourn_secs']:.1f}s stable={r['stable']}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+//! Missing-label handling (§V-H) and the sampling-policy / ablation
+//! variants (§V-D, §V-I) exercised end to end.
+
+use enld_core::ablation::AblationVariant;
+use enld_core::sampling::SamplingPolicy;
+use enld_core::{
+    config::EnldConfig,
+    detector::Enld,
+    metrics::{detection_metrics, pseudo_label_accuracy},
+};
+use enld_datagen::noise::apply_missing_labels;
+use enld_datagen::presets::DatasetPreset;
+use enld_lake::lake::{DataLake, LakeConfig};
+
+fn lake(noise: f32, seed: u64) -> DataLake {
+    let preset = DatasetPreset::test_sim().scaled(0.5);
+    DataLake::build(&LakeConfig { preset, noise_rate: noise, seed })
+}
+
+#[test]
+fn pseudo_labels_beat_chance() {
+    let mut lake = lake(0.2, 401);
+    let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+    let req = lake.next_request().expect("queued");
+    let masked = apply_missing_labels(&req.data, 0.3, 1);
+    let report = enld.detect(&masked);
+    let acc = pseudo_label_accuracy(&report.pseudo_labels, masked.true_labels());
+    // Chance on the 8-class task is 0.125.
+    assert!(acc > 0.4, "pseudo-label accuracy {acc:.3}");
+}
+
+#[test]
+fn heavier_missing_rates_still_produce_complete_output() {
+    let mut lake = lake(0.2, 402);
+    let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+    let req = lake.next_request().expect("queued");
+    for rate in [0.25f32, 0.75, 1.0] {
+        let masked = apply_missing_labels(&req.data, rate, 2);
+        let report = enld.detect(&masked);
+        let missing = masked.missing_indices();
+        assert_eq!(report.pseudo_labels.len(), missing.len());
+        assert_eq!(
+            report.clean.len() + report.noisy.len(),
+            masked.len() - missing.len(),
+            "labelled part must be fully partitioned at missing rate {rate}"
+        );
+    }
+}
+
+#[test]
+fn every_sampling_policy_runs_and_partitions() {
+    // Every §V-D policy must run to completion and partition every
+    // arrival. (The comparative Fig. 10 claim is a full-scale property —
+    // single toy arrivals are far too noisy to rank policies — so here we
+    // only require contrastive sampling to stay clearly useful.)
+    let base = EnldConfig::fast_test();
+    let mut f1s: Vec<(&str, f64)> = Vec::new();
+    for policy in SamplingPolicy::all() {
+        let mut lake = lake(0.2, 403);
+        let mut cfg = base;
+        cfg.policy = policy;
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        let mut f1 = 0.0;
+        let mut served = 0;
+        while let Some(req) = lake.next_request() {
+            let r = enld.detect(&req.data);
+            assert_eq!(r.clean.len() + r.noisy.len(), req.data.len(), "{}", policy.name());
+            f1 += detection_metrics(&r.noisy, &req.data.noisy_indices(), req.data.len()).f1;
+            served += 1;
+        }
+        f1s.push((policy.name(), f1 / served as f64));
+    }
+    let contrastive = f1s[0].1;
+    assert!(contrastive > 0.5, "contrastive sampling must stay useful: {f1s:?}");
+}
+
+#[test]
+fn every_ablation_variant_runs_and_partitions() {
+    let mut lake = lake(0.3, 404);
+    let base = EnldConfig::fast_test();
+    let shared = Enld::init(lake.inventory(), &base);
+    let req = lake.next_request().expect("queued");
+    for variant in AblationVariant::all() {
+        let mut cfg = base;
+        cfg.ablation = variant;
+        let mut enld = shared.clone();
+        enld.reconfigure(&cfg);
+        let r = enld.detect(&req.data);
+        assert_eq!(r.clean.len() + r.noisy.len(), req.data.len(), "{}", variant.name());
+        assert_eq!(r.history.len(), cfg.iterations);
+    }
+}
+
+#[test]
+fn no_majority_voting_selects_clean_faster() {
+    // ENLD-2 admits a sample into S on the first agreeing step, so after
+    // the same budget its clean set can only be a superset.
+    let mut lake = lake(0.2, 405);
+    let base = EnldConfig::fast_test();
+    let shared = Enld::init(lake.inventory(), &base);
+    let req = lake.next_request().expect("queued");
+
+    let mut origin = shared.clone();
+    let origin_clean = origin.detect(&req.data).clean;
+
+    let mut cfg = base;
+    cfg.ablation = AblationVariant::NoMajorityVoting;
+    let mut aggressive = shared.clone();
+    aggressive.reconfigure(&cfg);
+    let aggressive_clean = aggressive.detect(&req.data).clean;
+
+    assert!(
+        aggressive_clean.len() >= origin_clean.len(),
+        "aggressive selection ({}) must not be smaller than voted selection ({})",
+        aggressive_clean.len(),
+        origin_clean.len()
+    );
+}

@@ -1,0 +1,109 @@
+//! Cross-crate property tests: conservation laws of the data-lake
+//! pipeline and structural invariants of detection reports.
+
+use proptest::prelude::*;
+
+use enld_core::{config::EnldConfig, detector::Enld};
+use enld_datagen::noise::{apply_missing_labels, NoiseModel};
+use enld_datagen::presets::DatasetPreset;
+use enld_lake::lake::{DataLake, LakeConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The lake's 2:1 split plus partitioning conserves samples and noise.
+    #[test]
+    fn prop_lake_conserves_samples_and_noise(
+        seed in 0u64..1_000,
+        noise in 0.0f32..0.45,
+    ) {
+        let preset = DatasetPreset::test_sim().scaled(0.4);
+        let lake = DataLake::build(&LakeConfig { preset, noise_rate: noise, seed });
+        let total = preset.classes * preset.samples_per_class;
+        let queued: usize = lake.peek_requests().map(|r| r.data.len()).sum();
+        prop_assert_eq!(lake.inventory().len() + queued, total);
+
+        // Every sample id appears exactly once across the whole lake.
+        let mut ids: Vec<u64> = lake.inventory().ids().to_vec();
+        for r in lake.peek_requests() {
+            ids.extend_from_slice(r.data.ids());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), total);
+
+        // Observed noise rate tracks the injected rate.
+        let noisy: usize = lake.inventory().noisy_indices().len()
+            + lake.peek_requests().map(|r| r.data.noisy_indices().len()).sum::<usize>();
+        // 192 samples → binomial σ ≈ 0.036; allow a generous ~3.5σ so the
+        // property never flakes on tail seeds.
+        let rate = noisy as f32 / total as f32;
+        prop_assert!((rate - noise).abs() < 0.13, "rate {} vs injected {}", rate, noise);
+    }
+
+    /// Pair-asymmetric corruption only ever flips to the successor class.
+    #[test]
+    fn prop_pair_noise_structure(seed in 0u64..1_000, eta in 0.0f32..1.0) {
+        let preset = DatasetPreset::test_sim().scaled(0.3);
+        let clean = preset.generate(seed);
+        let noisy = NoiseModel::pair_asymmetric(preset.classes, eta).corrupt(&clean, seed + 1);
+        for &i in &noisy.noisy_indices() {
+            let truth = noisy.true_labels()[i];
+            prop_assert_eq!(noisy.labels()[i], (truth + 1) % preset.classes as u32);
+        }
+    }
+
+    /// Missing-label masking never touches features, ids or ground truth.
+    #[test]
+    fn prop_missing_mask_is_nondestructive(seed in 0u64..1_000, rate in 0.0f32..1.0) {
+        let preset = DatasetPreset::test_sim().scaled(0.3);
+        let d = preset.generate(seed);
+        let masked = apply_missing_labels(&d, rate, seed + 7);
+        prop_assert_eq!(masked.xs(), d.xs());
+        prop_assert_eq!(masked.ids(), d.ids());
+        prop_assert_eq!(masked.true_labels(), d.true_labels());
+        prop_assert_eq!(masked.labels(), d.labels());
+    }
+}
+
+proptest! {
+    // Detection runs train a model, so keep the case count minimal.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For any seed/noise, a detection report is a clean partition of the
+    /// eligible samples with a monotone clean-set history.
+    #[test]
+    fn prop_detection_report_invariants(seed in 0u64..100, noise in 0.05f32..0.4) {
+        let preset = DatasetPreset::test_sim().scaled(0.3);
+        let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: noise, seed });
+        let mut cfg = EnldConfig::fast_test();
+        cfg.init_train.epochs = 8;
+        cfg.iterations = 2;
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+
+        // Partition.
+        let mut seen = vec![false; req.data.len()];
+        for &i in report.clean.iter().chain(&report.noisy) {
+            prop_assert!(i < req.data.len());
+            prop_assert!(!seen[i], "sample {} classified twice", i);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // The clean set only grows across iterations.
+        for w in report.history.windows(2) {
+            let earlier: std::collections::BTreeSet<usize> =
+                w[0].clean_so_far.iter().copied().collect();
+            let later: std::collections::BTreeSet<usize> =
+                w[1].clean_so_far.iter().copied().collect();
+            prop_assert!(earlier.is_subset(&later), "clean set shrank between iterations");
+        }
+
+        // Inventory votes point into I_c.
+        for &i in &report.inventory_clean {
+            prop_assert!(i < enld.candidate_set().len());
+        }
+    }
+}
