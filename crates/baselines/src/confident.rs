@@ -136,8 +136,12 @@ impl NoisyLabelDetector for ConfidentLearning {
                 // For each observed class i, prune the n_i least
                 // self-confident samples.
                 for (i, joint_row) in joint.iter().enumerate() {
-                    let n_i: usize =
-                        joint_row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &c)| c).sum();
+                    let n_i: usize = joint_row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, &c)| c)
+                        .sum();
                     if n_i == 0 {
                         continue;
                     }
@@ -145,9 +149,8 @@ impl NoisyLabelDetector for ConfidentLearning {
                         .filter(|&r| !d.missing_mask()[r] && d.labels()[r] as usize == i)
                         .map(|r| (r, probs.row(r)[i]))
                         .collect();
-                    members.sort_by(|a, b| {
-                        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    members
+                        .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
                     for &(r, _) in members.iter().take(n_i) {
                         noisy_flags[r] = true;
                     }

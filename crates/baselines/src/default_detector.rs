@@ -38,8 +38,7 @@ impl NoisyLabelDetector for DefaultDetector {
         let sw = Stopwatch::start();
         let view = DataRef::new(d.xs(), d.labels(), d.dim());
         let preds = self.model.predict_labels(view);
-        let flags: Vec<bool> =
-            preds.iter().zip(d.labels()).map(|(p, l)| p != l).collect();
+        let flags: Vec<bool> = preds.iter().zip(d.labels()).map(|(p, l)| p != l).collect();
         BaselineReport::from_flags(&flags, d.missing_mask(), sw.elapsed().as_secs_f64())
     }
 

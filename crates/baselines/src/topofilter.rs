@@ -142,8 +142,7 @@ impl NoisyLabelDetector for Topofilter {
             // feature graph is clean; everything else (including isolated
             // vertices) is dropped.
             for &class in &labels_d {
-                let rows: Vec<usize> =
-                    (0..pool.len()).filter(|&r| labels[r] == class).collect();
+                let rows: Vec<usize> = (0..pool.len()).filter(|&r| labels[r] == class).collect();
                 if rows.is_empty() {
                     continue;
                 }

@@ -25,10 +25,7 @@ fn bench_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect_one_incremental_dataset");
     group.sample_size(10);
     group.bench_function("enld", |b| {
-        b.iter_with_setup(
-            || enld0.clone(),
-            |mut enld| black_box(enld.detect(&d)),
-        )
+        b.iter_with_setup(|| enld0.clone(), |mut enld| black_box(enld.detect(&d)))
     });
     group.bench_function("topofilter", |b| {
         b.iter_with_setup(

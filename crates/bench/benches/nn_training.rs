@@ -22,7 +22,8 @@ fn bench_training(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("train_epoch_256samples");
     group.sample_size(10);
-    for arch in [ArchPreset::resnet110_sim(), ArchPreset::resnet164_sim(), ArchPreset::densenet121_sim()]
+    for arch in
+        [ArchPreset::resnet110_sim(), ArchPreset::resnet164_sim(), ArchPreset::densenet121_sim()]
     {
         group.bench_with_input(BenchmarkId::from_parameter(arch.name), &arch, |b, arch| {
             b.iter_with_setup(

@@ -12,9 +12,7 @@ fn bench_noise_gen(c: &mut Criterion) {
     let preset = DatasetPreset::cifar100_sim();
     let mut group = c.benchmark_group("datagen");
     group.sample_size(10);
-    group.bench_function("generate_cifar100_sim", |b| {
-        b.iter(|| black_box(preset.generate(1)))
-    });
+    group.bench_function("generate_cifar100_sim", |b| b.iter(|| black_box(preset.generate(1))));
 
     let clean = preset.generate(1);
     let model = NoiseModel::pair_asymmetric(preset.classes, 0.2);

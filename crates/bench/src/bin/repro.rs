@@ -2,22 +2,29 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick] [--seed N] [--out DIR]
+//!       [--log-level LEVEL] [--trace-out FILE] [--metrics-out FILE]
 //! repro all --quick
 //! ```
 //!
 //! Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //! fig13a fig13b fig14 table2 headline all. Results print as aligned
 //! tables and persist as JSON under `--out` (default `results/`).
+//!
+//! Observability: `--log-level quiet|error|warn|info|debug|trace` sets
+//! stderr verbosity (default `info`), `--trace-out FILE` writes a
+//! JSON-lines span/event trace, and `--metrics-out FILE` dumps the final
+//! metrics snapshot (counters, gauges, histograms with p50/p95/p99).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use enld_bench::experiments::{self, ExpContext};
 use enld_bench::scale::RunScale;
+use enld_telemetry::{terror, tinfo, TelemetryConfig};
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR]\n       experiments: {} {} all ext",
+        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR]\n             [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]\n       experiments: {} {} all ext",
         experiments::all_ids().join(" "),
         experiments::extension_ids().join(" ")
     )
@@ -28,6 +35,7 @@ fn main() -> ExitCode {
     let mut scale = RunScale::full();
     let mut seed = 7u64;
     let mut out_dir = PathBuf::from("results");
+    let mut telemetry = TelemetryConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +56,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--log-level" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => telemetry.log_level = v,
+                None => {
+                    eprintln!(
+                        "--log-level requires one of quiet|error|warn|info|debug|trace\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-out" => match args.next() {
+                Some(v) => telemetry.trace_out = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--trace-out requires a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-out" => match args.next() {
+                Some(v) => telemetry.metrics_out = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--metrics-out requires a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -62,16 +94,30 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         ids.push("all".to_owned());
     }
+    if let Err(e) = telemetry.install() {
+        eprintln!("failed to open trace output: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let ctx = ExpContext::new(scale, seed, out_dir);
-    eprintln!(
-        "[repro] scale: {} (seed {seed}, results → {})",
+    tinfo!(
+        "repro",
+        "scale: {} (seed {seed}, results → {})",
         if ctx.scale.full { "full (paper-shaped)" } else { "quick (smoke)" },
         ctx.out_dir.display()
     );
     for id in &ids {
         if let Err(e) = experiments::run(id, &ctx) {
-            eprintln!("[repro] {id} failed: {e}");
+            terror!("repro", "{id} failed: {e}");
+            let _ = telemetry.finish();
+            return ExitCode::FAILURE;
+        }
+    }
+    match telemetry.finish() {
+        Ok(Some(path)) => tinfo!("repro", "metrics snapshot → {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write metrics snapshot: {e}");
             return ExitCode::FAILURE;
         }
     }

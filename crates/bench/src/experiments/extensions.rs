@@ -11,6 +11,8 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use serde::{Deserialize, Serialize};
 
 use enld_baselines::common::NoisyLabelDetector;
@@ -48,7 +50,7 @@ pub fn ext_noise(ctx: &ExpContext) -> io::Result<()> {
     ];
     let mut rows = Vec::new();
     for (name, model) in models {
-        eprintln!("[ext-noise] {name} …");
+        tinfo!("ext-noise", "{name} …");
         let mut lake = DataLake::build_with_noise_model(
             &LakeConfig { preset, noise_rate: eta, seed: ctx.seed },
             &model,
@@ -137,8 +139,7 @@ pub fn ext_queue(ctx: &ExpContext) -> io::Result<()> {
         let Some(service) = mean_service(method) else { continue };
         // Sweep arrival rates around each service capacity.
         for per_hour in [100.0f64, 300.0, 600.0, 1200.0, 2400.0] {
-            let stats =
-                simulate_queue(per_hour / 3600.0, &[service], horizon, ctx.seed);
+            let stats = simulate_queue(per_hour / 3600.0, &[service], horizon, ctx.seed);
             out_rows.push(QueueRow {
                 method: method.to_owned(),
                 arrival_per_hour: per_hour,

@@ -5,6 +5,8 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use enld_datagen::presets::DatasetPreset;
 use enld_nn::arch::ArchPreset;
 
@@ -16,7 +18,7 @@ fn run_k_sweep(ctx: &ExpContext) -> Vec<MethodRow> {
     let mut rows: Vec<MethodRow> = Vec::new();
     for k in 1..=4usize {
         for &noise in &ctx.scale.noise_rates {
-            eprintln!("[fig11] k={k} noise {noise} …");
+            tinfo!("fig11", "k={k} noise {noise} …");
             let sweep = run_method_sweep(
                 &ctx.scale,
                 DatasetPreset::cifar100_sim(),
@@ -70,8 +72,7 @@ pub fn fig12(ctx: &ExpContext) -> io::Result<()> {
     );
     let mut payload = Vec::new();
     for k in 1..=4usize {
-        let group: Vec<&MethodRow> =
-            rows.iter().filter(|r| r.method == format!("k={k}")).collect();
+        let group: Vec<&MethodRow> = rows.iter().filter(|r| r.method == format!("k={k}")).collect();
         if group.is_empty() {
             continue;
         }

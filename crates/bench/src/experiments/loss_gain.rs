@@ -12,6 +12,8 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -42,7 +44,7 @@ pub fn fig3(ctx: &ExpContext) -> io::Result<()> {
     let preset = ctx.scale.preset(DatasetPreset::cifar100_sim());
     let mut rows: Vec<LossGainRow> = Vec::new();
     for &noise in &ctx.scale.noise_rates {
-        eprintln!("[fig3] noise {noise} …");
+        tinfo!("fig3", "noise {noise} …");
         let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: noise, seed: ctx.seed });
         let cfg: EnldConfig = ctx.scale.enld_config(&preset, ctx.seed);
         let enld = cached_enld_init(&preset, noise, &cfg);
@@ -59,8 +61,7 @@ pub fn fig3(ctx: &ExpContext) -> io::Result<()> {
 
         let n_datasets = ctx.scale.cap(4); // average over a few arrivals
         let mut origin_losses = Vec::new();
-        let mut strat_losses =
-            vec![Vec::new(); AdditionStrategy::all().len()];
+        let mut strat_losses = vec![Vec::new(); AdditionStrategy::all().len()];
         for _ in 0..n_datasets {
             let Some(req) = lake.next_request() else { break };
             let noisy_idx = req.data.noisy_indices();

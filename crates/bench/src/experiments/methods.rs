@@ -4,6 +4,8 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use enld_datagen::presets::DatasetPreset;
 use enld_nn::arch::ArchPreset;
 
@@ -20,7 +22,7 @@ fn methods_figure(
 ) -> io::Result<Vec<MethodRow>> {
     let mut rows: Vec<MethodRow> = Vec::new();
     for &noise in &ctx.scale.noise_rates {
-        eprintln!("[{id}] {} noise {noise} …", preset.name);
+        tinfo!("methods", "[{id}] {} noise {noise} …", preset.name);
         let sweep = run_method_sweep(
             &ctx.scale,
             preset,
@@ -91,7 +93,7 @@ pub fn fig6(ctx: &ExpContext) -> io::Result<()> {
     let mut rows: Vec<MethodRow> = Vec::new();
     for arch in [ArchPreset::densenet121_sim(), ArchPreset::resnet164_sim()] {
         for &noise in &ctx.scale.noise_rates {
-            eprintln!("[fig6] {} noise {noise} …", arch.name);
+            tinfo!("fig6", "{} noise {noise} …", arch.name);
             let sweep = run_method_sweep(
                 &ctx.scale,
                 DatasetPreset::cifar100_sim(),
@@ -185,8 +187,7 @@ pub fn headline(ctx: &ExpContext) -> io::Result<()> {
             None => methods_figure(ctx, id, "(rerun for headline)", preset)?,
         };
         let avg = |method: &str| -> f64 {
-            let f1s: Vec<f64> =
-                rows.iter().filter(|r| r.method == method).map(|r| r.f1).collect();
+            let f1s: Vec<f64> = rows.iter().filter(|r| r.method == method).map(|r| r.f1).collect();
             if f1s.is_empty() {
                 0.0
             } else {
@@ -196,12 +197,7 @@ pub fn headline(ctx: &ExpContext) -> io::Result<()> {
         let enld_f1 = avg("ENLD");
         let topo_f1 = avg("Topofilter");
         let s = speedup(&rows, "ENLD", "Topofilter").unwrap_or(0.0);
-        table.push_row(vec![
-            preset.name.to_owned(),
-            f4(enld_f1),
-            f4(topo_f1),
-            format!("{s:.2}x"),
-        ]);
+        table.push_row(vec![preset.name.to_owned(), f4(enld_f1), f4(topo_f1), format!("{s:.2}x")]);
         payload.push((preset.name.to_owned(), enld_f1, topo_f1, s));
     }
     table.emit(&ctx.out_dir, &payload)?;
@@ -211,8 +207,7 @@ pub fn headline(ctx: &ExpContext) -> io::Result<()> {
 /// Mean process-time ratio `slow/fast` over matching noise rates.
 fn speedup(rows: &[MethodRow], fast: &str, slow: &str) -> Option<f64> {
     let mean = |m: &str| -> Option<f64> {
-        let v: Vec<f64> =
-            rows.iter().filter(|r| r.method == m).map(|r| r.process_secs).collect();
+        let v: Vec<f64> = rows.iter().filter(|r| r.method == m).map(|r| r.process_secs).collect();
         (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
     };
     let f = mean(fast)?;

@@ -5,10 +5,14 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use serde::{Deserialize, Serialize};
 
 use enld_core::config::EnldConfig;
-use enld_core::metrics::{detection_metrics, mean_metrics, pseudo_label_accuracy, DetectionMetrics};
+use enld_core::metrics::{
+    detection_metrics, mean_metrics, pseudo_label_accuracy, DetectionMetrics,
+};
 use enld_datagen::presets::DatasetPreset;
 use enld_lake::lake::{DataLake, LakeConfig};
 
@@ -30,7 +34,7 @@ pub fn fig13a(ctx: &ExpContext) -> io::Result<()> {
     let preset = ctx.scale.preset(DatasetPreset::cifar100_sim());
     let mut rows = Vec::new();
     for missing_rate in [0.25f32, 0.5, 0.75] {
-        eprintln!("[fig13a] missing {missing_rate} …");
+        tinfo!("fig13a", "missing {missing_rate} …");
         let mut lake = DataLake::build_with_missing(
             &LakeConfig { preset, noise_rate: noise, seed: ctx.seed },
             missing_rate,

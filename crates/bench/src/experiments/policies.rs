@@ -3,6 +3,8 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use enld_core::ablation::AblationVariant;
 use enld_core::sampling::SamplingPolicy;
 use enld_datagen::presets::DatasetPreset;
@@ -17,7 +19,7 @@ pub fn fig10(ctx: &ExpContext) -> io::Result<()> {
     let mut rows: Vec<MethodRow> = Vec::new();
     for policy in SamplingPolicy::all() {
         for &noise in &ctx.scale.noise_rates {
-            eprintln!("[fig10] {} noise {noise} …", policy.name());
+            tinfo!("fig10", "{} noise {noise} …", policy.name());
             let sweep = run_method_sweep(
                 &ctx.scale,
                 DatasetPreset::cifar100_sim(),
@@ -56,7 +58,7 @@ pub fn fig14(ctx: &ExpContext) -> io::Result<()> {
     let mut rows: Vec<MethodRow> = Vec::new();
     for variant in AblationVariant::all() {
         for &noise in &ctx.scale.noise_rates {
-            eprintln!("[fig14] {} noise {noise} …", variant.name());
+            tinfo!("fig14", "{} noise {noise} …", variant.name());
             let sweep = run_method_sweep(
                 &ctx.scale,
                 DatasetPreset::cifar100_sim(),

@@ -3,6 +3,8 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use serde::{Deserialize, Serialize};
 
 use enld_core::metrics::{detection_metrics, f1_std, mean_metrics, DetectionMetrics};
@@ -29,7 +31,7 @@ pub struct TrajectoryPoint {
 fn run_trajectories(ctx: &ExpContext) -> Vec<TrajectoryPoint> {
     let mut points = Vec::new();
     for &noise in &ctx.scale.noise_rates {
-        eprintln!("[fig9] cifar100-sim noise {noise} …");
+        tinfo!("fig9", "cifar100-sim noise {noise} …");
         let sweep = run_method_sweep(
             &ctx.scale,
             DatasetPreset::cifar100_sim(),

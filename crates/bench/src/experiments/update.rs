@@ -7,6 +7,8 @@
 
 use std::io;
 
+use enld_telemetry::tinfo;
+
 use serde::{Deserialize, Serialize};
 
 use enld_datagen::presets::DatasetPreset;
@@ -47,7 +49,7 @@ fn true_label_accuracy(model: &Mlp, datasets: &[Dataset]) -> f64 {
 pub fn table2(ctx: &ExpContext) -> io::Result<()> {
     let mut rows = Vec::new();
     for &noise in &ctx.scale.noise_rates {
-        eprintln!("[table2] noise {noise} …");
+        tinfo!("table2", "noise {noise} …");
         let sweep = run_method_sweep(
             &ctx.scale,
             DatasetPreset::cifar100_sim(),

@@ -14,6 +14,7 @@ use enld_datagen::Dataset;
 use enld_lake::lake::{DataLake, LakeConfig};
 use enld_lake::timing::TimingReport;
 use enld_nn::arch::ArchPreset;
+use enld_telemetry as telemetry;
 
 use crate::rows::MethodRow;
 use crate::scale::RunScale;
@@ -111,6 +112,10 @@ pub fn run_method_sweep(
     mutate: &dyn Fn(&mut EnldConfig),
 ) -> SweepResult {
     let preset = scale.preset(base);
+    let mut sweep_span = telemetry::span("bench.sweep")
+        .field("preset", preset.name)
+        .field("noise", noise as f64)
+        .entered();
     let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: noise, seed });
     let mut cfg: EnldConfig = scale.enld_config(&preset, seed);
     cfg.arch = arch;
@@ -120,8 +125,7 @@ pub fn run_method_sweep(
 
     let mut baselines: Vec<Box<dyn NoisyLabelDetector>> = Vec::new();
     if methods.default {
-        baselines
-            .push(Box::new(DefaultDetector::new(enld.model().clone()).with_setup_secs(setup)));
+        baselines.push(Box::new(DefaultDetector::new(enld.model().clone()).with_setup_secs(setup)));
     }
     if methods.confident {
         for m in [PruneMethod::ByClass, PruneMethod::ByNoiseRate] {
@@ -156,6 +160,13 @@ pub fn run_method_sweep(
     let mut lens = Vec::new();
     let mut requests = Vec::new();
 
+    // Emulate the §V-A3 deployment queue: one FIFO worker, back-to-back
+    // arrivals, so request i waits for every earlier request's processing.
+    // This keeps a queue-wait histogram in the snapshot even for sweeps
+    // that run the detector inline rather than through DetectionService.
+    let wait_hist = telemetry::metrics::global().histogram("lake.queue.wait_secs");
+    let mut backlog_wait = 0.0f64;
+
     for _ in 0..n {
         let req = lake.next_request().expect("capped by pending_requests");
         let truth = req.data.noisy_indices();
@@ -165,7 +176,9 @@ pub fn run_method_sweep(
             acc.2.record_process(std::time::Duration::from_secs_f64(report.process_secs));
         }
         if methods.enld {
+            wait_hist.record(backlog_wait);
             let report = enld.detect(&req.data);
+            backlog_wait += report.process_secs;
             enld_metrics.push(detection_metrics(&report.noisy, &truth, req.data.len()));
             enld_timing.record_process(std::time::Duration::from_secs_f64(report.process_secs));
             enld_reports.push(report);
@@ -199,14 +212,10 @@ pub fn run_method_sweep(
         ));
     }
 
-    SweepResult {
-        rows,
-        enld_reports,
-        truths,
-        lens,
-        requests,
-        enld: methods.enld.then_some(enld),
-    }
+    sweep_span.record("requests", n);
+    sweep_span.record("methods", rows.len());
+
+    SweepResult { rows, enld_reports, truths, lens, requests, enld: methods.enld.then_some(enld) }
 }
 
 #[cfg(test)]

@@ -75,7 +75,12 @@ impl From<std::io::Error> for CliError {
 const FORMAT: &str = "enld-lake-v1";
 
 /// `enld generate`: builds a lake from a named preset and writes it.
-pub fn generate(preset_name: &str, noise: f32, seed: u64, out: &Path) -> Result<LakeFile, CliError> {
+pub fn generate(
+    preset_name: &str,
+    noise: f32,
+    seed: u64,
+    out: &Path,
+) -> Result<LakeFile, CliError> {
     let preset = DatasetPreset::by_name(preset_name).ok_or_else(|| {
         CliError::BadInput(format!(
             "unknown preset '{preset_name}' (try emnist-sim, cifar100-sim, tiny-imagenet-sim, test-sim)"
@@ -98,8 +103,8 @@ pub fn generate(preset_name: &str, noise: f32, seed: u64, out: &Path) -> Result<
 /// Loads and validates a lake file.
 pub fn load_lake(path: &Path) -> Result<LakeFile, CliError> {
     let text = fs::read_to_string(path)?;
-    let file: LakeFile =
-        serde_json::from_str(&text).map_err(|e| CliError::BadInput(format!("malformed lake file: {e}")))?;
+    let file: LakeFile = serde_json::from_str(&text)
+        .map_err(|e| CliError::BadInput(format!("malformed lake file: {e}")))?;
     if file.format != FORMAT {
         return Err(CliError::BadInput(format!(
             "unsupported lake format '{}' (expected {FORMAT})",
@@ -145,10 +150,7 @@ pub fn detect(file: &LakeFile, overrides: DetectOverrides) -> Vec<Verdict> {
         cfg.k = k;
     }
     let mut enld = Enld::init(&file.inventory, &cfg);
-    let has_truth = file
-        .arrivals
-        .iter()
-        .any(|a| a.labels() != a.true_labels());
+    let has_truth = file.arrivals.iter().any(|a| a.labels() != a.true_labels());
     file.arrivals
         .iter()
         .enumerate()
@@ -240,14 +242,8 @@ mod tests {
     #[test]
     fn generate_rejects_bad_inputs() {
         let path = tmp("bad");
-        assert!(matches!(
-            generate("imagenet", 0.2, 1, &path),
-            Err(CliError::BadInput(_))
-        ));
-        assert!(matches!(
-            generate("test-sim", 1.5, 1, &path),
-            Err(CliError::BadInput(_))
-        ));
+        assert!(matches!(generate("imagenet", 0.2, 1, &path), Err(CliError::BadInput(_))));
+        assert!(matches!(generate("test-sim", 1.5, 1, &path), Err(CliError::BadInput(_))));
     }
 
     #[test]
@@ -255,7 +251,8 @@ mod tests {
         let path = tmp("malformed");
         fs::write(&path, "{not json").expect("write");
         assert!(matches!(load_lake(&path), Err(CliError::BadInput(_))));
-        fs::write(&path, "{\"format\":\"other\",\"inventory\":null,\"arrivals\":[]}").expect("write");
+        fs::write(&path, "{\"format\":\"other\",\"inventory\":null,\"arrivals\":[]}")
+            .expect("write");
         assert!(matches!(load_lake(&path), Err(CliError::BadInput(_))));
         let _ = fs::remove_file(&path);
     }
@@ -263,8 +260,7 @@ mod tests {
     #[test]
     fn detect_scores_generated_lakes() {
         let (file, path) = small_lake("detect");
-        let overrides =
-            DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) };
+        let overrides = DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) };
         let verdicts = detect(&file, overrides);
         assert_eq!(verdicts.len(), file.arrivals.len());
         for (v, a) in verdicts.iter().zip(&file.arrivals) {

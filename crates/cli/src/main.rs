@@ -4,12 +4,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use enld_cli::{audit, detect, generate, load_lake, write_json, DetectOverrides};
+use enld_telemetry::TelemetryConfig;
 
 const USAGE: &str = "\
 usage:
   enld generate --preset <name> [--noise R] [--seed N] --out FILE
   enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N]
   enld audit    --lake FILE [--arrival N]
+
+every command also accepts:
+  [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]
 
 presets: emnist-sim cifar100-sim tiny-imagenet-sim test-sim";
 
@@ -49,7 +53,18 @@ fn run() -> Result<(), String> {
         return Err(USAGE.to_owned());
     };
     let args = Args::parse(rest)?;
-    match command.as_str() {
+    let telemetry = TelemetryConfig {
+        log_level: match args.get("log-level") {
+            None => enld_telemetry::Level::Info,
+            Some(v) => v.parse().map_err(|_| {
+                format!("--log-level: invalid value '{v}' (quiet|error|warn|info|debug|trace)")
+            })?,
+        },
+        trace_out: args.get("trace-out").map(PathBuf::from),
+        metrics_out: args.get("metrics-out").map(PathBuf::from),
+    };
+    telemetry.install().map_err(|e| format!("failed to open trace output: {e}"))?;
+    let result = match command.as_str() {
         "generate" => {
             let preset = args.get("preset").ok_or("--preset is required")?;
             let noise: f32 = args.parse_num("noise")?.unwrap_or(0.2);
@@ -110,7 +125,10 @@ fn run() -> Result<(), String> {
             for (class, flagged, total) in rows {
                 let share = flagged as f64 / total as f64;
                 let bar = "#".repeat((share * 30.0).round() as usize);
-                println!("  class {class:>4}: {flagged:>4}/{total:<4} {:>5.1}% {bar}", share * 100.0);
+                println!(
+                    "  class {class:>4}: {flagged:>4}/{total:<4} {:>5.1}% {bar}",
+                    share * 100.0
+                );
             }
             Ok(())
         }
@@ -119,7 +137,15 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    if result.is_ok() {
+        if let Some(path) =
+            telemetry.finish().map_err(|e| format!("failed to write metrics snapshot: {e}"))?
+        {
+            println!("metrics snapshot written to {}", path.display());
+        }
     }
+    result
 }
 
 fn main() -> ExitCode {

@@ -15,6 +15,9 @@ use enld_nn::data::DataRef;
 use enld_nn::matrix::Matrix;
 use enld_nn::model::{argmax, Mlp};
 use enld_nn::trainer::{TrainConfig, Trainer};
+use enld_telemetry as telemetry;
+use enld_telemetry::metrics::{global as metrics, Histogram};
+use enld_telemetry::ScopedTimer;
 
 use crate::config::EnldConfig;
 use crate::probability::ConditionalLabelProbability;
@@ -53,24 +56,40 @@ impl Enld {
         config.validate();
         assert!(!inventory.is_empty(), "inventory must be non-empty");
         let sw = Stopwatch::start();
+        let mut setup_span = telemetry::span("enld.setup")
+            .field("inventory", inventory.len())
+            .field("classes", inventory.classes())
+            .entered();
         let (i_t, i_c) = split_half(inventory, config.seed.wrapping_add(1000));
 
         let model_cfg = config.arch.config(inventory.dim(), inventory.classes());
         let mut model = Mlp::new(&model_cfg, config.seed);
-        let mut trainer = Trainer::new(config.init_train, config.seed.wrapping_add(1));
-        let i_t_view = DataRef::new(i_t.xs(), i_t.labels(), i_t.dim());
-        trainer.fit(&mut model, i_t_view, None);
+        {
+            let _t = ScopedTimer::new("enld.setup.train_general");
+            let mut trainer = Trainer::new(config.init_train, config.seed.wrapping_add(1));
+            let i_t_view = DataRef::new(i_t.xs(), i_t.labels(), i_t.dim());
+            trainer.fit(&mut model, i_t_view, None);
+        }
 
-        let i_c_view = DataRef::new(i_c.xs(), i_c.labels(), i_c.dim());
-        let probs = model.predict_proba(i_c_view);
-        let preds: Vec<u32> = (0..probs.rows()).map(|r| argmax(probs.row(r)) as u32).collect();
-        let cond = ConditionalLabelProbability::estimate(i_c.labels(), &preds, i_c.classes());
-        let candidates: Vec<usize> = (0..i_c.len()).collect();
-        let hq = high_quality_filtered(&probs, &preds, i_c.labels(), &candidates);
+        let (cond, hq) = {
+            let _t = ScopedTimer::new("enld.setup.estimate");
+            let i_c_view = DataRef::new(i_c.xs(), i_c.labels(), i_c.dim());
+            let probs = model.predict_proba(i_c_view);
+            let preds: Vec<u32> = (0..probs.rows()).map(|r| argmax(probs.row(r)) as u32).collect();
+            let cond = ConditionalLabelProbability::estimate(i_c.labels(), &preds, i_c.classes());
+            let candidates: Vec<usize> = (0..i_c.len()).collect();
+            let hq = high_quality_filtered(&probs, &preds, i_c.labels(), &candidates);
+            (cond, hq)
+        };
+
+        let setup_secs = sw.elapsed().as_secs_f64();
+        metrics().histogram("enld.setup_secs").record(setup_secs);
+        setup_span.record("high_quality", hq.len());
+        setup_span.record("secs", setup_secs);
 
         let sc_accum = vec![false; i_c.len()];
         Self {
-            setup_secs: sw.elapsed().as_secs_f64(),
+            setup_secs,
             config: *config,
             model,
             cond,
@@ -150,6 +169,11 @@ impl Enld {
         let sw = Stopwatch::start();
         let cfg = self.config;
         self.tasks += 1;
+        let mut detect_span = telemetry::span("enld.detect")
+            .field("task", self.tasks)
+            .field("samples", d.len())
+            .entered();
+        metrics().counter("enld.detect.tasks").inc();
         // Per-task sampling RNG: deterministic given (config seed, task #).
         let mut rng = StdRng::seed_from_u64(
             cfg.seed ^ (self.tasks as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -180,16 +204,28 @@ impl Enld {
         );
 
         // Initial A, H', C under θ (Alg. 1 lines 5–7).
-        let (probs_d, feats_d) = theta.proba_and_features(d_view);
-        let preds_d = row_argmax(&probs_d);
-        let mut ambiguous: Vec<usize> =
-            eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
+        let (feats_d, mut ambiguous) = {
+            let mut s = telemetry::debug_span("enld.detect.ambiguous_select").entered();
+            let (probs_d, feats_d) = theta.proba_and_features(d_view);
+            let preds_d = row_argmax(&probs_d);
+            let ambiguous: Vec<usize> =
+                eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
+            s.record("ambiguous", ambiguous.len());
+            (feats_d, ambiguous)
+        };
         let hq_in_prime: Vec<usize> = {
             let prime: BTreeSet<usize> = i_prime.iter().copied().collect();
             self.hq.iter().copied().filter(|i| prime.contains(i)).collect()
         };
         let mut contrast = self.select_contrast(
-            &theta, d, &feats_d, &ambiguous, &hq_in_prime, &i_prime, ic_view, &mut rng,
+            &theta,
+            d,
+            &feats_d,
+            &ambiguous,
+            &hq_in_prime,
+            &i_prime,
+            ic_view,
+            &mut rng,
         );
 
         // Warm-up: fine-tune on C, keep the snapshot with the best
@@ -204,13 +240,18 @@ impl Enld {
         };
         let mut best = theta.clone();
         let mut best_acc = eval_acc(&theta);
-        for _ in 0..cfg.warmup_epochs {
-            self.train_epoch(&mut theta, &mut trainer, &contrast, d);
-            let acc = eval_acc(&theta);
-            if acc >= best_acc {
-                best_acc = acc;
-                best = theta.clone();
+        {
+            let mut warmup_timer = ScopedTimer::new("enld.detect.warmup");
+            warmup_timer.record_field("epochs", cfg.warmup_epochs);
+            for _ in 0..cfg.warmup_epochs {
+                self.train_epoch(&mut theta, &mut trainer, &contrast, d);
+                let acc = eval_acc(&theta);
+                if acc >= best_acc {
+                    best_acc = acc;
+                    best = theta.clone();
+                }
             }
+            warmup_timer.record_field("val_acc", best_acc);
         }
         theta = best;
         let warmup_val_acc = best_acc;
@@ -227,15 +268,23 @@ impl Enld {
         let mut history = Vec::with_capacity(cfg.iterations);
 
         for iteration in 0..cfg.iterations {
+            let mut iter_timer = ScopedTimer::new("enld.detect.iteration");
+            iter_timer.record_field("iteration", iteration);
             let mut count = vec![0u32; d.len()];
-            for _step in 0..cfg.steps {
+            let mut flips = 0u64;
+            for step in 0..cfg.steps {
+                let _step_span = telemetry::trace_span("enld.detect.step")
+                    .field("iteration", iteration)
+                    .field("step", step)
+                    .entered();
                 self.train_epoch(&mut theta, &mut trainer, &contrast, d);
                 let preds = theta.predict_labels(d_view);
                 for &i in &eligible {
                     if preds[i] == d.labels()[i] {
                         count[i] += 1;
-                        if count[i] as usize >= threshold {
+                        if count[i] as usize >= threshold && !in_s[i] {
                             in_s[i] = true;
+                            flips += 1;
                         }
                     }
                 }
@@ -247,8 +296,7 @@ impl Enld {
             // Sample update & re-sampling (lines 15–21).
             let (probs_d, feats_d) = theta.proba_and_features(d_view);
             let preds_d = row_argmax(&probs_d);
-            ambiguous =
-                eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
+            ambiguous = eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
 
             // H' refresh on I' under θ', with the confidence filter; clean
             // votes for the inventory selection (lines 16–19).
@@ -272,6 +320,14 @@ impl Enld {
                 }
             }
 
+            metrics().counter("enld.detect.vote_flips_total").add(flips);
+            metrics()
+                .histogram_with("enld.detect.ambiguous_per_iteration", Histogram::count_bounds)
+                .record(ambiguous.len() as f64);
+            iter_timer.record_field("ambiguous", ambiguous.len());
+            iter_timer.record_field("flips", flips);
+            iter_timer.record_field("contrast", contrast.len());
+
             history.push(IterationSnapshot {
                 iteration,
                 clean_so_far: flags_to_indices(&in_s),
@@ -288,10 +344,17 @@ impl Enld {
         for &i in &inventory_clean {
             self.sc_accum[i] = true;
         }
-        let pseudo_labels: Vec<(usize, u32)> = missing
-            .iter()
-            .map(|&i| (i, argmax_u32(&pseudo_votes[i])))
-            .collect();
+        let pseudo_labels: Vec<(usize, u32)> =
+            missing.iter().map(|&i| (i, argmax_u32(&pseudo_votes[i]))).collect();
+
+        let process_secs = sw.elapsed().as_secs_f64();
+        let m = metrics();
+        m.counter("enld.detect.clean_total").add(clean.len() as u64);
+        m.counter("enld.detect.noisy_total").add(noisy.len() as u64);
+        m.histogram("enld.detect.process_secs").record(process_secs);
+        detect_span.record("clean", clean.len());
+        detect_span.record("noisy", noisy.len());
+        detect_span.record("secs", process_secs);
 
         DetectionReport {
             clean,
@@ -299,7 +362,7 @@ impl Enld {
             pseudo_labels,
             inventory_clean,
             history,
-            process_secs: sw.elapsed().as_secs_f64(),
+            process_secs,
             warmup_val_acc,
         }
     }
@@ -314,6 +377,9 @@ impl Enld {
         if clean.is_empty() {
             return 0;
         }
+        let mut update_timer = ScopedTimer::with_level("enld.update_model", telemetry::Level::Info);
+        update_timer.record_field("clean", clean.len());
+        metrics().counter("enld.updates_total").inc();
         let train_set = self.i_c.subset(&clean);
         self.updates += 1;
         let seed = self.config.seed.wrapping_add(5000 + self.updates as u64);
@@ -324,8 +390,8 @@ impl Enld {
         // model still sees a comparable number of SGD steps.
         let mut train_cfg = self.config.init_train;
         let steps_per_epoch = train_set.len().div_ceil(train_cfg.batch_size).max(1);
-        let target_steps = self.config.init_train.epochs
-            * self.i_t.len().div_ceil(train_cfg.batch_size).max(1);
+        let target_steps =
+            self.config.init_train.epochs * self.i_t.len().div_ceil(train_cfg.batch_size).max(1);
         train_cfg.epochs = train_cfg.epochs.max(target_steps.div_ceil(steps_per_epoch));
         let mut trainer = Trainer::new(train_cfg, seed.wrapping_add(1));
         let view = DataRef::new(train_set.xs(), train_set.labels(), train_set.dim());
@@ -349,6 +415,37 @@ impl Enld {
     /// ablation variant.
     #[allow(clippy::too_many_arguments)]
     fn select_contrast(
+        &self,
+        theta: &Mlp,
+        d: &Dataset,
+        feats_d: &Matrix,
+        ambiguous: &[usize],
+        hq_candidates: &[usize],
+        i_prime: &[usize],
+        ic_view: DataRef<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<ContrastSample> {
+        let mut span = telemetry::debug_span("enld.detect.contrastive")
+            .field("ambiguous", ambiguous.len())
+            .entered();
+        let sw = Stopwatch::start();
+        let out = self.select_contrast_inner(
+            theta,
+            d,
+            feats_d,
+            ambiguous,
+            hq_candidates,
+            i_prime,
+            ic_view,
+            rng,
+        );
+        metrics().histogram("enld.sampling.select_secs").record(sw.elapsed().as_secs_f64());
+        span.record("selected", out.len());
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn select_contrast_inner(
         &self,
         theta: &Mlp,
         d: &Dataset,
@@ -449,7 +546,8 @@ impl Enld {
         enld_nn::loss::softmax_inplace(&mut probs);
         let preds: Vec<u32> = (0..probs.rows()).map(|r| argmax(probs.row(r)) as u32).collect();
         let labels: Vec<u32> = i_prime.iter().map(|&i| self.i_c.labels()[i]).collect();
-        let local = high_quality_filtered(&probs, &preds, &labels, &(0..i_prime.len()).collect::<Vec<_>>());
+        let local =
+            high_quality_filtered(&probs, &preds, &labels, &(0..i_prime.len()).collect::<Vec<_>>());
         local.into_iter().map(|r| i_prime[r]).collect()
     }
 }

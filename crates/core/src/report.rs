@@ -55,7 +55,11 @@ impl DetectionReport {
                 is_clean[c] = true;
             }
         }
-        let noisy = eligible.iter().copied().filter(|&e| !is_clean.get(e).copied().unwrap_or(false)).collect();
+        let noisy = eligible
+            .iter()
+            .copied()
+            .filter(|&e| !is_clean.get(e).copied().unwrap_or(false))
+            .collect();
         (clean, noisy)
     }
 

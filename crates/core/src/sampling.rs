@@ -107,14 +107,18 @@ pub fn contrastive_sampling(
     rng: &mut StdRng,
 ) -> Vec<ContrastSample> {
     assert_eq!(ambiguous.len(), ambiguous_labels.len(), "ambiguous shape mismatch");
+    let registry = enld_telemetry::metrics::global();
+    let query_hist = registry.histogram("knn.class_query_secs");
+    let query_count = registry.counter("knn.class_queries_total");
     let mut out = Vec::with_capacity(ambiguous.len() * k);
     for (&a, &observed) in ambiguous.iter().zip(ambiguous_labels) {
-        let j = if identity_label {
-            observed
-        } else {
-            cond.random_label(observed, hq_label_set, rng)
-        };
-        for hit in index.k_nearest_in_class(j, query_feats.row(a), k) {
+        let j =
+            if identity_label { observed } else { cond.random_label(observed, hq_label_set, rng) };
+        let query_start = std::time::Instant::now();
+        let hits = index.k_nearest_in_class(j, query_feats.row(a), k);
+        query_hist.record(query_start.elapsed().as_secs_f64());
+        query_count.inc();
+        for hit in hits {
             out.push(ContrastSample {
                 source: SampleSource::Inventory(hit.index),
                 label: ic_labels[hit.index],
@@ -139,11 +143,8 @@ pub fn policy_sampling(
         return Vec::new();
     }
     let sample = |idx: usize, pseudo: bool| -> ContrastSample {
-        let label = if pseudo {
-            enld_nn::model::argmax(ic_probs.row(idx)) as u32
-        } else {
-            ic_labels[idx]
-        };
+        let label =
+            if pseudo { enld_nn::model::argmax(ic_probs.row(idx)) as u32 } else { ic_labels[idx] };
         ContrastSample { source: SampleSource::Inventory(idx), label }
     };
     match policy {
@@ -245,7 +246,12 @@ pub fn addition_selection(
 
 /// Uniformly shuffles and truncates `pool` to `count` entries — the
 /// ENLD-1 ablation's replacement for contrastive sampling.
-pub fn random_subset(pool: &[usize], count: usize, ic_labels: &[u32], rng: &mut StdRng) -> Vec<ContrastSample> {
+pub fn random_subset(
+    pool: &[usize],
+    count: usize,
+    ic_labels: &[u32],
+    rng: &mut StdRng,
+) -> Vec<ContrastSample> {
     let mut pool: Vec<usize> = pool.to_vec();
     pool.shuffle(rng);
     pool.truncate(count);
@@ -311,12 +317,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // With random_label: observed 0 maps to class 1 → far neighbours.
         let c = contrastive_sampling(
-            &[0], &[0], &query, &index, &[0, 1], &ic_labels, &cond, 1, false, &mut rng,
+            &[0],
+            &[0],
+            &query,
+            &index,
+            &[0, 1],
+            &ic_labels,
+            &cond,
+            1,
+            false,
+            &mut rng,
         );
         assert!(matches!(c[0].source, SampleSource::Inventory(2)));
         // With identity (ENLD-4): stays class 0 → near neighbours.
         let c = contrastive_sampling(
-            &[0], &[0], &query, &index, &[0, 1], &ic_labels, &cond, 1, true, &mut rng,
+            &[0],
+            &[0],
+            &query,
+            &index,
+            &[0, 1],
+            &ic_labels,
+            &cond,
+            1,
+            true,
+            &mut rng,
         );
         assert!(matches!(c[0].source, SampleSource::Inventory(0)));
     }
@@ -327,7 +351,16 @@ mod tests {
         let cond = cond_identity();
         let mut rng = StdRng::seed_from_u64(3);
         let c = contrastive_sampling(
-            &[], &[], &query, &index, &[0, 1], &ic_labels, &cond, 3, false, &mut rng,
+            &[],
+            &[],
+            &query,
+            &index,
+            &[0, 1],
+            &ic_labels,
+            &cond,
+            3,
+            false,
+            &mut rng,
         );
         assert!(c.is_empty());
     }
@@ -376,8 +409,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         // ic 3 has observed label 1 but suppose observed labels were wrong:
         let observed = vec![1u32, 1, 0, 0];
-        let c =
-            policy_sampling(SamplingPolicy::Pseudo, 2, &probs(), &observed, &[0, 2], &mut rng);
+        let c = policy_sampling(SamplingPolicy::Pseudo, 2, &probs(), &observed, &[0, 2], &mut rng);
         // Labels come from argmax of probs, not from `observed`.
         for s in &c {
             match s.source {
@@ -391,14 +423,8 @@ mod tests {
     #[test]
     fn random_policy_uses_candidates_only() {
         let mut rng = StdRng::seed_from_u64(7);
-        let c = policy_sampling(
-            SamplingPolicy::Random,
-            20,
-            &probs(),
-            &[0, 0, 1, 1],
-            &[1, 3],
-            &mut rng,
-        );
+        let c =
+            policy_sampling(SamplingPolicy::Random, 20, &probs(), &[0, 0, 1, 1], &[1, 3], &mut rng);
         assert_eq!(c.len(), 20);
         assert!(c.iter().all(|s| matches!(s.source, SampleSource::Inventory(1 | 3))));
     }
@@ -443,15 +469,8 @@ mod tests {
         );
         assert_eq!(related, vec![2]);
         // Random stays in range.
-        let random = addition_selection(
-            AdditionStrategy::Random,
-            &test,
-            &[1],
-            &tree,
-            &index,
-            3,
-            &mut rng,
-        );
+        let random =
+            addition_selection(AdditionStrategy::Random, &test, &[1], &tree, &index, 3, &mut rng);
         assert!(random.iter().all(|&i| i < 3));
     }
 

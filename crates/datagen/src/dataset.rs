@@ -122,12 +122,7 @@ impl Dataset {
 
     /// Distinct observed labels present — `label(D)` in the paper.
     pub fn label_set(&self) -> BTreeSet<u32> {
-        self.labels
-            .iter()
-            .zip(&self.missing)
-            .filter(|(_, &m)| !m)
-            .map(|(&l, _)| l)
-            .collect()
+        self.labels.iter().zip(&self.missing).filter(|(_, &m)| !m).map(|(&l, _)| l).collect()
     }
 
     /// Per-class observed-label counts (length = `classes`).

@@ -47,7 +47,11 @@ impl ImageSpec {
     /// Panics when any size parameter is zero.
     pub fn generate(&self, per_class: usize, seed: u64) -> Dataset {
         assert!(
-            self.classes > 0 && self.height > 0 && self.width > 0 && self.waves > 0 && per_class > 0
+            self.classes > 0
+                && self.height > 0
+                && self.width > 0
+                && self.waves > 0
+                && per_class > 0
         );
         let mut rng = StdRng::seed_from_u64(seed);
 
@@ -75,20 +79,16 @@ impl ImageSpec {
         for (c, sig) in signatures.iter().enumerate() {
             for _ in 0..per_class {
                 // Per-sample phases keep samples distinct within a class.
-                let phases: Vec<f32> = (0..self.waves)
-                    .map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU))
-                    .collect();
+                let phases: Vec<f32> =
+                    (0..self.waves).map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU)).collect();
                 for y in 0..self.height {
                     for x in 0..self.width {
-                        let (fx_pos, fy_pos) = (
-                            x as f32 / self.width as f32,
-                            y as f32 / self.height as f32,
-                        );
+                        let (fx_pos, fy_pos) =
+                            (x as f32 / self.width as f32, y as f32 / self.height as f32);
                         let mut v = 0.0f32;
                         for (wave, &phase) in sig.iter().zip(&phases) {
                             v += wave.amp
-                                * (std::f32::consts::TAU
-                                    * (wave.fx * fx_pos + wave.fy * fy_pos)
+                                * (std::f32::consts::TAU * (wave.fx * fx_pos + wave.fy * fy_pos)
                                     + phase)
                                     .sin();
                         }

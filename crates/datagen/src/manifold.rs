@@ -188,8 +188,7 @@ mod tests {
             let mut best = 0;
             let mut best_d = f32::INFINITY;
             for (c, centroid) in centroids.iter().enumerate() {
-                let dist: f32 =
-                    d.row(i).iter().zip(centroid).map(|(a, b)| (a - b) * (a - b)).sum();
+                let dist: f32 = d.row(i).iter().zip(centroid).map(|(a, b)| (a - b) * (a - b)).sum();
                 if dist < best_d {
                     best_d = dist;
                     best = c;

@@ -176,8 +176,7 @@ mod tests {
     fn asymmetric_random_has_single_partner() {
         let m = NoiseModel::asymmetric_random(6, 0.2, 3);
         for i in 0..6 {
-            let partners: Vec<usize> =
-                (0..6).filter(|&j| j != i && m.prob(i, j) > 0.0).collect();
+            let partners: Vec<usize> = (0..6).filter(|&j| j != i && m.prob(i, j) > 0.0).collect();
             assert_eq!(partners.len(), 1, "class {i} must flip to exactly one partner");
             assert_ne!(partners[0], i);
         }

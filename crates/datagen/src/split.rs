@@ -57,11 +57,7 @@ pub fn partition_incremental(pool: &Dataset, spec: &IncrementalSpec, seed: u64) 
         for &y in pool.true_labels() {
             counts[y as usize] = true;
         }
-        counts
-            .iter()
-            .enumerate()
-            .filter_map(|(c, &p)| p.then_some(c as u32))
-            .collect()
+        counts.iter().enumerate().filter_map(|(c, &p)| p.then_some(c as u32)).collect()
     };
 
     // Quotas per subset.
@@ -172,8 +168,7 @@ mod tests {
         assert_eq!(inv.len(), 240);
         assert_eq!(inc.len(), 120);
         // Disjoint by id, jointly exhaustive.
-        let ids: BTreeSet<u64> =
-            inv.ids().iter().chain(inc.ids()).copied().collect();
+        let ids: BTreeSet<u64> = inv.ids().iter().chain(inc.ids()).copied().collect();
         assert_eq!(ids.len(), 360);
     }
 

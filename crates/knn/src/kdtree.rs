@@ -76,16 +76,19 @@ impl KdTree {
         Self { points, dim, root, len: n }
     }
 
-    fn build_node(points: &[f32], dim: usize, indices: &mut [usize], depth: usize) -> Option<Box<Node>> {
+    fn build_node(
+        points: &[f32],
+        dim: usize,
+        indices: &mut [usize],
+        depth: usize,
+    ) -> Option<Box<Node>> {
         if indices.is_empty() {
             return None;
         }
         let axis = depth % dim;
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
-            points[a * dim + axis]
-                .partial_cmp(&points[b * dim + axis])
-                .unwrap_or(Ordering::Equal)
+            points[a * dim + axis].partial_cmp(&points[b * dim + axis]).unwrap_or(Ordering::Equal)
         });
         let point = indices[mid];
         let (left, rest) = indices.split_at_mut(mid);

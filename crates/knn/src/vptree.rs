@@ -76,15 +76,16 @@ impl VpTree {
     fn build_node(points: &[f32], dim: usize, indices: &mut [usize]) -> Option<Box<Node>> {
         let (&vantage, rest) = indices.split_first()?;
         if rest.is_empty() {
-            return Some(Box::new(Node { point: vantage, radius: 0.0, inside: None, outside: None }));
+            return Some(Box::new(Node {
+                point: vantage,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            }));
         }
         let vp = &points[vantage * dim..(vantage + 1) * dim];
         let dist = |i: usize| -> f32 {
-            points[i * dim..(i + 1) * dim]
-                .iter()
-                .zip(vp)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum()
+            points[i * dim..(i + 1) * dim].iter().zip(vp).map(|(a, b)| (a - b) * (a - b)).sum()
         };
         let mid = rest.len() / 2;
         let rest_mut = &mut indices[1..];
@@ -205,8 +206,7 @@ mod tests {
             for _ in 0..10 {
                 let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
                 let k = rng.gen_range(1..6usize);
-                let got: Vec<f32> =
-                    tree.k_nearest(&q, k).iter().map(|h| h.dist_sq).collect();
+                let got: Vec<f32> = tree.k_nearest(&q, k).iter().map(|h| h.dist_sq).collect();
                 let want: Vec<f32> =
                     brute_k_nearest(&pts, dim, &q, k).iter().map(|h| h.dist_sq).collect();
                 assert_eq!(got.len(), want.len());

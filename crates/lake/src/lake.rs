@@ -58,12 +58,17 @@ impl DataLake {
     fn build_full(config: &LakeConfig, model: &NoiseModel, missing_rate: f32) -> Self {
         let clean = config.preset.generate(config.seed);
         let noisy = model.corrupt(&clean, config.seed.wrapping_add(1));
-        let (mut inventory, pool) = inventory_incremental(&noisy, 2, 1, config.seed.wrapping_add(2));
+        let (mut inventory, pool) =
+            inventory_incremental(&noisy, 2, 1, config.seed.wrapping_add(2));
         let parts =
             partition_incremental(&pool, &config.preset.incremental, config.seed.wrapping_add(3));
 
         let catalog = Catalog::new();
-        catalog.register(&mut inventory, &format!("{}/inventory", config.preset.name), DatasetKind::Inventory);
+        catalog.register(
+            &mut inventory,
+            &format!("{}/inventory", config.preset.name),
+            DatasetKind::Inventory,
+        );
         let mut queue = VecDeque::with_capacity(parts.len());
         for (i, part) in parts.into_iter().enumerate() {
             let mut part = if missing_rate > 0.0 {
@@ -77,7 +82,11 @@ impl DataLake {
                 DatasetKind::Incremental,
             );
             let entry = catalog.get(id).expect("just registered");
-            queue.push_back(DetectionRequest { dataset_id: id, arrival: entry.arrival, data: part });
+            queue.push_back(DetectionRequest {
+                dataset_id: id,
+                arrival: entry.arrival,
+                data: part,
+            });
         }
         Self { catalog, inventory, queue, config: *config }
     }

@@ -18,10 +18,12 @@
 //! ```
 
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 
 use enld_datagen::Dataset;
+use enld_telemetry as telemetry;
 
 use crate::request::{DetectionRequest, DetectionResponse};
 use crate::timing::Stopwatch;
@@ -31,7 +33,7 @@ pub type Verdict = (Vec<usize>, Vec<usize>, Vec<(usize, u32)>);
 
 /// Handle to a running detection worker.
 pub struct DetectionService {
-    tx: Option<Sender<DetectionRequest>>,
+    tx: Option<Sender<(Instant, DetectionRequest)>>,
     rx: Receiver<DetectionResponse>,
     worker: Option<JoinHandle<()>>,
     submitted: usize,
@@ -48,20 +50,32 @@ impl DetectionService {
         F: FnMut(&Dataset) -> Verdict + Send + 'static,
     {
         assert!(queue_capacity > 0, "queue capacity must be positive");
-        let (tx, rx_req) = bounded::<DetectionRequest>(queue_capacity);
+        let (tx, rx_req) = bounded::<(Instant, DetectionRequest)>(queue_capacity);
         let (tx_resp, rx) = bounded::<DetectionResponse>(queue_capacity.max(16));
         let worker = std::thread::Builder::new()
             .name("enld-detection-worker".into())
             .spawn(move || {
-                while let Ok(request) = rx_req.recv() {
+                let registry = telemetry::metrics::global();
+                let wait_hist = registry.histogram("lake.queue.wait_secs");
+                let service_hist = registry.histogram("lake.service.process_secs");
+                while let Ok((submitted_at, request)) = rx_req.recv() {
+                    let wait_secs = submitted_at.elapsed().as_secs_f64();
+                    wait_hist.record(wait_secs);
+                    let mut span = telemetry::debug_span("lake.service.request")
+                        .field("dataset", request.dataset_id)
+                        .entered();
                     let sw = Stopwatch::start();
                     let (clean, noisy, pseudo_labels) = detector(&request.data);
+                    let process_secs = sw.elapsed().as_secs_f64();
+                    service_hist.record(process_secs);
+                    span.record("wait_secs", wait_secs);
+                    span.record("process_secs", process_secs);
                     let response = DetectionResponse {
                         dataset_id: request.dataset_id,
                         clean,
                         noisy,
                         pseudo_labels,
-                        process_secs: sw.elapsed().as_secs_f64(),
+                        process_secs,
                     };
                     if tx_resp.send(response).is_err() {
                         return; // consumer went away
@@ -78,11 +92,13 @@ impl DetectionService {
     /// Panics if the service was already shut down.
     pub fn submit(&mut self, request: DetectionRequest) {
         self.submitted += 1;
+        telemetry::metrics::global().counter("lake.service.requests_total").inc();
         self.tx
             .as_ref()
             .expect("service already shut down")
-            .send(request)
+            .send((Instant::now(), request))
             .expect("worker thread alive while the sender exists");
+        telemetry::metrics::global().gauge("lake.queue.depth").set(self.in_flight() as f64);
     }
 
     /// Non-blocking poll for a finished response.
@@ -90,6 +106,7 @@ impl DetectionService {
         match self.rx.try_recv() {
             Ok(resp) => {
                 self.received += 1;
+                telemetry::metrics::global().gauge("lake.queue.depth").set(self.in_flight() as f64);
                 Some(resp)
             }
             Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,

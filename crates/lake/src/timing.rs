@@ -35,15 +35,24 @@ impl Default for Stopwatch {
 /// Accumulated timing for one detection method over a run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TimingReport {
-    /// One-off setup cost in seconds.
+    /// Total one-off setup cost in seconds, accumulated across every
+    /// [`TimingReport::record_setup`] call (a method may pay setup more
+    /// than once, e.g. after a model update).
     pub setup_secs: f64,
     /// Per-incremental-dataset process cost in seconds.
     pub process_secs: Vec<f64>,
 }
 
 impl TimingReport {
+    /// Adds a setup phase. Accumulates — earlier recorded setup time is
+    /// never discarded.
     pub fn record_setup(&mut self, d: Duration) {
-        self.setup_secs = d.as_secs_f64();
+        self.setup_secs += d.as_secs_f64();
+    }
+
+    /// Total setup time across all recorded setup phases.
+    pub fn total_setup_secs(&self) -> f64 {
+        self.setup_secs
     }
 
     pub fn record_process(&mut self, d: Duration) {
@@ -92,6 +101,18 @@ mod tests {
         r.record_process(Duration::from_secs_f64(3.0));
         assert!((r.mean_process_secs() - 2.0).abs() < 1e-9);
         assert!((r.total_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setup_time_accumulates_across_calls() {
+        // Regression: a second record_setup used to silently overwrite
+        // the first, under-reporting methods that redo setup mid-run.
+        let mut r = TimingReport::default();
+        r.record_setup(Duration::from_secs_f64(1.5));
+        r.record_setup(Duration::from_secs_f64(0.5));
+        assert!((r.total_setup_secs() - 2.0).abs() < 1e-9);
+        assert!((r.setup_secs - 2.0).abs() < 1e-9);
+        assert!((r.total_secs() - 2.0).abs() < 1e-9);
     }
 
     #[test]

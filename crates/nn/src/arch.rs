@@ -109,9 +109,11 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for preset in
-            [ArchPreset::resnet110_sim(), ArchPreset::resnet164_sim(), ArchPreset::densenet121_sim()]
-        {
+        for preset in [
+            ArchPreset::resnet110_sim(),
+            ArchPreset::resnet164_sim(),
+            ArchPreset::densenet121_sim(),
+        ] {
             assert_eq!(ArchPreset::by_name(preset.name), Some(preset));
         }
         assert_eq!(ArchPreset::by_name("vgg"), None);

@@ -202,7 +202,15 @@ impl MaxPool2 {
     ///
     /// # Panics
     /// Panics when `h` or `w` is odd.
-    pub fn forward(&mut self, x: &[f32], n: usize, c: usize, h: usize, w: usize, train: bool) -> Vec<f32> {
+    pub fn forward(
+        &mut self,
+        x: &[f32],
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        train: bool,
+    ) -> Vec<f32> {
         assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "MaxPool2 needs even spatial dims");
         assert_eq!(x.len(), n * c * h * w, "pool input shape mismatch");
         let (oh, ow) = (h / 2, w / 2);
@@ -370,9 +378,7 @@ impl Cnn {
             return 0.0;
         }
         let probs = self.predict_proba(x, labels.len());
-        let hit = (0..labels.len())
-            .filter(|&i| argmax(probs.row(i)) as u32 == labels[i])
-            .count();
+        let hit = (0..labels.len()).filter(|&i| argmax(probs.row(i)) as u32 == labels[i]).count();
         hit as f32 / labels.len() as f32
     }
 }

@@ -127,7 +127,8 @@ impl Mlp {
         let mut rng = seeded_rng(seed);
         let dense = config.connectivity == Connectivity::DenselyConnected;
         let embed = Dense::new(config.input_dim, config.width, &mut rng);
-        let blocks = (0..config.blocks).map(|_| Block::new(config.width, dense, &mut rng)).collect();
+        let blocks =
+            (0..config.blocks).map(|_| Block::new(config.width, dense, &mut rng)).collect();
         let head = Dense::new(config.width, config.classes, &mut rng);
         Self {
             config: *config,

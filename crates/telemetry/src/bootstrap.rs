@@ -1,0 +1,79 @@
+//! One-call wiring for binaries: a level-filtered stderr sink, an
+//! optional JSON-lines trace file, and an optional metrics snapshot
+//! written on shutdown. The `repro` harness, the `enld` CLI, and the
+//! examples all parse `--log-level` / `--trace-out` / `--metrics-out`
+//! into a [`TelemetryConfig`] and call [`TelemetryConfig::install`] /
+//! [`TelemetryConfig::finish`] around their run.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::level::Level;
+use crate::metrics;
+use crate::sink::{flush, install, JsonlSink, StderrSink};
+
+/// Sink configuration parsed from command-line flags.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Verbosity of the human-readable stderr sink.
+    pub log_level: Level,
+    /// Where to write the JSON-lines trace (always at [`Level::Trace`]);
+    /// `None` disables the file sink.
+    pub trace_out: Option<PathBuf>,
+    /// Where to write the final metrics snapshot; `None` skips it.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self { log_level: Level::Info, trace_out: None, metrics_out: None }
+    }
+}
+
+impl TelemetryConfig {
+    /// Installs the configured sinks.
+    ///
+    /// # Errors
+    /// Fails when the trace file cannot be created.
+    pub fn install(&self) -> io::Result<()> {
+        install(Arc::new(StderrSink::new(self.log_level)));
+        if let Some(path) = &self.trace_out {
+            install(Arc::new(JsonlSink::create(path, Level::Trace)?));
+        }
+        Ok(())
+    }
+
+    /// Flushes every sink and, when configured, writes the global metrics
+    /// snapshot. Returns the snapshot path if one was written.
+    ///
+    /// # Errors
+    /// Fails when the snapshot file cannot be written.
+    pub fn finish(&self) -> io::Result<Option<&PathBuf>> {
+        flush();
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, metrics::global().snapshot_json())?;
+            return Ok(Some(path));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_info_with_no_files() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg.log_level, Level::Info);
+        assert!(cfg.trace_out.is_none());
+        assert!(cfg.metrics_out.is_none());
+    }
+
+    #[test]
+    fn finish_without_metrics_path_writes_nothing() {
+        let cfg = TelemetryConfig::default();
+        assert!(cfg.finish().expect("flush only").is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! A minimal JSON writer.
+//!
+//! Telemetry output is flat objects of strings and numbers; hand-writing
+//! them keeps this crate dependency-free. Consumers that want typed
+//! access (`serde_json::Value`) can parse the emitted strings — every
+//! byte produced here is valid JSON.
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON token for an `f64`: non-finite values become `null` (JSON has no
+/// NaN/Infinity).
+pub fn f64_token(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on a finite f64 always yields a valid JSON number
+        // (including exponent forms like `1e-7`).
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incrementally builds one JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    pub fn u64_field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn i64_field(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn f64_field(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&f64_token(v));
+        self
+    }
+
+    pub fn bool_field(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Inserts `raw` verbatim — the caller guarantees it is valid JSON
+    /// (e.g. a nested object built with another [`JsonObject`]).
+    pub fn raw_field(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_objects() {
+        let mut o = JsonObject::new();
+        o.str_field("name", "a\"b\\c\nd").u64_field("n", 3).f64_field("x", 1.5);
+        o.bool_field("ok", true).raw_field("inner", "{\"k\":1}");
+        assert_eq!(
+            o.finish(),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":3,\"x\":1.5,\"ok\":true,\"inner\":{\"k\":1}}"
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64_token(f64::NAN), "null");
+        assert_eq!(f64_token(f64::INFINITY), "null");
+        assert_eq!(f64_token(0.25), "0.25");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\u{1}b");
+        assert_eq!(s, "a\\u0001b");
+    }
+}

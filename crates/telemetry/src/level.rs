@@ -1,0 +1,88 @@
+//! Verbosity levels shared by events, spans, and sinks.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Verbosity of an event/span, and the filter threshold of a sink.
+///
+/// `Quiet` is only meaningful as a *sink* threshold (a sink that accepts
+/// nothing); events and spans use `Error`..`Trace`. Ordering follows
+/// severity-inverted convention: `Error < Warn < Info < Debug < Trace`,
+/// so "enabled at level L" means `L <= threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Suppress everything (sink threshold only).
+    Quiet = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name, as accepted by [`Level::from_str`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Quiet => "quiet",
+            Self::Error => "error",
+            Self::Warn => "warn",
+            Self::Info => "info",
+            Self::Debug => "debug",
+            Self::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "quiet" | "off" | "silent" => Ok(Self::Quiet),
+            "error" => Ok(Self::Error),
+            "warn" | "warning" => Ok(Self::Warn),
+            "info" => Ok(Self::Info),
+            "debug" => Ok(Self::Debug),
+            "trace" => Ok(Self::Trace),
+            other => Err(format!(
+                "unknown log level '{other}' (expected quiet|error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Trace);
+        assert!(Level::Quiet < Level::Error);
+    }
+
+    #[test]
+    fn parses_names_case_insensitively() {
+        assert_eq!("INFO".parse::<Level>().unwrap(), Level::Info);
+        assert_eq!("quiet".parse::<Level>().unwrap(), Level::Quiet);
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        for l in [Level::Quiet, Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace]
+        {
+            assert_eq!(l.to_string().parse::<Level>().unwrap(), l);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Hierarchical timed spans.
+//!
+//! A span is opened with [`span`]/[`debug_span`]/[`trace_span`], entered
+//! with [`SpanBuilder::entered`], and emitted to the installed sinks when
+//! its [`SpanGuard`] drops. Parentage is tracked per thread: a span
+//! entered while another is live becomes its child. When no installed
+//! sink listens at the span's level, entering costs a single relaxed
+//! atomic load and emits nothing.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::level::Level;
+use crate::sink::{self, SpanRecord};
+
+/// A typed key/value payload attached to spans and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as a JSON token (strings quoted and escaped).
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::U64(v) => v.to_string(),
+            Self::I64(v) => v.to_string(),
+            Self::F64(v) => crate::json::f64_token(*v),
+            Self::Bool(v) => if *v { "true" } else { "false" }.to_owned(),
+            Self::Str(v) => {
+                let mut s = String::with_capacity(v.len() + 2);
+                s.push('"');
+                crate::json::escape_into(&mut s, v);
+                s.push('"');
+                s
+            }
+        }
+    }
+
+    /// Human-readable form (strings unquoted).
+    pub fn display(&self) -> String {
+        match self {
+            Self::Str(v) => v.clone(),
+            other => other.to_json(),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        Self::I64(i64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        Self::F64(f64::from(v))
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Microseconds since the process-wide telemetry epoch (first use).
+pub(crate) fn micros_now() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Id of the innermost live span on this thread, if any.
+pub fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Opens an [`Level::Info`] span builder.
+pub fn span(name: &'static str) -> SpanBuilder {
+    SpanBuilder { name, level: Level::Info, fields: Vec::new() }
+}
+
+/// Opens a [`Level::Debug`] span builder.
+pub fn debug_span(name: &'static str) -> SpanBuilder {
+    span(name).level(Level::Debug)
+}
+
+/// Opens a [`Level::Trace`] span builder.
+pub fn trace_span(name: &'static str) -> SpanBuilder {
+    span(name).level(Level::Trace)
+}
+
+/// A span under construction; call [`SpanBuilder::entered`] to start it.
+#[must_use = "a span does nothing until entered"]
+#[derive(Debug)]
+pub struct SpanBuilder {
+    name: &'static str,
+    level: Level,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanBuilder {
+    pub fn level(mut self, level: Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Starts the span. The returned guard emits a [`SpanRecord`] to the
+    /// installed sinks when dropped; hold it for the region's lifetime
+    /// (`let _guard = …`, not `let _ = …`, which drops immediately).
+    pub fn entered(self) -> SpanGuard {
+        if !sink::enabled(self.level) {
+            return SpanGuard { active: None };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let (parent, depth) = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied();
+            let depth = stack.len();
+            stack.push(id);
+            (parent, depth)
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                id,
+                parent,
+                depth,
+                name: self.name,
+                level: self.level,
+                fields: self.fields,
+                start_micros: micros_now(),
+                started: Instant::now(),
+            }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    depth: usize,
+    name: &'static str,
+    level: Level,
+    fields: Vec<(&'static str, FieldValue)>,
+    start_micros: u64,
+    started: Instant,
+}
+
+/// Live span handle; emits the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Whether any sink will actually receive this span.
+    pub fn is_enabled(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attaches a field after entry (e.g. a result computed inside the
+    /// span). No-op when the span is disabled.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(a) = &mut self.active {
+            a.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop innermost-first; tolerate stray order.
+            if let Some(pos) = stack.iter().rposition(|&id| id == a.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            depth: a.depth,
+            name: a.name,
+            level: a.level,
+            start_micros: a.start_micros,
+            duration_micros: a.started.elapsed().as_micros() as u64,
+            fields: a.fields,
+        };
+        sink::dispatch_span(&record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::test_support::{with_capture, CapturedRecord};
+
+    #[test]
+    fn field_values_serialize() {
+        assert_eq!(FieldValue::from(3usize).to_json(), "3");
+        assert_eq!(FieldValue::from(-2i64).to_json(), "-2");
+        assert_eq!(FieldValue::from(true).to_json(), "true");
+        assert_eq!(FieldValue::from("a\"b").to_json(), "\"a\\\"b\"");
+        assert_eq!(FieldValue::from(0.5f32).to_json(), "0.5");
+        assert_eq!(FieldValue::from("plain").display(), "plain");
+    }
+
+    #[test]
+    fn disabled_spans_are_free_of_side_effects() {
+        // No sinks installed inside with_capture(None).
+        with_capture(None, |_| {
+            let mut g = span("nothing").entered();
+            assert!(!g.is_enabled());
+            g.record("k", 1u64);
+            assert!(current_span().is_none());
+        });
+    }
+
+    #[test]
+    fn nesting_links_parents_and_depth() {
+        let records = with_capture(Some(Level::Trace), |_| {
+            let outer = span("outer").field("n", 1u64).entered();
+            assert!(outer.is_enabled());
+            {
+                let _inner = debug_span("inner").entered();
+                let _leaf = trace_span("leaf").entered();
+            }
+            drop(outer);
+        });
+        let spans: Vec<&CapturedRecord> = records.iter().collect();
+        // Drop order: leaf, inner, outer.
+        assert_eq!(spans.len(), 3);
+        let (leaf, inner, outer) = (&spans[0], &spans[1], &spans[2]);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(inner.depth, 1);
+        assert_eq!(leaf.parent, Some(inner.id));
+        assert_eq!(leaf.depth, 2);
+        assert!(outer.json.contains("\"n\":1"));
+    }
+
+    #[test]
+    fn level_filtering_prunes_spans() {
+        let records = with_capture(Some(Level::Info), |_| {
+            let _a = span("kept").entered();
+            let _b = debug_span("dropped").entered();
+        });
+        let names: Vec<&str> = records.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["kept"]);
+    }
+
+    #[test]
+    fn recorded_fields_appear_in_output() {
+        let records = with_capture(Some(Level::Info), |_| {
+            let mut g = span("s").entered();
+            g.record("late", 42u64);
+        });
+        assert!(records[0].json.contains("\"late\":42"));
+    }
+}

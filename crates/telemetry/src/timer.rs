@@ -1,0 +1,77 @@
+//! [`ScopedTimer`]: one guard, two outputs — a histogram sample in the
+//! global metrics registry and a span through the installed sinks.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::level::Level;
+use crate::metrics::{global, Histogram};
+use crate::span::{span, FieldValue, SpanGuard};
+
+/// Times a region; on drop records the elapsed seconds into the global
+/// histogram `"<name>_secs"` and closes a span called `name`.
+///
+/// ```
+/// use enld_telemetry::ScopedTimer;
+/// {
+///     let _t = ScopedTimer::new("stage.work");
+/// } // records into histogram "stage.work_secs"
+/// assert!(enld_telemetry::metrics::global().histogram("stage.work_secs").count() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct ScopedTimer {
+    started: Instant,
+    histogram: Arc<Histogram>,
+    // Held so the span closes when the timer drops (after the histogram
+    // record below, since explicit Drop code runs before field drops).
+    span: SpanGuard,
+}
+
+impl ScopedTimer {
+    /// Starts a timer whose span is emitted at [`Level::Debug`].
+    pub fn new(name: &'static str) -> Self {
+        Self::with_level(name, Level::Debug)
+    }
+
+    /// Starts a timer whose span is emitted at `level`.
+    pub fn with_level(name: &'static str, level: Level) -> Self {
+        let histogram = global().histogram(&format!("{name}_secs"));
+        let span = span(name).level(level).entered();
+        Self { started: Instant::now(), histogram, span }
+    }
+
+    /// Seconds elapsed so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Attaches a field to the timer's span (no-op when disabled).
+    pub fn record_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        self.span.record(key, value);
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_secs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_named_histogram() {
+        let name = "timer.test.records";
+        let hist = global().histogram("timer.test.records_secs");
+        let before = hist.count();
+        {
+            let mut t = ScopedTimer::new(name);
+            t.record_field("k", 1u64);
+            assert!(t.elapsed_secs() >= 0.0);
+        }
+        assert_eq!(hist.count(), before + 1);
+        assert!(hist.summary().max < 60.0, "test timer can't have run for a minute");
+    }
+}

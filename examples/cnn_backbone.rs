@@ -69,9 +69,8 @@ fn main() {
 
     // Default-style detection from the CNN's confidences.
     let probs = cnn.predict_proba(noisy.xs(), noisy.len());
-    let detected: Vec<usize> = (0..noisy.len())
-        .filter(|&i| argmax(probs.row(i)) as u32 != noisy.labels()[i])
-        .collect();
+    let detected: Vec<usize> =
+        (0..noisy.len()).filter(|&i| argmax(probs.row(i)) as u32 != noisy.labels()[i]).collect();
     let m = detection_metrics(&detected, &noisy.noisy_indices(), noisy.len());
     println!(
         "confidence-based detection with the CNN backbone: \
@@ -81,12 +80,9 @@ fn main() {
         m.recall,
         m.f1
     );
-    println!(
-        "true-label accuracy of the trained CNN: {:.3}",
-        {
-            let mut cnn = cnn.clone();
-            cnn.accuracy(noisy.xs(), noisy.true_labels())
-        }
-    );
+    println!("true-label accuracy of the trained CNN: {:.3}", {
+        let mut cnn = cnn.clone();
+        cnn.accuracy(noisy.xs(), noisy.true_labels())
+    });
     println!("(base rate of random flagging at 20% noise would score F1 ≈ 0.2)");
 }

@@ -8,8 +8,8 @@
 
 use enld_core::{config::EnldConfig, detector::Enld, metrics::detection_metrics};
 use enld_datagen::presets::DatasetPreset;
-use enld_lake::lake::{DataLake, LakeConfig};
 use enld_datagen::Dataset;
+use enld_lake::lake::{DataLake, LakeConfig};
 use enld_lake::request::DetectionResponse;
 use enld_nn::data::DataRef;
 
@@ -41,11 +41,7 @@ fn main() {
             "service must return a valid clean/noisy partition"
         );
 
-        let m = detection_metrics(
-            &report.noisy,
-            &request.data.noisy_indices(),
-            request.data.len(),
-        );
+        let m = detection_metrics(&report.noisy, &request.data.noisy_indices(), request.data.len());
         f1_sum += m.f1;
         served += 1;
         println!(
@@ -60,7 +56,10 @@ fn main() {
 
         served_data.push(request.data);
     }
-    println!("\nstream served: mean F1 = {:.4} over {served} incremental datasets", f1_sum / served as f64);
+    println!(
+        "\nstream served: mean F1 = {:.4} over {served} incremental datasets",
+        f1_sum / served as f64
+    );
 
     // Optional step of Alg. 1 / Alg. 4: once clean inventory samples have
     // accumulated across the whole stream (so every class is covered),

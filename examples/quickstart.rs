@@ -55,8 +55,5 @@ fn main() {
         m.recall,
         m.f1
     );
-    println!(
-        "ambiguous-sample trajectory over iterations: {:?}",
-        report.ambiguous_trajectory()
-    );
+    println!("ambiguous-sample trajectory over iterations: {:?}", report.ambiguous_trajectory());
 }

@@ -32,7 +32,11 @@ fn main() {
         (report.clean, report.noisy, report.pseudo_labels)
     });
     while let Some(request) = lake.next_request() {
-        println!("ingest: submitted dataset #{} ({} samples)", request.dataset_id, request.data.len());
+        println!(
+            "ingest: submitted dataset #{} ({} samples)",
+            request.dataset_id,
+            request.data.len()
+        );
         service.submit(request);
     }
     println!("ingest: queue drained, {} detections in flight", service.in_flight());

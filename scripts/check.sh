@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local pre-merge gate: formatting, lints, and the full test suite.
+# Mirrors .github/workflows/ci.yml so a clean local run means green CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "All checks passed."

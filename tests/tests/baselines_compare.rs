@@ -108,7 +108,8 @@ fn training_methods_beat_confidence_methods_at_high_noise() {
         let req = fx.lake.next_request().expect("queued");
         let truth = req.data.noisy_indices();
         enld_f1 += detection_metrics(&fx.enld.detect(&req.data).noisy, &truth, req.data.len()).f1;
-        default_f1 += detection_metrics(&default.detect(&req.data).noisy, &truth, req.data.len()).f1;
+        default_f1 +=
+            detection_metrics(&default.detect(&req.data).noisy, &truth, req.data.len()).f1;
     }
     assert!(
         enld_f1 >= default_f1 - 0.05,

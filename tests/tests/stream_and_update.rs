@@ -58,10 +58,7 @@ fn model_update_after_stream_keeps_model_useful() {
     // this small preset it must stay in the same quality band (the paper's
     // Table II improvement shows up at CIFAR scale where the origin model
     // is weak).
-    assert!(
-        after > before - 0.15,
-        "update degraded the model too much: {before:.3} → {after:.3}"
-    );
+    assert!(after > before - 0.15, "update degraded the model too much: {before:.3} → {after:.3}");
     // After the update the splits swapped and votes were reset.
     assert!(enld.accumulated_clean().is_empty());
 }
@@ -95,10 +92,7 @@ fn clean_selection_is_actually_clean() {
     let ic = enld.candidate_set();
     let clean = enld.accumulated_clean();
     assert!(!clean.is_empty());
-    let correct = clean
-        .iter()
-        .filter(|&&i| ic.labels()[i] == ic.true_labels()[i])
-        .count();
+    let correct = clean.iter().filter(|&&i| ic.labels()[i] == ic.true_labels()[i]).count();
     let precision = correct as f64 / clean.len() as f64;
     assert!(precision > 0.85, "S_c precision {precision:.3} over {} samples", clean.len());
 }
