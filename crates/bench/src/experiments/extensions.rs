@@ -8,6 +8,10 @@
 //!   single-worker M/G/1 queue fed with each method's measured process
 //!   times, swept over Poisson arrival rates to find where each method's
 //!   backlog stays stable.
+//! * [`ext_pool`] — the `enld-serve` deployment validated in simulation:
+//!   an M/G/c pool on a mixed (short ENLD / long Topofilter) workload,
+//!   swept over worker counts and dispatch policies, reporting how p95
+//!   sojourn falls with `--workers` and how SJF beats FIFO.
 
 use std::io;
 
@@ -22,7 +26,7 @@ use enld_core::metrics::{detection_metrics, mean_metrics};
 use enld_datagen::presets::DatasetPreset;
 use enld_datagen::NoiseModel;
 use enld_lake::lake::{DataLake, LakeConfig};
-use enld_lake::queueing::simulate_queue;
+use enld_lake::queueing::{simulate_queue, simulate_queue_mgc, SimPolicy};
 
 use crate::experiments::ExpContext;
 use crate::rows::{f4, load_payload, ExperimentOutput, MethodRow};
@@ -179,6 +183,103 @@ pub fn ext_queue(ctx: &ExpContext) -> io::Result<()> {
         .fold(0.0f64, f64::max);
     println!(
         "[ext-queue] max sustainable arrival rate: ENLD {enld_max:.0}/h vs Topofilter {topo_max:.0}/h"
+    );
+    println!();
+    Ok(())
+}
+
+/// One (policy, worker-count) row of the pool experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolRow {
+    pub policy: String,
+    pub workers: usize,
+    pub utilisation: f64,
+    pub mean_sojourn_secs: f64,
+    pub p95_sojourn_secs: f64,
+    pub backlog: usize,
+    pub stable: bool,
+}
+
+/// The `enld serve` worker pool validated as an M/G/c queue: a mixed
+/// workload (short ENLD and long Topofilter requests sharing one queue)
+/// at a fixed arrival rate, swept over worker counts × dispatch
+/// policies. Uses the per-method process times measured for Fig. 5 when
+/// available, else a synthetic mix with the paper's ~15× method gap.
+pub fn ext_pool(ctx: &ExpContext) -> io::Result<()> {
+    let services: Vec<f64> = match load_payload::<Vec<MethodRow>>(&ctx.out_dir, "fig5") {
+        Some(rows) => {
+            let mut v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.method == "ENLD" || r.method == "Topofilter")
+                .map(|r| r.process_secs)
+                .filter(|&s| s > 0.0)
+                .collect();
+            if v.is_empty() {
+                v = vec![1.0, 15.0];
+            }
+            tinfo!("ext-pool", "using {} measured Fig. 5 service times", v.len());
+            v
+        }
+        None => {
+            tinfo!("ext-pool", "results/fig5.json absent; using the synthetic 15x mix");
+            vec![1.0, 15.0]
+        }
+    };
+    let mean = services.iter().sum::<f64>() / services.len() as f64;
+    // λ puts two workers at ρ = 0.9: one worker drowns, and every added
+    // worker past two buys visible sojourn headroom.
+    let rate = 1.8 / mean;
+    let horizon = 6.0 * 3600.0;
+
+    let mut rows = Vec::new();
+    for policy in [SimPolicy::Fifo, SimPolicy::Sjf] {
+        for workers in [1usize, 2, 4, 8] {
+            let stats = simulate_queue_mgc(rate, &services, workers, policy, horizon, ctx.seed);
+            rows.push(PoolRow {
+                policy: policy.name().to_owned(),
+                workers,
+                utilisation: stats.utilisation,
+                mean_sojourn_secs: stats.mean_sojourn_secs,
+                p95_sojourn_secs: stats.p95_sojourn_secs,
+                backlog: stats.backlog,
+                stable: stats.is_stable(),
+            });
+        }
+    }
+    let mut table = ExperimentOutput::new(
+        "ext-pool",
+        "M/G/c worker pool on a mixed workload (policy × worker count, fixed arrival rate)",
+        &["policy", "workers", "utilisation", "mean sojourn", "p95 sojourn", "backlog", "stable"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.policy.clone(),
+            r.workers.to_string(),
+            format!("{:.2}", r.utilisation),
+            format!("{:.1}s", r.mean_sojourn_secs),
+            format!("{:.1}s", r.p95_sojourn_secs),
+            r.backlog.to_string(),
+            if r.stable { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    table.emit(&ctx.out_dir, &rows)?;
+    // The two headlines the scheduler is built on.
+    let p95 = |policy: &str, workers: usize| {
+        rows.iter()
+            .find(|r| r.policy == policy && r.workers == workers)
+            .map(|r| r.p95_sojourn_secs)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "[ext-pool] FIFO p95 sojourn: 2 workers {:.1}s -> 4 workers {:.1}s -> 8 workers {:.1}s",
+        p95("fifo", 2),
+        p95("fifo", 4),
+        p95("fifo", 8)
+    );
+    println!(
+        "[ext-pool] SJF vs FIFO p95 at 2 workers: {:.1}s vs {:.1}s",
+        p95("sjf", 2),
+        p95("fifo", 2)
     );
     println!();
     Ok(())

@@ -39,7 +39,7 @@ pub fn all_ids() -> &'static [&'static str] {
 
 /// Extension experiments beyond the paper (run explicitly, or via `ext`).
 pub fn extension_ids() -> &'static [&'static str] {
-    &["ext-noise", "ext-queue"]
+    &["ext-noise", "ext-queue", "ext-pool"]
 }
 
 /// Runs one experiment by id.
@@ -66,6 +66,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> io::Result<()> {
         "headline" => methods::headline(ctx),
         "ext-noise" => extensions::ext_noise(ctx),
         "ext-queue" => extensions::ext_queue(ctx),
+        "ext-pool" => extensions::ext_pool(ctx),
         "all" => {
             for id in all_ids() {
                 run(id, ctx)?;

@@ -3,19 +3,34 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use enld_cli::{audit, detect, generate, load_lake, write_json, DetectOverrides};
+use enld_cli::{
+    audit, detect, generate, load_lake, serve, write_json, DetectOverrides, ServeOptions,
+};
 use enld_telemetry::TelemetryConfig;
 
 const USAGE: &str = "\
 usage:
   enld generate --preset <name> [--noise R] [--seed N] --out FILE
   enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N]
-  enld audit    --lake FILE [--arrival N]
+  enld serve    --lake FILE [--workers N] [--policy fifo|sjf|priority|edf]
+                [--queue-limit N] [--out FILE] [--iterations N] [--k N] [--seed N]
+  enld audit    --lake FILE [--arrival N] [--workers N]
 
 every command also accepts:
   [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]
 
 presets: emnist-sim cifar100-sim tiny-imagenet-sim test-sim";
+
+/// Flags every command accepts (telemetry wiring).
+const COMMON_FLAGS: &[&str] = &["log-level", "trace-out", "metrics-out"];
+
+/// Per-command accepted flags; anything else is an error, not silence.
+const COMMAND_FLAGS: &[(&str, &[&str])] = &[
+    ("generate", &["preset", "noise", "seed", "out"]),
+    ("detect", &["lake", "out", "iterations", "k", "seed"]),
+    ("serve", &["lake", "workers", "policy", "queue-limit", "out", "iterations", "k", "seed"]),
+    ("audit", &["lake", "arrival", "workers"]),
+];
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -33,6 +48,28 @@ impl Args {
             flags.push((name.to_owned(), value.clone()));
         }
         Ok(Self { flags })
+    }
+
+    /// Rejects flags the command does not accept — a typo like
+    /// `--iteration` must fail loudly instead of silently running with
+    /// defaults.
+    fn validate(&self, command: &str) -> Result<(), String> {
+        let accepted = COMMAND_FLAGS
+            .iter()
+            .find(|(c, _)| *c == command)
+            .map(|(_, flags)| *flags)
+            .unwrap_or(&[]);
+        for (name, _) in &self.flags {
+            if !accepted.contains(&name.as_str()) && !COMMON_FLAGS.contains(&name.as_str()) {
+                let mut all: Vec<&str> = accepted.iter().chain(COMMON_FLAGS).copied().collect();
+                all.sort_unstable();
+                return Err(format!(
+                    "unknown flag --{name} for '{command}' (accepted: {})\n{USAGE}",
+                    all.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(" ")
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -53,6 +90,9 @@ fn run() -> Result<(), String> {
         return Err(USAGE.to_owned());
     };
     let args = Args::parse(rest)?;
+    if COMMAND_FLAGS.iter().any(|(c, _)| c == command) {
+        args.validate(command)?;
+    }
     let telemetry = TelemetryConfig {
         log_level: match args.get("log-level") {
             None => enld_telemetry::Level::Info,
@@ -116,11 +156,70 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => {
+            let lake = PathBuf::from(args.get("lake").ok_or("--lake is required")?);
+            let file = load_lake(&lake).map_err(|e| e.to_string())?;
+            let opts = ServeOptions {
+                workers: args.parse_num("workers")?.unwrap_or(4),
+                policy: match args.get("policy") {
+                    None => Default::default(),
+                    Some(v) => v.parse().map_err(|e| format!("--policy: {e}"))?,
+                },
+                queue_limit: args.parse_num("queue-limit")?.unwrap_or(64),
+                overrides: DetectOverrides {
+                    iterations: args.parse_num("iterations")?,
+                    k: args.parse_num("k")?,
+                    seed: args.parse_num("seed")?,
+                },
+            };
+            let summary = serve(&file, &opts).map_err(|e| e.to_string())?;
+            for v in &summary.verdicts {
+                match v.metrics {
+                    Some(m) => println!(
+                        "arrival {}: {} noisy / {} clean in {:.2}s  (P {:.3} R {:.3} F1 {:.3})",
+                        v.arrival,
+                        v.noisy.len(),
+                        v.clean.len(),
+                        v.process_secs,
+                        m.precision,
+                        m.recall,
+                        m.f1
+                    ),
+                    None => println!(
+                        "arrival {}: {} noisy / {} clean in {:.2}s",
+                        v.arrival,
+                        v.noisy.len(),
+                        v.clean.len(),
+                        v.process_secs
+                    ),
+                }
+            }
+            let jobs: Vec<String> = summary
+                .per_worker_jobs
+                .iter()
+                .enumerate()
+                .map(|(w, n)| format!("w{w}:{n}"))
+                .collect();
+            println!(
+                "served {} arrivals with {} workers (policy {}, mean wait {:.3}s, jobs {})",
+                summary.verdicts.len(),
+                summary.workers,
+                summary.policy,
+                summary.mean_wait_secs,
+                jobs.join(" ")
+            );
+            if let Some(out) = args.get("out") {
+                write_json(&PathBuf::from(out), &summary.verdicts).map_err(|e| e.to_string())?;
+                println!("verdicts written to {out}");
+            }
+            Ok(())
+        }
         "audit" => {
             let lake = PathBuf::from(args.get("lake").ok_or("--lake is required")?);
             let file = load_lake(&lake).map_err(|e| e.to_string())?;
             let arrival: usize = args.parse_num("arrival")?.unwrap_or(0);
-            let rows = audit(&file, arrival).map_err(|e| e.to_string())?;
+            let workers: usize = args.parse_num("workers")?.unwrap_or(1);
+            let rows = audit(&file, arrival, workers).map_err(|e| e.to_string())?;
             println!("per-class audit of arrival {arrival} (observed label → flagged share):");
             for (class, flagged, total) in rows {
                 let share = flagged as f64 / total as f64;

@@ -34,6 +34,7 @@ pub mod timing;
 
 pub use catalog::{Catalog, DatasetKind};
 pub use lake::{DataLake, LakeConfig};
+pub use queueing::{simulate_queue, simulate_queue_mgc, QueueStats, SimPolicy};
 pub use request::{DetectionRequest, DetectionResponse};
-pub use service::DetectionService;
+pub use service::{DetectionService, SubmitError, WorkerPanic};
 pub use timing::{Stopwatch, TimingReport};

@@ -4,31 +4,68 @@
 //! continuous noisy label detection tasks" (§I, challenge 2) and defines
 //! *process time* as the waiting time to obtain results (§V-A3). This
 //! module turns that motivation into a measurable system property: a
-//! single detection worker serving Poisson arrivals (an M/G/1 queue),
-//! fed with the per-dataset service times actually measured for each
-//! method. A method is *sustainable* at arrival rate λ iff its mean
-//! service time keeps utilisation `ρ = λ·E[S] < 1`; past that point the
-//! backlog diverges — which is exactly the regime separating ENLD from
-//! Topofilter.
+//! pool of `c` detection workers serving Poisson arrivals (an M/G/c
+//! queue), fed with the per-dataset service times actually measured for
+//! each method. A deployment is *sustainable* at arrival rate λ iff its
+//! mean service time keeps per-capacity utilisation `ρ = λ·E[S]/c < 1`;
+//! past that point the backlog diverges — which is exactly the regime
+//! separating ENLD from Topofilter, and (at fixed λ) the lever the
+//! `enld-serve` worker pool pulls by raising `c`.
+//!
+//! The simulation also models the pool's dispatch policy so the
+//! scheduler's design can be validated before deployment: FIFO matches
+//! the paper's single-queue story, SJF mirrors `enld-serve`'s
+//! shortest-job-first policy (the simulator, like the pool's estimator,
+//! ranks waiting jobs by their service time).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Dispatch order applied to waiting jobs in the simulation; mirrors the
+/// `enld-serve` policies that reorder work (priority/EDF add no insight
+/// here without a tenant model, so the simulator keeps the two that
+/// change sojourn statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SimPolicy {
+    /// Serve in arrival order.
+    #[default]
+    Fifo,
+    /// Serve the shortest waiting job first.
+    Sjf,
+}
+
+impl SimPolicy {
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fifo => "fifo",
+            Self::Sjf => "sjf",
+        }
+    }
+}
 
 /// Result of simulating one method under one arrival rate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueueStats {
     /// Arrival rate λ (requests per second).
     pub arrival_rate: f64,
+    /// Worker count `c`.
+    pub workers: usize,
+    /// Dispatch policy applied to the waiting line.
+    pub policy: SimPolicy,
     /// Mean service time `E[S]` of the supplied samples (seconds).
     pub mean_service_secs: f64,
-    /// Offered utilisation `ρ = λ·E[S]`.
+    /// Offered per-capacity utilisation `ρ = λ·E[S]/c`.
     pub utilisation: f64,
     /// Mean time from arrival to completion (waiting + service).
     pub mean_sojourn_secs: f64,
     /// 95th-percentile sojourn time.
     pub p95_sojourn_secs: f64,
-    /// Largest queue length observed.
+    /// Largest number of requests in the system at once.
     pub max_queue_len: usize,
     /// Requests still queued when the simulation ended (a diverging
     /// backlog shows up here).
@@ -45,12 +82,93 @@ impl QueueStats {
     }
 }
 
-/// Simulates a single-worker queue over `horizon_secs`.
-///
-/// * `arrival_rate` — Poisson arrival intensity λ (requests/second);
-/// * `service_secs` — empirical per-request service times, cycled through
-///   in order (use the measured process times of a detector);
-/// * `seed` — for the exponential inter-arrival draws.
+/// A job waiting for a free server.
+struct Waiting {
+    arrival: f64,
+    service: f64,
+    seq: usize,
+}
+
+/// Policy-ordered waiting line. FIFO pops in arrival order; SJF pops the
+/// shortest service time (ties by arrival), matching the pool's ready
+/// queue semantics.
+enum WaitLine {
+    Fifo(VecDeque<Waiting>),
+    Sjf(BinaryHeap<SjfEntry>),
+}
+
+struct SjfEntry(Waiting);
+
+impl Ord for SjfEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap pops the max, we want the shortest job.
+        other.0.service.total_cmp(&self.0.service).then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+impl PartialOrd for SjfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for SjfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+
+impl Eq for SjfEntry {}
+
+impl WaitLine {
+    fn new(policy: SimPolicy) -> Self {
+        match policy {
+            SimPolicy::Fifo => Self::Fifo(VecDeque::new()),
+            SimPolicy::Sjf => Self::Sjf(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, job: Waiting) {
+        match self {
+            Self::Fifo(q) => q.push_back(job),
+            Self::Sjf(h) => h.push(SjfEntry(job)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Waiting> {
+        match self {
+            Self::Fifo(q) => q.pop_front(),
+            Self::Sjf(h) => h.pop().map(|e| e.0),
+        }
+    }
+}
+
+/// Completion-time key for the busy-server min-heap.
+struct FreeAt(f64);
+
+impl Ord for FreeAt {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other.0.total_cmp(&self.0) // reversed: min-heap
+    }
+}
+
+impl PartialOrd for FreeAt {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for FreeAt {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for FreeAt {}
+
+/// Simulates a single-worker FIFO queue over `horizon_secs` — the
+/// paper's deployment shape. Shorthand for [`simulate_queue_mgc`] with
+/// one worker.
 ///
 /// # Panics
 /// Panics if `service_secs` is empty or contains a non-positive time.
@@ -60,8 +178,33 @@ pub fn simulate_queue(
     horizon_secs: f64,
     seed: u64,
 ) -> QueueStats {
+    simulate_queue_mgc(arrival_rate, service_secs, 1, SimPolicy::Fifo, horizon_secs, seed)
+}
+
+/// Simulates an M/G/c queue: `workers` parallel servers drawing from one
+/// `policy`-ordered waiting line.
+///
+/// * `arrival_rate` — Poisson arrival intensity λ (requests/second);
+/// * `service_secs` — empirical per-request service times, cycled through
+///   in order (use the measured process times of a detector);
+/// * `workers` — server count `c` (the pool's `--workers`);
+/// * `policy` — dispatch order for the waiting line;
+/// * `seed` — for the exponential inter-arrival draws.
+///
+/// # Panics
+/// Panics if `service_secs` is empty, contains a non-positive time, or
+/// `workers` is zero.
+pub fn simulate_queue_mgc(
+    arrival_rate: f64,
+    service_secs: &[f64],
+    workers: usize,
+    policy: SimPolicy,
+    horizon_secs: f64,
+    seed: u64,
+) -> QueueStats {
     assert!(!service_secs.is_empty(), "need at least one service-time sample");
     assert!(service_secs.iter().all(|&s| s > 0.0), "service times must be positive");
+    assert!(workers > 0, "need at least one worker");
     assert!(arrival_rate > 0.0 && horizon_secs > 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -77,34 +220,63 @@ pub fn simulate_queue(
         arrivals.push(t);
     }
 
-    // Single worker, FIFO: completion_{i} = max(arrival_i, completion_{i-1}) + S_i.
     let registry = enld_telemetry::metrics::global();
     let wait_hist = registry.histogram("lake.sim.wait_secs");
     let sojourn_hist = registry.histogram("lake.sim.sojourn_secs");
     let mut sojourns = Vec::new();
-    let mut worker_free_at = 0.0f64;
     let mut completions: Vec<f64> = Vec::with_capacity(arrivals.len());
-    for (i, &arr) in arrivals.iter().enumerate() {
-        let service = service_secs[i % service_secs.len()];
-        let start = worker_free_at.max(arr);
-        let done = start + service;
-        worker_free_at = done;
+    let mut record = |arrival: f64, start: f64, done: f64| {
         completions.push(done);
         if done <= horizon_secs {
-            sojourns.push(done - arr);
-            wait_hist.record(start - arr);
-            sojourn_hist.record(done - arr);
+            sojourns.push(done - arrival);
+            wait_hist.record(start - arrival);
+            sojourn_hist.record(done - arrival);
+        }
+    };
+
+    // Event loop: busy servers as a min-heap of completion times; each
+    // completion hands the freed server to the next waiting job.
+    let mut busy: BinaryHeap<FreeAt> = BinaryHeap::with_capacity(workers);
+    let mut waiting = WaitLine::new(policy);
+    for (i, &arr) in arrivals.iter().enumerate() {
+        let service = service_secs[i % service_secs.len()];
+        while let Some(free) = busy.peek() {
+            if free.0 > arr {
+                break;
+            }
+            let free_at = busy.pop().expect("peeked").0;
+            if let Some(job) = waiting.pop() {
+                let done = free_at + job.service;
+                record(job.arrival, free_at, done);
+                busy.push(FreeAt(done));
+            }
+        }
+        if busy.len() < workers {
+            let done = arr + service;
+            record(arr, arr, done);
+            busy.push(FreeAt(done));
+        } else {
+            waiting.push(Waiting { arrival: arr, service, seq: i });
         }
     }
+    // Drain: no more arrivals, so every completion can seat one waiter.
+    while let Some(free) = busy.pop() {
+        if let Some(job) = waiting.pop() {
+            let done = free.0 + job.service;
+            record(job.arrival, free.0, done);
+            busy.push(FreeAt(done));
+        }
+    }
+
     let completed = completions.iter().filter(|&&c| c <= horizon_secs).count();
     let backlog = arrivals.len() - completed;
 
-    // Max queue length: sweep arrival/completion events.
+    // Max jobs in system: sweep arrival/completion events.
     let mut events: Vec<(f64, i64)> = arrivals.iter().map(|&a| (a, 1i64)).collect();
     events.extend(completions.iter().filter(|&&c| c <= horizon_secs).map(|&c| (c, -1i64)));
     events.sort_by(|a, b| {
         a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .unwrap_or(CmpOrdering::Equal)
             // Completions before arrivals at identical timestamps.
             .then(a.1.cmp(&b.1))
     });
@@ -115,7 +287,7 @@ pub fn simulate_queue(
         max_queue = max_queue.max(queue);
     }
 
-    sojourns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sojourns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(CmpOrdering::Equal));
     let mean_service = service_secs.iter().sum::<f64>() / service_secs.len() as f64;
     let mean_sojourn = if sojourns.is_empty() {
         0.0
@@ -130,8 +302,10 @@ pub fn simulate_queue(
 
     QueueStats {
         arrival_rate,
+        workers,
+        policy,
         mean_service_secs: mean_service,
-        utilisation: arrival_rate * mean_service,
+        utilisation: arrival_rate * mean_service / workers as f64,
         mean_sojourn_secs: mean_sojourn,
         p95_sojourn_secs: p95,
         max_queue_len: max_queue as usize,
@@ -140,17 +314,31 @@ pub fn simulate_queue(
     }
 }
 
-/// The largest arrival rate (from `rates`, ascending) at which the
-/// service stays stable; `None` if even the smallest rate overwhelms it.
+/// The largest arrival rate (from `rates`, ascending) at which a
+/// single-worker FIFO service stays stable; `None` if even the smallest
+/// rate overwhelms it.
 pub fn max_sustainable_rate(
     rates: &[f64],
     service_secs: &[f64],
     horizon_secs: f64,
     seed: u64,
 ) -> Option<f64> {
+    max_sustainable_rate_mgc(rates, service_secs, 1, horizon_secs, seed)
+}
+
+/// [`max_sustainable_rate`] generalised to an M/G/c pool: the largest
+/// rate a FIFO pool of `workers` servers sustains.
+pub fn max_sustainable_rate_mgc(
+    rates: &[f64],
+    service_secs: &[f64],
+    workers: usize,
+    horizon_secs: f64,
+    seed: u64,
+) -> Option<f64> {
     let mut best = None;
     for &rate in rates {
-        let stats = simulate_queue(rate, service_secs, horizon_secs, seed);
+        let stats =
+            simulate_queue_mgc(rate, service_secs, workers, SimPolicy::Fifo, horizon_secs, seed);
         if stats.is_stable() {
             best = Some(rate);
         }
@@ -228,6 +416,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = simulate_queue_mgc(1.0, &[1.0], 0, SimPolicy::Fifo, 10.0, 1);
+    }
+
+    #[test]
     fn no_arrivals_within_horizon() {
         // λ·T = 1e-6: the first exponential draw lands far past the
         // horizon, so the simulation sees an empty request stream.
@@ -257,6 +451,8 @@ mod tests {
     fn stability_threshold_edges() {
         let base = QueueStats {
             arrival_rate: 1.0,
+            workers: 1,
+            policy: SimPolicy::Fifo,
             mean_service_secs: 0.5,
             utilisation: 0.5,
             mean_sojourn_secs: 1.0,
@@ -274,5 +470,73 @@ mod tests {
         // Critical utilisation (ρ = 1) is unstable even with no backlog.
         let critical = QueueStats { utilisation: 1.0, ..base };
         assert!(!critical.is_stable());
+    }
+
+    #[test]
+    fn adding_workers_cuts_sojourn_at_fixed_load() {
+        // λ·E[S] = 1.8: one worker drowns, two are at ρ = 0.9, four at
+        // ρ = 0.45 — exactly the lever `enld serve --workers` pulls.
+        let one = simulate_queue_mgc(1.8, &[1.0], 1, SimPolicy::Fifo, 2_000.0, 11);
+        let two = simulate_queue_mgc(1.8, &[1.0], 2, SimPolicy::Fifo, 2_000.0, 11);
+        let four = simulate_queue_mgc(1.8, &[1.0], 4, SimPolicy::Fifo, 2_000.0, 11);
+        assert!(!one.is_stable(), "{one:?}");
+        assert!(two.is_stable(), "{two:?}");
+        assert!(four.is_stable(), "{four:?}");
+        assert!(
+            two.mean_sojourn_secs < one.mean_sojourn_secs / 2.0,
+            "2 workers must beat a drowning single worker ({} vs {})",
+            two.mean_sojourn_secs,
+            one.mean_sojourn_secs
+        );
+        assert!(
+            four.mean_sojourn_secs < two.mean_sojourn_secs,
+            "4 workers must beat 2 at ρ = 0.9 ({} vs {})",
+            four.mean_sojourn_secs,
+            two.mean_sojourn_secs
+        );
+        assert!(four.p95_sojourn_secs < two.p95_sojourn_secs);
+        assert_eq!(four.workers, 4);
+        assert!((four.utilisation - 0.45).abs() < 1e-9, "per-capacity ρ");
+    }
+
+    #[test]
+    fn mgc_with_one_worker_matches_mg1() {
+        let a = simulate_queue(0.7, &[1.0, 0.5], 1_000.0, 9);
+        let b = simulate_queue_mgc(0.7, &[1.0, 0.5], 1, SimPolicy::Fifo, 1_000.0, 9);
+        assert_eq!(a.completed, b.completed);
+        assert!((a.mean_sojourn_secs - b.mean_sojourn_secs).abs() < 1e-12);
+        assert_eq!(a.max_queue_len, b.max_queue_len);
+    }
+
+    #[test]
+    fn sjf_beats_fifo_on_a_mixed_workload() {
+        // Bimodal service (a fast and a 15× slower method sharing the
+        // queue) at high utilisation: SJF lets the short jobs overtake,
+        // collapsing mean and p95 sojourn.
+        let services = [0.2, 3.0];
+        let rate = 0.55; // ρ = 0.55 · 1.6 = 0.88
+        let fifo = simulate_queue_mgc(rate, &services, 1, SimPolicy::Fifo, 4_000.0, 13);
+        let sjf = simulate_queue_mgc(rate, &services, 1, SimPolicy::Sjf, 4_000.0, 13);
+        assert!(
+            sjf.mean_sojourn_secs < fifo.mean_sojourn_secs,
+            "SJF must cut mean sojourn on a bimodal workload ({} vs {})",
+            sjf.mean_sojourn_secs,
+            fifo.mean_sojourn_secs
+        );
+        assert!(
+            sjf.p95_sojourn_secs < fifo.p95_sojourn_secs,
+            "most jobs are short, so even p95 improves ({} vs {})",
+            sjf.p95_sojourn_secs,
+            fifo.p95_sojourn_secs
+        );
+        assert_eq!(sjf.completed + sjf.backlog, fifo.completed + fifo.backlog);
+    }
+
+    #[test]
+    fn policy_is_irrelevant_when_the_queue_never_forms() {
+        // ρ ≈ 0.1: jobs almost never wait, so FIFO and SJF coincide.
+        let fifo = simulate_queue_mgc(0.1, &[0.5, 1.5], 1, SimPolicy::Fifo, 2_000.0, 17);
+        let sjf = simulate_queue_mgc(0.1, &[0.5, 1.5], 1, SimPolicy::Sjf, 2_000.0, 17);
+        assert!((fifo.mean_sojourn_secs - sjf.mean_sojourn_secs).abs() < 0.2);
     }
 }

@@ -5,7 +5,9 @@
 //! detector (detectors are stateful: ENLD accumulates clean-inventory
 //! votes across tasks) and streams [`DetectionResponse`]s back. Requests
 //! are served FIFO, matching the paper's definition of process time as
-//! the waiting time for results (§V-A3).
+//! the waiting time for results (§V-A3). For the multi-worker,
+//! policy-scheduled variant see the `enld-serve` crate; this service is
+//! the minimal single-worker shape it generalises.
 //!
 //! The service is generic over a closure so this crate stays below
 //! `enld-core` in the dependency order; wire ENLD in with:
@@ -30,6 +32,83 @@ use crate::timing::Stopwatch;
 
 /// Verdict returned by a detector closure: `(clean, noisy, pseudo_labels)`.
 pub type Verdict = (Vec<usize>, Vec<usize>, Vec<(usize, u32)>);
+
+/// Why a [`DetectionService::submit`] was not accepted. Both variants
+/// hand the request back so the caller can reroute it.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// [`DetectionService::shutdown`] already ran.
+    ShutDown(Box<DetectionRequest>),
+    /// The worker thread is gone — almost always because the detector
+    /// closure panicked; [`DetectionService::shutdown`] reports the
+    /// panic message.
+    WorkerDied(Box<DetectionRequest>),
+}
+
+impl SubmitError {
+    /// Recovers the rejected request.
+    pub fn into_request(self) -> DetectionRequest {
+        match self {
+            Self::ShutDown(r) | Self::WorkerDied(r) => *r,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShutDown(r) => {
+                write!(f, "detection service is shut down (dataset {})", r.dataset_id)
+            }
+            Self::WorkerDied(r) => {
+                write!(f, "detection worker died (dataset {})", r.dataset_id)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The worker thread panicked while serving; returned by
+/// [`DetectionService::shutdown`] instead of silently dropping the
+/// in-flight work.
+#[derive(Debug)]
+pub struct WorkerPanic {
+    /// The panic payload, stringified.
+    pub message: String,
+    /// Responses that completed before the panic.
+    pub drained: Vec<DetectionResponse>,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "detection worker panicked after {} response(s): {}",
+            self.drained.len(),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "opaque panic payload".to_string(),
+        },
+    }
+}
+
+/// Single code path for the `lake.queue.depth` gauge: callers adjust by
+/// a delta instead of re-reading `in_flight()` (which raced with the
+/// worker between submit and set).
+fn queue_depth_add(delta: f64) {
+    telemetry::metrics::global().gauge("lake.queue.depth").add(delta);
+}
 
 /// Handle to a running detection worker.
 pub struct DetectionService {
@@ -86,19 +165,21 @@ impl DetectionService {
         Self { tx: Some(tx), rx, worker: Some(worker), submitted: 0, received: 0 }
     }
 
-    /// Enqueues a request; blocks when the queue is full.
-    ///
-    /// # Panics
-    /// Panics if the service was already shut down.
-    pub fn submit(&mut self, request: DetectionRequest) {
-        self.submitted += 1;
-        telemetry::metrics::global().counter("lake.service.requests_total").inc();
-        self.tx
-            .as_ref()
-            .expect("service already shut down")
-            .send((Instant::now(), request))
-            .expect("worker thread alive while the sender exists");
-        telemetry::metrics::global().gauge("lake.queue.depth").set(self.in_flight() as f64);
+    /// Enqueues a request; blocks when the queue is full. On error the
+    /// request is handed back inside [`SubmitError`].
+    pub fn submit(&mut self, request: DetectionRequest) -> Result<(), SubmitError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(SubmitError::ShutDown(Box::new(request)));
+        };
+        match tx.send((Instant::now(), request)) {
+            Ok(()) => {
+                self.submitted += 1;
+                telemetry::metrics::global().counter("lake.service.requests_total").inc();
+                queue_depth_add(1.0);
+                Ok(())
+            }
+            Err(send_err) => Err(SubmitError::WorkerDied(Box::new(send_err.into_inner().1))),
+        }
     }
 
     /// Non-blocking poll for a finished response.
@@ -106,7 +187,7 @@ impl DetectionService {
         match self.rx.try_recv() {
             Ok(resp) => {
                 self.received += 1;
-                telemetry::metrics::global().gauge("lake.queue.depth").set(self.in_flight() as f64);
+                queue_depth_add(-1.0);
                 Some(resp)
             }
             Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
@@ -118,24 +199,36 @@ impl DetectionService {
         self.submitted - self.received
     }
 
-    /// Stops accepting requests, drains every outstanding response, joins
-    /// the worker, and returns the drained responses in completion order.
-    pub fn shutdown(mut self) -> Vec<DetectionResponse> {
+    /// Stops accepting requests, drains every outstanding response, and
+    /// joins the worker. Returns the drained responses in completion
+    /// order, or — if the detector panicked — a [`WorkerPanic`] carrying
+    /// the panic message alongside whatever completed first. Idempotent:
+    /// a second call returns an empty drain.
+    pub fn shutdown(&mut self) -> Result<Vec<DetectionResponse>, WorkerPanic> {
         drop(self.tx.take()); // closes the request channel; worker exits
         let mut out = Vec::with_capacity(self.in_flight());
         while self.received < self.submitted {
             match self.rx.recv() {
                 Ok(resp) => {
                     self.received += 1;
+                    queue_depth_add(-1.0);
                     out.push(resp);
                 }
                 Err(_) => break,
             }
         }
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        // Requests lost to a dead worker never produce a response;
+        // release their share of the depth gauge.
+        let lost = self.submitted - self.received;
+        if lost > 0 {
+            queue_depth_add(-(lost as f64));
+            self.received = self.submitted;
         }
-        out
+        let joined = self.worker.take().map(JoinHandle::join).unwrap_or(Ok(()));
+        match joined {
+            Ok(()) => Ok(out),
+            Err(payload) => Err(WorkerPanic { message: panic_message(payload), drained: out }),
+        }
     }
 }
 
@@ -184,9 +277,9 @@ mod tests {
         let mut sizes = Vec::new();
         while let Some(req) = lake.next_request() {
             sizes.push((req.dataset_id, req.data.len(), req.data.missing_indices().len()));
-            service.submit(req);
+            service.submit(req).expect("worker alive");
         }
-        let responses = service.shutdown();
+        let responses = service.shutdown().expect("no panic");
         assert_eq!(responses.len(), total);
         // FIFO order and complete partitions.
         for ((id, len, missing), resp) in sizes.into_iter().zip(&responses) {
@@ -202,7 +295,7 @@ mod tests {
         assert!(service.try_next().is_none(), "nothing submitted yet");
         assert_eq!(service.in_flight(), 0);
         let mut lake = lake();
-        service.submit(lake.next_request().expect("queued"));
+        service.submit(lake.next_request().expect("queued")).expect("worker alive");
         assert_eq!(service.in_flight(), 1);
         // Eventually the response arrives.
         let mut got = None;
@@ -221,13 +314,79 @@ mod tests {
     fn drop_without_shutdown_joins_cleanly() {
         let mut lake = lake();
         let mut service = DetectionService::spawn(4, toy_verdict);
-        service.submit(lake.next_request().expect("queued"));
+        service.submit(lake.next_request().expect("queued")).expect("worker alive");
         drop(service); // must not hang or panic
     }
 
     #[test]
     fn shutdown_with_nothing_submitted() {
-        let service = DetectionService::spawn(2, toy_verdict);
-        assert!(service.shutdown().is_empty());
+        let mut service = DetectionService::spawn(2, toy_verdict);
+        assert!(service.shutdown().expect("no panic").is_empty());
+    }
+
+    #[test]
+    fn shutdown_with_backlog_returns_every_response() {
+        let mut lake = lake();
+        let mut service = DetectionService::spawn(16, |d: &Dataset| {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            toy_verdict(d)
+        });
+        let mut submitted = 0;
+        while let Some(req) = lake.next_request() {
+            service.submit(req).expect("worker alive");
+            submitted += 1;
+        }
+        assert!(submitted >= 3, "lake preset must produce a backlog");
+        // Shut down while most of the backlog is still queued: every
+        // accepted request must still come back.
+        let responses = service.shutdown().expect("no panic");
+        assert_eq!(responses.len(), submitted);
+        // Idempotent: a second shutdown drains nothing and does not hang.
+        assert!(service.shutdown().expect("no panic").is_empty());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_an_error() {
+        let mut lake = lake();
+        let mut service = DetectionService::spawn(2, toy_verdict);
+        service.shutdown().expect("no panic");
+        let req = lake.next_request().expect("queued");
+        let id = req.dataset_id;
+        match service.submit(req) {
+            Err(err @ SubmitError::ShutDown(_)) => {
+                assert!(err.to_string().contains("shut down"));
+                assert_eq!(err.into_request().dataset_id, id, "request is handed back");
+            }
+            other => panic!("expected ShutDown error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_detector_does_not_hang_the_caller() {
+        let mut lake = lake();
+        let mut service = DetectionService::spawn(2, |_: &Dataset| -> Verdict {
+            panic!("toy detector exploded")
+        });
+        let probe = lake.next_request().expect("queued");
+        service.submit(probe.clone()).expect("worker alive at submit");
+        // The worker dies on the first request; later submits fail fast
+        // instead of panicking the caller.
+        let mut died = false;
+        for _ in 0..1000 {
+            match service.submit(probe.clone()) {
+                Ok(()) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                Err(SubmitError::WorkerDied(_)) => {
+                    died = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        assert!(died, "submit must surface the dead worker");
+        // Shutdown must not hang on the never-completed requests and must
+        // surface the panic message instead of swallowing it.
+        let panic = service.shutdown().expect_err("worker panicked");
+        assert!(panic.message.contains("toy detector exploded"), "{panic}");
+        assert!(panic.drained.is_empty());
     }
 }

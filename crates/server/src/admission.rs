@@ -1,0 +1,201 @@
+//! Admission control: bounded backlog, explicit rejection, and a
+//! client-side retry helper.
+//!
+//! Once the ready queue holds `queue_limit` jobs the pool stops
+//! enqueueing and answers [`SubmitError::Rejected`] with a `retry_after`
+//! hint derived from the predicted backlog — back-pressure by refusal
+//! rather than by blocking the producer, so a multi-tenant ingestion
+//! path can shed load per tenant. [`submit_with_retry`] implements the
+//! cooperating client: exponential backoff, never shorter than the
+//! server's hint.
+
+use std::time::Duration;
+
+use crate::job::JobSpec;
+use crate::policy::PolicyKind;
+use crate::pool::WorkerPool;
+
+/// A submission the pool refused, carrying the job back to the caller.
+#[derive(Debug)]
+pub struct Rejected<P> {
+    /// The job, returned so the caller can retry or re-route it.
+    pub spec: JobSpec<P>,
+    /// Predicted time until the queue has drained enough to admit it:
+    /// `backlog_secs / workers`, clamped to `[10 ms, 60 s]`.
+    pub retry_after: Duration,
+}
+
+/// Why a submission failed.
+#[derive(Debug)]
+pub enum SubmitError<P> {
+    /// Backlog at the admission limit; retry after the hint.
+    Rejected(Rejected<P>),
+    /// The pool is shutting down (or every worker died); the job will
+    /// never be accepted.
+    ShutDown(JobSpec<P>),
+}
+
+impl<P> SubmitError<P> {
+    /// Recovers the job from either variant.
+    pub fn into_spec(self) -> JobSpec<P> {
+        match self {
+            Self::Rejected(r) => r.spec,
+            Self::ShutDown(spec) => spec,
+        }
+    }
+
+    /// The server's retry hint, for rejections.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            Self::Rejected(r) => Some(r.retry_after),
+            Self::ShutDown(_) => None,
+        }
+    }
+}
+
+impl<P> std::fmt::Display for SubmitError<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected(r) => {
+                write!(f, "queue full; retry after {:.0} ms", r.retry_after.as_secs_f64() * 1e3)
+            }
+            Self::ShutDown(_) => f.write_str("pool is shut down"),
+        }
+    }
+}
+
+impl<P: std::fmt::Debug> std::error::Error for SubmitError<P> {}
+
+/// Exponential backoff schedule for re-submitting rejected jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBackoff {
+    /// Delay before the first retry.
+    pub initial: Duration,
+    /// Multiplier per attempt.
+    pub factor: f64,
+    /// Cap on any single delay.
+    pub max_delay: Duration,
+    /// Total submission attempts (the first submit counts as one).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryBackoff {
+    fn default() -> Self {
+        Self {
+            initial: Duration::from_millis(10),
+            factor: 2.0,
+            max_delay: Duration::from_secs(1),
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryBackoff {
+    /// The local delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let scaled = self.initial.as_secs_f64() * self.factor.powi(attempt as i32);
+        Duration::from_secs_f64(scaled.min(self.max_delay.as_secs_f64()))
+    }
+}
+
+/// Submits `spec`, sleeping and retrying on [`SubmitError::Rejected`]
+/// until it is admitted or `backoff.max_attempts` submissions have been
+/// refused. Each sleep is the longer of the server's `retry_after` hint
+/// and the local exponential delay. Shutdown aborts immediately.
+///
+/// # Errors
+/// The final [`SubmitError`] once attempts are exhausted (carrying the
+/// job back), or [`SubmitError::ShutDown`] as soon as the pool stops
+/// accepting.
+pub fn submit_with_retry<P, R>(
+    pool: &WorkerPool<P, R>,
+    spec: JobSpec<P>,
+    backoff: &RetryBackoff,
+) -> Result<(), SubmitError<P>>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    let mut spec = spec;
+    let attempts = backoff.max_attempts.max(1);
+    for attempt in 0..attempts {
+        match pool.submit(spec) {
+            Ok(()) => return Ok(()),
+            Err(err @ SubmitError::ShutDown(_)) => return Err(err),
+            Err(SubmitError::Rejected(r)) => {
+                if attempt + 1 == attempts {
+                    return Err(SubmitError::Rejected(r));
+                }
+                std::thread::sleep(r.retry_after.max(backoff.delay(attempt)));
+                spec = r.spec;
+            }
+        }
+    }
+    unreachable!("loop returns on the final attempt");
+}
+
+/// Convenience: the policy-independent admission verdict used by the
+/// pool — how long until `queued` jobs of `mean_service_secs` each drain
+/// through `workers` workers.
+pub(crate) fn retry_after_hint(
+    backlog_secs: f64,
+    mean_service_secs: f64,
+    workers: usize,
+) -> Duration {
+    let secs = (backlog_secs + mean_service_secs).max(0.0) / workers.max(1) as f64;
+    Duration::from_secs_f64(secs.clamp(0.010, 60.0))
+}
+
+/// (Used by docs/tests) a policy name list matching [`PolicyKind::ALL`].
+pub fn policy_names() -> Vec<&'static str> {
+    PolicyKind::ALL.iter().map(|p| p.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = RetryBackoff {
+            initial: Duration::from_millis(10),
+            factor: 2.0,
+            max_delay: Duration::from_millis(50),
+            max_attempts: 6,
+        };
+        assert_eq!(b.delay(0), Duration::from_millis(10));
+        assert_eq!(b.delay(1), Duration::from_millis(20));
+        assert_eq!(b.delay(2), Duration::from_millis(40));
+        assert_eq!(b.delay(3), Duration::from_millis(50), "capped");
+        assert_eq!(b.delay(10), Duration::from_millis(50), "stays capped");
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_and_workers() {
+        let one = retry_after_hint(10.0, 1.0, 1);
+        let four = retry_after_hint(10.0, 1.0, 4);
+        assert!(one > four, "more workers drain the same backlog sooner");
+        assert!(retry_after_hint(0.0, 0.0, 1) >= Duration::from_millis(10), "floor");
+        assert!(retry_after_hint(1e9, 1.0, 1) <= Duration::from_secs(60), "ceiling");
+    }
+
+    #[test]
+    fn submit_error_surfaces_the_spec_and_hint() {
+        let err: SubmitError<u32> = SubmitError::Rejected(Rejected {
+            spec: JobSpec::new(9, 42),
+            retry_after: Duration::from_millis(120),
+        });
+        assert_eq!(err.retry_after(), Some(Duration::from_millis(120)));
+        assert!(err.to_string().contains("120 ms"));
+        assert_eq!(err.into_spec().payload, 42);
+
+        let down: SubmitError<u32> = SubmitError::ShutDown(JobSpec::new(1, 7));
+        assert_eq!(down.retry_after(), None);
+        assert_eq!(down.into_spec().id, 1);
+    }
+
+    #[test]
+    fn policy_names_match_the_kinds() {
+        assert_eq!(policy_names(), vec!["fifo", "sjf", "priority", "edf"]);
+    }
+}

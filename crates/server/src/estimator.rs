@@ -1,0 +1,192 @@
+//! Online per-class service-time estimation.
+//!
+//! SJF needs a service-time prediction *before* a job runs. The
+//! estimator learns one from completed requests, per job class, as two
+//! exponentially weighted moving averages: seconds **per unit cost**
+//! (used when the job carries a cost hint, so a 4× larger dataset
+//! predicts 4× the time) and raw mean seconds (used when it does not).
+//! Unseen classes fall back to a configurable prior.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// EWMA weight of the newest observation. High enough to track phase
+/// changes (a detector warming its caches speeds up across a stream),
+/// low enough not to thrash on one outlier.
+const ALPHA: f64 = 0.3;
+
+#[derive(Debug, Clone, Copy)]
+struct ClassStats {
+    /// EWMA of `secs / cost` over observations with `cost > 0`.
+    secs_per_cost: Option<f64>,
+    /// EWMA of raw service seconds.
+    mean_secs: f64,
+    /// Observations folded in.
+    samples: u64,
+}
+
+/// Thread-safe online estimator mapping `(class, cost)` to predicted
+/// service seconds.
+#[derive(Debug)]
+pub struct ServiceTimeEstimator {
+    classes: Mutex<HashMap<String, ClassStats>>,
+    prior_secs: f64,
+}
+
+impl ServiceTimeEstimator {
+    /// An empty estimator predicting `prior_secs` for unseen classes.
+    ///
+    /// # Panics
+    /// Panics unless `prior_secs` is finite and positive.
+    pub fn new(prior_secs: f64) -> Self {
+        assert!(prior_secs > 0.0 && prior_secs.is_finite(), "prior must be finite and positive");
+        Self { classes: Mutex::new(HashMap::new()), prior_secs }
+    }
+
+    /// Folds one completed request into the class's averages. Non-finite
+    /// or negative observations are ignored.
+    pub fn observe(&self, class: &str, cost: f64, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        let mut classes = self.lock();
+        match classes.get_mut(class) {
+            Some(stats) => {
+                stats.mean_secs = ALPHA * secs + (1.0 - ALPHA) * stats.mean_secs;
+                if cost > 0.0 {
+                    let rate = secs / cost;
+                    stats.secs_per_cost = Some(
+                        stats.secs_per_cost.map_or(rate, |r| ALPHA * rate + (1.0 - ALPHA) * r),
+                    );
+                }
+                stats.samples += 1;
+            }
+            None => {
+                let secs_per_cost = (cost > 0.0).then(|| secs / cost);
+                classes.insert(
+                    class.to_owned(),
+                    ClassStats { secs_per_cost, mean_secs: secs, samples: 1 },
+                );
+            }
+        }
+    }
+
+    /// Predicted service seconds for a job of `class` with work-size
+    /// hint `cost` (`0` = unknown size).
+    pub fn predict(&self, class: &str, cost: f64) -> f64 {
+        let classes = self.lock();
+        match classes.get(class) {
+            None => self.prior_secs,
+            Some(stats) => match stats.secs_per_cost {
+                Some(rate) if cost > 0.0 => rate * cost,
+                _ => stats.mean_secs,
+            },
+        }
+    }
+
+    /// The class's EWMA mean service seconds, if it has been observed.
+    pub fn mean_secs(&self, class: &str) -> Option<f64> {
+        self.lock().get(class).map(|s| s.mean_secs)
+    }
+
+    /// Observations folded in for `class`.
+    pub fn samples(&self, class: &str) -> u64 {
+        self.lock().get(class).map_or(0, |s| s.samples)
+    }
+
+    /// EWMA mean service seconds across every observed class, or the
+    /// prior when nothing has completed yet. Drives `retry_after` hints.
+    pub fn overall_mean_secs(&self) -> f64 {
+        let classes = self.lock();
+        if classes.is_empty() {
+            return self.prior_secs;
+        }
+        classes.values().map(|s| s.mean_secs).sum::<f64>() / classes.len() as f64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, ClassStats>> {
+        // A panic while holding this short lock leaves only telemetry
+        // state behind; recover instead of poisoning the whole pool.
+        self.classes.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_class_predicts_the_prior() {
+        let e = ServiceTimeEstimator::new(2.5);
+        assert_eq!(e.predict("enld", 100.0), 2.5);
+        assert_eq!(e.mean_secs("enld"), None);
+        assert_eq!(e.samples("enld"), 0);
+        assert_eq!(e.overall_mean_secs(), 2.5);
+    }
+
+    #[test]
+    fn cost_scaling_extrapolates_to_larger_jobs() {
+        let e = ServiceTimeEstimator::new(1.0);
+        // 0.01 s per sample, consistently.
+        for _ in 0..20 {
+            e.observe("enld", 100.0, 1.0);
+        }
+        let small = e.predict("enld", 100.0);
+        let large = e.predict("enld", 400.0);
+        assert!((small - 1.0).abs() < 1e-9, "{small}");
+        assert!((large - 4.0).abs() < 1e-9, "{large}");
+    }
+
+    #[test]
+    fn zero_cost_jobs_use_the_class_mean() {
+        let e = ServiceTimeEstimator::new(1.0);
+        e.observe("enld", 0.0, 3.0);
+        assert!((e.predict("enld", 0.0) - 3.0).abs() < 1e-9);
+        // A later costed observation unlocks rate-based prediction
+        // without disturbing the zero-cost path.
+        e.observe("enld", 100.0, 3.0);
+        assert!(e.predict("enld", 0.0) > 0.0);
+        assert!((e.predict("enld", 200.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_tracks_a_regime_change() {
+        let e = ServiceTimeEstimator::new(1.0);
+        for _ in 0..30 {
+            e.observe("m", 1.0, 10.0);
+        }
+        assert!((e.predict("m", 1.0) - 10.0).abs() < 1e-6);
+        for _ in 0..30 {
+            e.observe("m", 1.0, 1.0);
+        }
+        let after = e.predict("m", 1.0);
+        assert!(after < 1.1, "EWMA must converge to the new regime, got {after}");
+        assert_eq!(e.samples("m"), 60);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let e = ServiceTimeEstimator::new(1.0);
+        e.observe("fast", 1.0, 0.1);
+        e.observe("slow", 1.0, 30.0);
+        assert!(e.predict("fast", 1.0) < 1.0);
+        assert!(e.predict("slow", 1.0) > 10.0);
+        let overall = e.overall_mean_secs();
+        assert!(overall > 0.1 && overall < 30.0);
+    }
+
+    #[test]
+    fn garbage_observations_are_ignored() {
+        let e = ServiceTimeEstimator::new(1.0);
+        e.observe("m", 1.0, f64::NAN);
+        e.observe("m", 1.0, -4.0);
+        assert_eq!(e.samples("m"), 0);
+        assert_eq!(e.predict("m", 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn bad_prior_rejected() {
+        let _ = ServiceTimeEstimator::new(0.0);
+    }
+}

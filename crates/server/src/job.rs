@@ -1,0 +1,113 @@
+//! Job descriptions consumed by the scheduler.
+//!
+//! A [`JobSpec`] wraps an arbitrary payload (the scheduler is data-plane
+//! agnostic) with the scheduling metadata the policies act on: a method
+//! *class* (the key the service-time estimator learns under), a *cost*
+//! hint (any monotone proxy for work, e.g. sample count), a *priority*
+//! class, and an optional *deadline*.
+
+use std::time::{Duration, Instant};
+
+/// Priority class of a job; larger values are served first under
+/// [`PolicyKind::Priority`](crate::policy::PolicyKind::Priority).
+pub type Priority = u8;
+
+/// One unit of schedulable work.
+#[derive(Debug, Clone)]
+pub struct JobSpec<P> {
+    /// Caller-chosen identifier, echoed back in the job's outcome.
+    pub id: u64,
+    /// Method class for the online service-time estimator (e.g.
+    /// `"enld"`, `"topofilter"`). Jobs of one class are assumed to share
+    /// a per-unit-cost service rate.
+    pub class: String,
+    /// Work-size hint in arbitrary units (sample count works well);
+    /// must be non-negative. `0` means "unknown" — the estimator then
+    /// falls back to the class mean.
+    pub cost: f64,
+    /// Priority class; only [`PolicyKind::Priority`] orders on it.
+    ///
+    /// [`PolicyKind::Priority`]: crate::policy::PolicyKind::Priority
+    pub priority: Priority,
+    /// Absolute completion deadline. Jobs whose deadline has passed when
+    /// a worker picks them up are *expired* without running; EDF orders
+    /// on this field.
+    pub deadline: Option<Instant>,
+    /// The work itself, handed by reference to a worker's detector.
+    pub payload: P,
+}
+
+impl<P> JobSpec<P> {
+    /// A default-priority, deadline-free job of unknown cost.
+    pub fn new(id: u64, payload: P) -> Self {
+        Self { id, class: "default".to_owned(), cost: 0.0, priority: 0, deadline: None, payload }
+    }
+
+    /// Sets the estimator class.
+    #[must_use]
+    pub fn with_class(mut self, class: impl Into<String>) -> Self {
+        self.class = class.into();
+        self
+    }
+
+    /// Sets the work-size hint.
+    #[must_use]
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        assert!(cost >= 0.0 && cost.is_finite(), "cost hint must be finite and non-negative");
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the priority class (larger = more urgent).
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `budget` from now.
+    #[must_use]
+    pub fn with_timeout(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_field() {
+        let dl = Instant::now() + Duration::from_secs(5);
+        let j = JobSpec::new(7, "payload")
+            .with_class("enld")
+            .with_cost(400.0)
+            .with_priority(3)
+            .with_deadline(dl);
+        assert_eq!(j.id, 7);
+        assert_eq!(j.class, "enld");
+        assert_eq!(j.cost, 400.0);
+        assert_eq!(j.priority, 3);
+        assert_eq!(j.deadline, Some(dl));
+        assert_eq!(j.payload, "payload");
+    }
+
+    #[test]
+    fn with_timeout_lands_in_the_future() {
+        let j = JobSpec::new(0, ()).with_timeout(Duration::from_millis(50));
+        assert!(j.deadline.expect("set") > Instant::now());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_cost_rejected() {
+        let _ = JobSpec::new(0, ()).with_cost(-1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Scheduling policies and the ready queue they order.
+//!
+//! The dispatch queue is a single binary heap; each policy reduces to a
+//! scalar sort key computed at enqueue time, with the submission sequence
+//! number as the tie-breaker (so every policy degrades to FIFO among
+//! equals, and FIFO itself is exact):
+//!
+//! | policy     | key                                      |
+//! |------------|------------------------------------------|
+//! | `Fifo`     | constant (sequence number decides)       |
+//! | `Sjf`      | predicted service seconds (shortest first)|
+//! | `Priority` | negated priority class (highest first)   |
+//! | `Edf`      | deadline (earliest first; none = last)   |
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+use crate::job::JobSpec;
+
+/// Which ordering the dispatch queue applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// First in, first out — the arrival order, as in the paper's
+    /// single-worker deployment.
+    #[default]
+    Fifo,
+    /// Shortest job first, using the online service-time estimate for
+    /// the job's `(class, cost)`. Minimises mean sojourn on mixed
+    /// workloads at the price of delaying the largest jobs.
+    Sjf,
+    /// Strict priority classes; ties served FIFO.
+    Priority,
+    /// Earliest deadline first; deadline-free jobs run last.
+    Edf,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, for help strings and sweeps.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Fifo, PolicyKind::Sjf, PolicyKind::Priority, PolicyKind::Edf];
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fifo => "fifo",
+            Self::Sjf => "sjf",
+            Self::Priority => "priority",
+            Self::Edf => "edf",
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(Self::Fifo),
+            "sjf" => Ok(Self::Sjf),
+            "priority" => Ok(Self::Priority),
+            "edf" => Ok(Self::Edf),
+            other => Err(format!("unknown policy '{other}' (fifo|sjf|priority|edf)")),
+        }
+    }
+}
+
+/// A job waiting in the ready queue, with the state the policies and the
+/// pool's bookkeeping need.
+#[derive(Debug)]
+pub struct Queued<P> {
+    /// The job as submitted.
+    pub spec: JobSpec<P>,
+    /// When `submit` accepted it (queue-wait measurement).
+    pub submitted_at: Instant,
+    /// The estimator's service-time prediction at submission, in
+    /// seconds — SJF's sort key, and the basis of `retry_after` hints.
+    pub predicted_secs: f64,
+}
+
+struct Entry<P> {
+    key: f64,
+    seq: u64,
+    job: Queued<P>,
+}
+
+// Min-heap semantics on (key, seq): BinaryHeap pops the maximum, so the
+// comparison is reversed here.
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.total_cmp(&self.key).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+
+impl<P> Eq for Entry<P> {}
+
+/// Policy-ordered queue of jobs awaiting a worker.
+pub struct ReadyQueue<P> {
+    policy: PolicyKind,
+    epoch: Instant,
+    heap: BinaryHeap<Entry<P>>,
+    seq: u64,
+}
+
+impl<P> ReadyQueue<P> {
+    /// An empty queue ordering jobs by `policy`.
+    pub fn new(policy: PolicyKind) -> Self {
+        Self { policy, epoch: Instant::now(), heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// The ordering this queue applies.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Enqueues a job; its dispatch rank is fixed now, from the policy's
+    /// view of the spec (re-ranking on estimator drift is deliberately
+    /// not done — it would starve jobs already queued).
+    pub fn push(&mut self, job: Queued<P>) {
+        let key = match self.policy {
+            PolicyKind::Fifo => 0.0,
+            PolicyKind::Sjf => job.predicted_secs,
+            PolicyKind::Priority => -f64::from(job.spec.priority),
+            PolicyKind::Edf => job
+                .spec
+                .deadline
+                .map_or(f64::INFINITY, |d| d.saturating_duration_since(self.epoch).as_secs_f64()),
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { key, seq, job });
+    }
+
+    /// Removes and returns the next job under the policy, if any.
+    pub fn pop(&mut self) -> Option<Queued<P>> {
+        self.heap.pop().map(|e| e.job)
+    }
+
+    /// Sum of the queued jobs' predicted service seconds — the expected
+    /// serial backlog a new arrival queues behind.
+    pub fn predicted_backlog_secs(&self) -> f64 {
+        self.heap.iter().map(|e| e.job.predicted_secs.max(0.0)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn queued(id: u64, predicted: f64, priority: u8, deadline_ms: Option<u64>) -> Queued<u64> {
+        let mut spec = JobSpec::new(id, id).with_priority(priority);
+        if let Some(ms) = deadline_ms {
+            spec = spec.with_deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        Queued { spec, submitted_at: Instant::now(), predicted_secs: predicted }
+    }
+
+    fn drain_ids<P>(q: &mut ReadyQueue<P>) -> Vec<u64> {
+        let mut ids = Vec::new();
+        while let Some(j) = q.pop() {
+            ids.push(j.spec.id);
+        }
+        ids
+    }
+
+    #[test]
+    fn fifo_preserves_submission_order() {
+        let mut q = ReadyQueue::new(PolicyKind::Fifo);
+        for (id, pred) in [(0, 9.0), (1, 1.0), (2, 5.0)] {
+            q.push(queued(id, pred, 0, None));
+        }
+        assert_eq!(drain_ids(&mut q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sjf_orders_by_predicted_service() {
+        let mut q = ReadyQueue::new(PolicyKind::Sjf);
+        q.push(queued(0, 9.0, 0, None));
+        q.push(queued(1, 1.0, 0, None));
+        q.push(queued(2, 5.0, 0, None));
+        assert_eq!(drain_ids(&mut q), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sjf_ties_fall_back_to_fifo() {
+        let mut q = ReadyQueue::new(PolicyKind::Sjf);
+        for id in 0..4 {
+            q.push(queued(id, 2.0, 0, None));
+        }
+        assert_eq!(drain_ids(&mut q), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn priority_classes_dominate_arrival_order() {
+        let mut q = ReadyQueue::new(PolicyKind::Priority);
+        q.push(queued(0, 1.0, 0, None));
+        q.push(queued(1, 1.0, 2, None));
+        q.push(queued(2, 1.0, 1, None));
+        q.push(queued(3, 1.0, 2, None));
+        // Highest class first; FIFO inside a class.
+        assert_eq!(drain_ids(&mut q), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_with_none_last() {
+        let mut q = ReadyQueue::new(PolicyKind::Edf);
+        q.push(queued(0, 1.0, 0, Some(500)));
+        q.push(queued(1, 1.0, 0, None));
+        q.push(queued(2, 1.0, 0, Some(100)));
+        q.push(queued(3, 1.0, 0, Some(300)));
+        assert_eq!(drain_ids(&mut q), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn predicted_backlog_sums_the_queue() {
+        let mut q = ReadyQueue::new(PolicyKind::Fifo);
+        q.push(queued(0, 1.5, 0, None));
+        q.push(queued(1, 2.5, 0, None));
+        assert!((q.predicted_backlog_secs() - 4.0).abs() < 1e-12);
+        q.pop();
+        assert!((q.predicted_backlog_secs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_round_trips_through_strings() {
+        for p in PolicyKind::ALL {
+            assert_eq!(p.name().parse::<PolicyKind>().expect("round trip"), p);
+        }
+        assert!("lifo".parse::<PolicyKind>().is_err());
+    }
+}

@@ -6,7 +6,7 @@
 //! coarse `setup_secs`/`process_secs` totals. This crate provides the
 //! three pieces every layer reports through:
 //!
-//! * **Spans** ([`span`], [`SpanGuard`]) — hierarchical, monotonic-clock
+//! * **Spans** ([`span()`], [`SpanGuard`]) — hierarchical, monotonic-clock
 //!   timed regions with key/value fields, emitted on close through
 //!   pluggable [`Sink`]s. Two sinks ship in-tree: a human-readable
 //!   [`StderrSink`] with level filtering and a machine-readable

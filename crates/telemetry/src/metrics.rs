@@ -49,6 +49,21 @@ impl Gauge {
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Atomically adds `delta` (negative to subtract). Unlike
+    /// read-then-[`set`](Self::set), concurrent adders cannot lose or
+    /// duplicate each other's updates, so level-style gauges (queue
+    /// depth) stay exact under contention.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
@@ -351,6 +366,28 @@ mod tests {
         let g = reg.gauge("depth");
         g.set(2.5);
         assert_eq!(reg.gauge("depth").get(), 2.5);
+        g.add(1.0);
+        g.add(-3.0);
+        assert_eq!(reg.gauge("depth").get(), 0.5);
+    }
+
+    #[test]
+    fn gauge_add_is_exact_under_contention() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                        g.add(-1.0);
+                    }
+                    g.add(1.0);
+                });
+            }
+        });
+        assert_eq!(g.get(), 4.0, "no increments may be lost");
     }
 
     #[test]

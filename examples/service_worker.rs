@@ -37,11 +37,21 @@ fn main() {
             request.dataset_id,
             request.data.len()
         );
-        service.submit(request);
+        if let Err(err) = service.submit(request) {
+            eprintln!("ingest: {err}");
+            break;
+        }
     }
     println!("ingest: queue drained, {} detections in flight", service.in_flight());
 
-    for response in service.shutdown() {
+    let responses = match service.shutdown() {
+        Ok(responses) => responses,
+        Err(panic) => {
+            eprintln!("worker: {panic}");
+            panic.drained
+        }
+    };
+    for response in responses {
         let (_, truth, len) = truths
             .iter()
             .find(|(id, _, _)| *id == response.dataset_id)

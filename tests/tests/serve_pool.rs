@@ -1,0 +1,74 @@
+//! The `enld-serve` worker pool driven by real detectors over a real
+//! arrival stream — the multi-worker deployment end to end.
+
+use enld_core::{config::EnldConfig, detector::Enld, metrics::detection_metrics};
+use enld_datagen::presets::DatasetPreset;
+use enld_datagen::Dataset;
+use enld_lake::lake::{DataLake, LakeConfig};
+use enld_serve::{
+    submit_with_retry, JobOutcome, JobSpec, PolicyKind, PoolConfig, RetryBackoff, WorkerPool,
+};
+
+fn pooled_run(policy: PolicyKind, workers: usize) -> Vec<(u64, f64)> {
+    let preset = DatasetPreset::test_sim().scaled(0.5);
+    let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 77 });
+    let mut cfg = EnldConfig::fast_test();
+    cfg.iterations = 3;
+    let prototype = Enld::init(lake.inventory(), &cfg);
+
+    let truths: Vec<(u64, Vec<usize>, usize)> = lake
+        .peek_requests()
+        .map(|r| (r.dataset_id, r.data.noisy_indices(), r.data.len()))
+        .collect();
+
+    let pool_config = PoolConfig { workers, queue_limit: 4, policy, ..PoolConfig::default() };
+    let pool = WorkerPool::spawn(pool_config, |_worker| {
+        let mut enld = prototype.clone();
+        move |data: &Dataset| enld.detect(data)
+    });
+    let backoff = RetryBackoff::default();
+    let mut submitted = 0;
+    while let Some(req) = lake.next_request() {
+        let spec = JobSpec::new(req.dataset_id, req.data.clone())
+            .with_class("detect")
+            .with_cost(req.data.len() as f64);
+        submit_with_retry(&pool, spec, &backoff).expect("admitted after backoff");
+        submitted += 1;
+    }
+    let outcomes = pool.shutdown().expect("no worker panics");
+    assert_eq!(outcomes.len(), submitted, "every accepted job comes back");
+
+    outcomes
+        .into_iter()
+        .map(|o| {
+            let JobOutcome::Completed(c) = o else { panic!("no expiries or failures expected") };
+            let (_, truth, len) =
+                truths.iter().find(|(id, _, _)| *id == c.id).expect("known dataset");
+            assert!(
+                c.result.clean.len() + c.result.noisy.len() <= *len,
+                "partition bounded by dataset size"
+            );
+            (c.id, detection_metrics(&c.result.noisy, truth, *len).f1)
+        })
+        .collect()
+}
+
+#[test]
+fn sjf_pool_serves_the_full_stream() {
+    let scored = pooled_run(PolicyKind::Sjf, 2);
+    assert!(scored.len() >= 3, "test preset queues several arrivals");
+    // Every dataset id is answered exactly once.
+    let mut ids: Vec<u64> = scored.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), scored.len());
+    let mean_f1 = scored.iter().map(|(_, f1)| f1).sum::<f64>() / scored.len() as f64;
+    assert!(mean_f1 > 0.5, "pooled detection quality holds (mean F1 {mean_f1:.3})");
+}
+
+#[test]
+fn fifo_pool_matches_single_worker_coverage() {
+    let pooled = pooled_run(PolicyKind::Fifo, 3);
+    let solo = pooled_run(PolicyKind::Fifo, 1);
+    assert_eq!(pooled.len(), solo.len(), "worker count never changes coverage");
+}
