@@ -49,6 +49,7 @@ fn bench_contrastive(c: &mut Criterion) {
                     3,
                     false,
                     &mut rng,
+                    None,
                 ))
             })
         });

@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment>... [--quick] [--seed N] [--out DIR]
 //!       [--log-level LEVEL] [--trace-out FILE] [--metrics-out FILE]
+//!       [--metrics-interval SECS]
 //! repro all --quick
 //! ```
 //!
@@ -14,6 +15,8 @@
 //! stderr verbosity (default `info`), `--trace-out FILE` writes a
 //! JSON-lines span/event trace, and `--metrics-out FILE` dumps the final
 //! metrics snapshot (counters, gauges, histograms with p50/p95/p99).
+//! `--metrics-interval SECS` additionally rewrites that snapshot
+//! atomically (tmp + rename) on a fixed cadence while the run is live.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,7 +27,7 @@ use enld_telemetry::{terror, tinfo, TelemetryConfig};
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR]\n             [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]\n       experiments: {} {} all ext",
+        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR]\n             [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]\n             [--metrics-interval SECS]\n       experiments: {} {} all ext",
         experiments::all_ids().join(" "),
         experiments::extension_ids().join(" ")
     )
@@ -35,7 +38,7 @@ fn main() -> ExitCode {
     let mut scale = RunScale::full();
     let mut seed = 7u64;
     let mut out_dir = PathBuf::from("results");
-    let mut telemetry = TelemetryConfig::default();
+    let mut telemetry_cfg = TelemetryConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,7 +60,7 @@ fn main() -> ExitCode {
                 }
             },
             "--log-level" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => telemetry.log_level = v,
+                Some(v) => telemetry_cfg.log_level = v,
                 None => {
                     eprintln!(
                         "--log-level requires one of quiet|error|warn|info|debug|trace\n{}",
@@ -67,16 +70,23 @@ fn main() -> ExitCode {
                 }
             },
             "--trace-out" => match args.next() {
-                Some(v) => telemetry.trace_out = Some(PathBuf::from(v)),
+                Some(v) => telemetry_cfg.trace_out = Some(PathBuf::from(v)),
                 None => {
                     eprintln!("--trace-out requires a file path\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
             "--metrics-out" => match args.next() {
-                Some(v) => telemetry.metrics_out = Some(PathBuf::from(v)),
+                Some(v) => telemetry_cfg.metrics_out = Some(PathBuf::from(v)),
                 None => {
                     eprintln!("--metrics-out requires a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-interval" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => telemetry_cfg.metrics_interval = Some(v),
+                None => {
+                    eprintln!("--metrics-interval requires a number of seconds\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -94,10 +104,17 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         ids.push("all".to_owned());
     }
-    if let Err(e) = telemetry.install() {
-        eprintln!("failed to open trace output: {e}");
-        return ExitCode::FAILURE;
-    }
+    // The handle flushes sinks and writes the final snapshot on every
+    // exit path (explicitly below, via Drop if an experiment panics);
+    // with --metrics-interval it also snapshots periodically while the
+    // run is live, so long experiments are observable mid-flight.
+    let mut telemetry = match telemetry_cfg.install() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("failed to open trace output: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let ctx = ExpContext::new(scale, seed, out_dir);
     tinfo!(

@@ -12,8 +12,13 @@
 //!   an M/G/c pool on a mixed (short ENLD / long Topofilter) workload,
 //!   swept over worker counts and dispatch policies, reporting how p95
 //!   sojourn falls with `--workers` and how SJF beats FIFO.
+//! * [`ext_obs`] — the audit ledger's observer effect quantified: the
+//!   same detection workload with the ledger detached, detached again
+//!   (run-to-run noise floor), and attached, comparing process-time
+//!   deltas against that noise floor.
 
 use std::io;
+use std::sync::Arc;
 
 use enld_telemetry::tinfo;
 
@@ -22,6 +27,7 @@ use serde::{Deserialize, Serialize};
 use enld_baselines::common::NoisyLabelDetector;
 use enld_baselines::default_detector::DefaultDetector;
 use enld_core::detector::Enld;
+use enld_core::ledger::MemoryLedger;
 use enld_core::metrics::{detection_metrics, mean_metrics};
 use enld_datagen::presets::DatasetPreset;
 use enld_datagen::NoiseModel;
@@ -280,6 +286,97 @@ pub fn ext_pool(ctx: &ExpContext) -> io::Result<()> {
         "[ext-pool] SJF vs FIFO p95 at 2 workers: {:.1}s vs {:.1}s",
         p95("sjf", 2),
         p95("fifo", 2)
+    );
+    println!();
+    Ok(())
+}
+
+/// One mode of the ledger-overhead experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsRow {
+    pub mode: String,
+    pub datasets: usize,
+    pub mean_process_secs: f64,
+    pub max_process_secs: f64,
+    pub ledger_records: usize,
+}
+
+/// Audit-ledger observer effect: identical CIFAR100-sim detection runs
+/// with the ledger detached (twice — the second rerun measures the
+/// run-to-run noise floor) and attached to a [`MemoryLedger`]. The
+/// headline compares the attach delta against that noise floor; the
+/// detached runs exercise the permanently-plumbed disabled path.
+pub fn ext_obs(ctx: &ExpContext) -> io::Result<()> {
+    let preset = ctx.scale.preset(DatasetPreset::cifar100_sim());
+    let cfg = ctx.scale.enld_config(&preset, ctx.seed);
+    let run = |sink: Option<Arc<MemoryLedger>>| -> (Vec<f64>, usize) {
+        let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: ctx.seed });
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        if let Some(sink) = &sink {
+            enld.set_ledger(Arc::clone(sink), "bench");
+        }
+        let n = ctx.scale.cap(lake.pending_requests());
+        let mut secs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let req = lake.next_request().expect("capped");
+            secs.push(enld.detect(&req.data).process_secs);
+        }
+        let records = sink.map(|s| s.len()).unwrap_or(0);
+        (secs, records)
+    };
+
+    tinfo!("ext-obs", "ledger detached …");
+    let (base, _) = run(None);
+    tinfo!("ext-obs", "ledger detached (noise-floor rerun) …");
+    let (repeat, _) = run(None);
+    tinfo!("ext-obs", "ledger attached …");
+    let (with_ledger, records) = run(Some(Arc::new(MemoryLedger::new())));
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
+    let rows = vec![
+        ObsRow {
+            mode: "ledger-off".to_owned(),
+            datasets: base.len(),
+            mean_process_secs: mean(&base),
+            max_process_secs: max(&base),
+            ledger_records: 0,
+        },
+        ObsRow {
+            mode: "ledger-off-rerun".to_owned(),
+            datasets: repeat.len(),
+            mean_process_secs: mean(&repeat),
+            max_process_secs: max(&repeat),
+            ledger_records: 0,
+        },
+        ObsRow {
+            mode: "ledger-on".to_owned(),
+            datasets: with_ledger.len(),
+            mean_process_secs: mean(&with_ledger),
+            max_process_secs: max(&with_ledger),
+            ledger_records: records,
+        },
+    ];
+    let mut table = ExperimentOutput::new(
+        "ext-obs",
+        "Audit-ledger observer effect on CIFAR100-sim process time",
+        &["mode", "datasets", "mean process", "max process", "ledger records"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.mode.clone(),
+            r.datasets.to_string(),
+            format!("{:.4}s", r.mean_process_secs),
+            format!("{:.4}s", r.max_process_secs),
+            r.ledger_records.to_string(),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &rows)?;
+    let noise = (mean(&repeat) - mean(&base)).abs();
+    let delta = mean(&with_ledger) - mean(&base);
+    println!(
+        "[ext-obs] ledger attach delta {delta:+.4}s vs run-to-run noise {noise:.4}s ({} records)",
+        records
     );
     println!();
     Ok(())

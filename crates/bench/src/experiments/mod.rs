@@ -39,7 +39,7 @@ pub fn all_ids() -> &'static [&'static str] {
 
 /// Extension experiments beyond the paper (run explicitly, or via `ext`).
 pub fn extension_ids() -> &'static [&'static str] {
-    &["ext-noise", "ext-queue", "ext-pool"]
+    &["ext-noise", "ext-queue", "ext-pool", "ext-obs"]
 }
 
 /// Runs one experiment by id.
@@ -67,6 +67,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> io::Result<()> {
         "ext-noise" => extensions::ext_noise(ctx),
         "ext-queue" => extensions::ext_queue(ctx),
         "ext-pool" => extensions::ext_pool(ctx),
+        "ext-obs" => extensions::ext_obs(ctx),
         "all" => {
             for id in all_ids() {
                 run(id, ctx)?;

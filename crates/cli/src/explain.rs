@@ -1,0 +1,195 @@
+//! `enld explain` — replays audit-ledger records into a human-readable
+//! narrative of why one sample was ruled clean or noisy.
+//!
+//! The narrative never trusts the logged verdict blindly: the majority
+//! vote is recomputed from the logged per-step trajectory with
+//! [`replay_verdict`], and a mismatch (a corrupted or hand-edited
+//! ledger) is surfaced as an error by the CLI.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use enld_core::ledger::{replay_verdict, LedgerRecord, SampleRecord, TaskRecord, Verdict};
+
+use crate::CliError;
+
+/// Loads and parses a JSONL ledger written by `--ledger`.
+///
+/// # Errors
+/// I/O failures and malformed records (with their line number).
+pub fn load_ledger(path: &Path) -> Result<Vec<LedgerRecord>, CliError> {
+    let text = fs::read_to_string(path)?;
+    LedgerRecord::parse_jsonl(&text)
+        .map_err(|e| CliError::BadInput(format!("malformed ledger {}: {e}", path.display())))
+}
+
+/// The result of replaying one sample's ledger trail.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Human-readable, multi-line account of the decision.
+    pub narrative: String,
+    /// The verdict the detector logged.
+    pub logged: Verdict,
+    /// The verdict recomputed from the logged vote trajectory.
+    pub recomputed: Verdict,
+}
+
+impl Explanation {
+    /// Whether the recomputed majority vote agrees with the logged
+    /// verdict (it always should for an untampered ledger).
+    pub fn consistent(&self) -> bool {
+        self.logged == self.recomputed
+    }
+}
+
+/// Explains sample `sample` of task `task` (or the last task that saw
+/// that sample index when `task` is `None`).
+///
+/// # Errors
+/// No matching [`SampleRecord`] in `records`.
+pub fn explain(
+    records: &[LedgerRecord],
+    sample: usize,
+    task: Option<usize>,
+) -> Result<Explanation, CliError> {
+    let rec = records
+        .iter()
+        .filter_map(|r| match r {
+            LedgerRecord::Sample(s) if s.sample == sample => Some(s),
+            _ => None,
+        })
+        .filter(|s| match task {
+            Some(t) => s.task == t,
+            None => true,
+        })
+        .next_back()
+        .ok_or_else(|| match task {
+            Some(t) => {
+                CliError::BadInput(format!("no ledger record for sample {sample} in task {t}"))
+            }
+            None => CliError::BadInput(format!("no ledger record for sample {sample}")),
+        })?;
+    let task_rec = records.iter().find_map(|r| match r {
+        LedgerRecord::Task(t) if t.detector == rec.detector && t.task == rec.task => Some(t),
+        _ => None,
+    });
+    Ok(build(rec, task_rec))
+}
+
+fn build(rec: &SampleRecord, task: Option<&TaskRecord>) -> Explanation {
+    let mut n = String::new();
+    let _ = writeln!(
+        n,
+        "sample {} (task {} on detector {:?}), observed label {}",
+        rec.sample, rec.task, rec.detector, rec.observed
+    );
+    if let Some(t) = task {
+        let _ = writeln!(
+            n,
+            "  arrival: {} samples, {} eligible, {} initially ambiguous ({:.1}% — drift gauge)",
+            t.samples,
+            t.eligible,
+            t.ambiguous_initial,
+            t.ambiguous_rate * 100.0
+        );
+    }
+    if rec.ambiguous_initial {
+        let _ = writeln!(
+            n,
+            "  initially AMBIGUOUS: the general model disagreed with label {}",
+            rec.observed
+        );
+    } else {
+        let _ = writeln!(
+            n,
+            "  not initially ambiguous: the general model agreed with label {}",
+            rec.observed
+        );
+    }
+    for d in &rec.draws {
+        let round = if d.round < 0 {
+            "before warm-up".to_owned()
+        } else {
+            format!("after iteration {}", d.round)
+        };
+        let _ = writeln!(
+            n,
+            "  contrastive draw {round}: candidate label {} from P~(.|{}), neighbours {:?}",
+            d.candidate, rec.observed, d.neighbors
+        );
+    }
+    for (i, steps) in rec.votes.iter().enumerate() {
+        let agree = steps.iter().filter(|&&v| v).count();
+        let marks: String = steps.iter().map(|&v| if v { '+' } else { '-' }).collect();
+        let outcome = if agree >= rec.threshold { "reaches" } else { "misses" };
+        let _ = writeln!(
+            n,
+            "  iteration {i}: votes [{marks}] — {agree}/{} agree, {outcome} threshold {}",
+            steps.len(),
+            rec.threshold
+        );
+    }
+    if rec.still_ambiguous_after.is_empty() {
+        let _ = writeln!(n, "  never re-flagged as ambiguous after an iteration");
+    } else {
+        let _ = writeln!(n, "  still ambiguous after iterations {:?}", rec.still_ambiguous_after);
+    }
+    let recomputed = replay_verdict(&rec.votes, rec.threshold);
+    let _ = writeln!(
+        n,
+        "  verdict: {} (logged) / {} (recomputed from the vote trajectory)",
+        rec.verdict.as_str(),
+        recomputed.as_str()
+    );
+    Explanation { narrative: n, logged: rec.verdict, recomputed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enld_core::ledger::SampleDraw;
+
+    fn sample_record(votes: Vec<Vec<bool>>, verdict: Verdict) -> LedgerRecord {
+        LedgerRecord::Sample(SampleRecord {
+            detector: "main".to_owned(),
+            task: 1,
+            sample: 7,
+            observed: 2,
+            ambiguous_initial: true,
+            votes,
+            threshold: 2,
+            still_ambiguous_after: vec![0],
+            draws: vec![SampleDraw { round: -1, candidate: 4, neighbors: vec![1, 5] }],
+            verdict,
+        })
+    }
+
+    #[test]
+    fn explains_a_clean_sample_consistently() {
+        let records =
+            vec![sample_record(vec![vec![true, true], vec![false, false]], Verdict::Clean)];
+        let e = explain(&records, 7, None).expect("found");
+        assert!(e.consistent());
+        assert_eq!(e.recomputed, Verdict::Clean);
+        assert!(e.narrative.contains("iteration 0: votes [++]"), "{}", e.narrative);
+        assert!(e.narrative.contains("candidate label 4"), "{}", e.narrative);
+    }
+
+    #[test]
+    fn detects_a_tampered_verdict() {
+        // Votes never reach the threshold, yet the ledger claims clean.
+        let records =
+            vec![sample_record(vec![vec![true, false], vec![false, false]], Verdict::Clean)];
+        let e = explain(&records, 7, None).expect("found");
+        assert!(!e.consistent());
+        assert_eq!(e.recomputed, Verdict::Noisy);
+    }
+
+    #[test]
+    fn missing_sample_is_an_error() {
+        let records = vec![sample_record(vec![vec![true]], Verdict::Clean)];
+        assert!(matches!(explain(&records, 99, None), Err(CliError::BadInput(_))));
+        assert!(matches!(explain(&records, 7, Some(3)), Err(CliError::BadInput(_))));
+    }
+}

@@ -20,17 +20,26 @@
 
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use enld_core::config::EnldConfig;
 use enld_core::detector::Enld;
+use enld_core::ledger::JsonlLedger;
 use enld_core::metrics::{detection_metrics, DetectionMetrics};
 use enld_datagen::presets::DatasetPreset;
 use enld_datagen::Dataset;
 use enld_lake::lake::{DataLake, LakeConfig};
-use enld_serve::{submit_with_retry, JobSpec, PolicyKind, PoolConfig, RetryBackoff, WorkerPool};
+use enld_serve::{
+    submit_with_retry, JobSpec, PolicyKind, PoolConfig, PoolStats, RetryBackoff, WorkerPool,
+};
+use enld_telemetry::json::JsonObject;
+use enld_telemetry::ObsStatus;
+
+pub mod explain;
 
 /// A dataset bundle on disk: the lake's inventory plus arrivals.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -148,8 +157,13 @@ pub struct DetectOverrides {
 ///
 /// Ground truth is considered available when any arrival's observed
 /// labels disagree with its `true_labels` (generated data); verdicts are
-/// then scored.
-pub fn detect(file: &LakeFile, overrides: DetectOverrides) -> Vec<Verdict> {
+/// then scored. When `ledger` is set, an audit ledger is written there
+/// (one JSONL record per task / eligible sample, tagged `main`).
+pub fn detect(
+    file: &LakeFile,
+    overrides: DetectOverrides,
+    ledger: Option<&Path>,
+) -> Result<Vec<Verdict>, CliError> {
     let mut cfg = config_for(file, overrides);
     if let Some(t) = overrides.iterations {
         cfg.iterations = t;
@@ -158,8 +172,13 @@ pub fn detect(file: &LakeFile, overrides: DetectOverrides) -> Vec<Verdict> {
         cfg.k = k;
     }
     let mut enld = Enld::init(&file.inventory, &cfg);
+    if let Some(path) = ledger {
+        let sink = Arc::new(JsonlLedger::create(path)?);
+        enld.set_ledger(sink, "main");
+    }
     let has_truth = file.arrivals.iter().any(|a| a.labels() != a.true_labels());
-    file.arrivals
+    Ok(file
+        .arrivals
         .iter()
         .enumerate()
         .map(|(i, data)| {
@@ -175,12 +194,67 @@ pub fn detect(file: &LakeFile, overrides: DetectOverrides) -> Vec<Verdict> {
                 metrics,
             }
         })
-        .collect()
+        .collect())
+}
+
+/// Bridges the observability server to a worker pool that does not exist
+/// yet when the server binds: `/healthz` and `/workers` report a
+/// starting phase until [`ObsBridge::attach`] hands over live
+/// [`PoolStats`].
+pub struct ObsBridge {
+    started: Instant,
+    pool: Mutex<Option<Arc<PoolStats>>>,
+}
+
+impl ObsBridge {
+    pub fn new() -> Self {
+        Self { started: Instant::now(), pool: Mutex::new(None) }
+    }
+
+    /// Switches `/healthz` and `/workers` over to the live pool.
+    pub fn attach(&self, stats: Arc<PoolStats>) {
+        *self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(stats);
+    }
+}
+
+impl Default for ObsBridge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ObsBridge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attached =
+            self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some();
+        f.debug_struct("ObsBridge").field("attached", &attached).finish()
+    }
+}
+
+impl ObsStatus for ObsBridge {
+    fn healthz(&self) -> (bool, String) {
+        match &*self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner) {
+            Some(stats) => stats.healthz(),
+            None => {
+                let mut o = JsonObject::new();
+                o.str_field("status", "starting")
+                    .f64_field("uptime_secs", self.started.elapsed().as_secs_f64());
+                (true, o.finish())
+            }
+        }
+    }
+
+    fn workers_json(&self) -> String {
+        match &*self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner) {
+            Some(stats) => stats.workers_json(),
+            None => "[]".to_owned(),
+        }
+    }
 }
 
 /// Options for `enld serve`: a pooled, policy-scheduled variant of
 /// [`detect`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Detection worker threads (each owns a clone of the warmed-up
     /// detector).
@@ -192,6 +266,12 @@ pub struct ServeOptions {
     pub queue_limit: usize,
     /// Same knobs as `detect`.
     pub overrides: DetectOverrides,
+    /// Observability bridge to hand the pool's live stats to once the
+    /// pool is spawned (`enld serve --obs-addr`).
+    pub obs: Option<Arc<ObsBridge>>,
+    /// Audit ledger destination; every worker appends to it (tagged
+    /// `w0`, `w1`, …).
+    pub ledger: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -201,6 +281,8 @@ impl Default for ServeOptions {
             policy: PolicyKind::Fifo,
             queue_limit: 64,
             overrides: DetectOverrides::default(),
+            obs: None,
+            ledger: None,
         }
     }
 }
@@ -240,6 +322,10 @@ pub fn serve(file: &LakeFile, opts: &ServeOptions) -> Result<ServeSummary, CliEr
     }
     let prototype = Enld::init(&file.inventory, &cfg);
     let has_truth = file.arrivals.iter().any(|a| a.labels() != a.true_labels());
+    let ledger_sink = match &opts.ledger {
+        Some(path) => Some(Arc::new(JsonlLedger::create(path)?)),
+        None => None,
+    };
 
     let pool_cfg = PoolConfig {
         workers: opts.workers,
@@ -247,10 +333,20 @@ pub fn serve(file: &LakeFile, opts: &ServeOptions) -> Result<ServeSummary, CliEr
         policy: opts.policy,
         ..PoolConfig::default()
     };
-    let pool = WorkerPool::spawn(pool_cfg, |_worker| {
+    let pool = WorkerPool::spawn(pool_cfg, |worker| {
         let mut enld = prototype.clone();
+        if let Some(sink) = &ledger_sink {
+            enld.set_ledger(Arc::clone(sink), &format!("w{worker}"));
+        }
         move |data: &Dataset| enld.detect(data)
     });
+    if let Some(obs) = &opts.obs {
+        obs.attach(pool.stats());
+    }
+    // Arrivals not yet handed to the pool; scrapers see the lake-side
+    // backlog alongside the pool's own `serve.queue.depth`.
+    let lake_depth = enld_telemetry::metrics::global().gauge("lake.queue.depth");
+    lake_depth.set(file.arrivals.len() as f64);
     let backoff = RetryBackoff::default();
     for (i, data) in file.arrivals.iter().enumerate() {
         // Cost = sample count, so SJF can rank unseen arrivals by size.
@@ -258,6 +354,7 @@ pub fn serve(file: &LakeFile, opts: &ServeOptions) -> Result<ServeSummary, CliEr
             JobSpec::new(i as u64, data.clone()).with_class("detect").with_cost(data.len() as f64);
         submit_with_retry(&pool, spec, &backoff)
             .map_err(|e| CliError::Serve(format!("arrival {i} not admitted: {e}")))?;
+        lake_depth.add(-1.0);
     }
     let outcomes = pool.shutdown().map_err(|p| CliError::Serve(p.to_string()))?;
 
@@ -328,7 +425,7 @@ pub fn audit(
     let verdicts = if workers > 1 {
         serve(file, &ServeOptions { workers, ..ServeOptions::default() })?.verdicts
     } else {
-        detect(file, DetectOverrides::default())
+        detect(file, DetectOverrides::default(), None)?
     };
     let verdict = &verdicts[arrival];
     let mut flagged = vec![0usize; data.classes()];
@@ -412,7 +509,7 @@ mod tests {
     fn detect_scores_generated_lakes() {
         let (file, path) = small_lake("detect");
         let overrides = DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) };
-        let verdicts = detect(&file, overrides);
+        let verdicts = detect(&file, overrides, None).expect("detect");
         assert_eq!(verdicts.len(), file.arrivals.len());
         for (v, a) in verdicts.iter().zip(&file.arrivals) {
             assert_eq!(v.clean.len() + v.noisy.len(), a.len());
@@ -444,6 +541,7 @@ mod tests {
             policy: PolicyKind::Sjf,
             queue_limit: 8,
             overrides: DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) },
+            ..ServeOptions::default()
         };
         let summary = serve(&file, &opts).expect("serve");
         assert_eq!(summary.verdicts.len(), file.arrivals.len());

@@ -2,34 +2,57 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use enld_cli::explain::{explain, load_ledger};
 use enld_cli::{
-    audit, detect, generate, load_lake, serve, write_json, DetectOverrides, ServeOptions,
+    audit, detect, generate, load_lake, serve, write_json, DetectOverrides, ObsBridge, ServeOptions,
 };
-use enld_telemetry::TelemetryConfig;
+use enld_telemetry::{ObsServer, ObsStatus, TelemetryConfig};
 
 const USAGE: &str = "\
 usage:
   enld generate --preset <name> [--noise R] [--seed N] --out FILE
-  enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N]
+  enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N] [--ledger FILE]
   enld serve    --lake FILE [--workers N] [--policy fifo|sjf|priority|edf]
                 [--queue-limit N] [--out FILE] [--iterations N] [--k N] [--seed N]
+                [--obs-addr HOST:PORT] [--obs-linger SECS] [--ledger FILE]
   enld audit    --lake FILE [--arrival N] [--workers N]
+  enld explain  --ledger FILE --sample N [--task N]
 
 every command also accepts:
   [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]
+  [--metrics-interval SECS]
+
+the --obs-addr endpoint serves /metrics (Prometheus), /metrics.json, /healthz, /workers
 
 presets: emnist-sim cifar100-sim tiny-imagenet-sim test-sim";
 
 /// Flags every command accepts (telemetry wiring).
-const COMMON_FLAGS: &[&str] = &["log-level", "trace-out", "metrics-out"];
+const COMMON_FLAGS: &[&str] = &["log-level", "trace-out", "metrics-out", "metrics-interval"];
 
 /// Per-command accepted flags; anything else is an error, not silence.
 const COMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("generate", &["preset", "noise", "seed", "out"]),
-    ("detect", &["lake", "out", "iterations", "k", "seed"]),
-    ("serve", &["lake", "workers", "policy", "queue-limit", "out", "iterations", "k", "seed"]),
+    ("detect", &["lake", "out", "iterations", "k", "seed", "ledger"]),
+    (
+        "serve",
+        &[
+            "lake",
+            "workers",
+            "policy",
+            "queue-limit",
+            "out",
+            "iterations",
+            "k",
+            "seed",
+            "obs-addr",
+            "obs-linger",
+            "ledger",
+        ],
+    ),
     ("audit", &["lake", "arrival", "workers"]),
+    ("explain", &["ledger", "sample", "task"]),
 ];
 
 struct Args {
@@ -93,7 +116,7 @@ fn run() -> Result<(), String> {
     if COMMAND_FLAGS.iter().any(|(c, _)| c == command) {
         args.validate(command)?;
     }
-    let telemetry = TelemetryConfig {
+    let telemetry_cfg = TelemetryConfig {
         log_level: match args.get("log-level") {
             None => enld_telemetry::Level::Info,
             Some(v) => v.parse().map_err(|_| {
@@ -102,8 +125,25 @@ fn run() -> Result<(), String> {
         },
         trace_out: args.get("trace-out").map(PathBuf::from),
         metrics_out: args.get("metrics-out").map(PathBuf::from),
+        metrics_interval: args.parse_num("metrics-interval")?,
     };
-    telemetry.install().map_err(|e| format!("failed to open trace output: {e}"))?;
+    // The handle's Drop flushes sinks and writes the final snapshot on
+    // *every* exit path, including usage errors below.
+    let mut telemetry =
+        telemetry_cfg.install().map_err(|e| format!("failed to open trace output: {e}"))?;
+    // Bind the observability endpoint before any heavy work so scrapers
+    // can watch setup; /healthz reports "starting" until the pool exists.
+    let obs_bridge = Arc::new(ObsBridge::new());
+    let obs_server = match args.get("obs-addr") {
+        Some(addr) if command == "serve" => {
+            let status: Arc<dyn ObsStatus> = Arc::clone(&obs_bridge) as Arc<dyn ObsStatus>;
+            let server = ObsServer::bind(addr, enld_telemetry::metrics::global(), status)
+                .map_err(|e| format!("--obs-addr {addr}: bind failed: {e}"))?;
+            println!("observability endpoint listening on http://{}", server.local_addr());
+            Some(server)
+        }
+        _ => None,
+    };
     let result = match command.as_str() {
         "generate" => {
             let preset = args.get("preset").ok_or("--preset is required")?;
@@ -128,7 +168,12 @@ fn run() -> Result<(), String> {
                 k: args.parse_num("k")?,
                 seed: args.parse_num("seed")?,
             };
-            let verdicts = detect(&file, overrides);
+            let ledger = args.get("ledger").map(PathBuf::from);
+            let verdicts =
+                detect(&file, overrides, ledger.as_deref()).map_err(|e| e.to_string())?;
+            if let Some(path) = &ledger {
+                println!("audit ledger written to {}", path.display());
+            }
             for v in &verdicts {
                 match v.metrics {
                     Some(m) => println!(
@@ -171,8 +216,13 @@ fn run() -> Result<(), String> {
                     k: args.parse_num("k")?,
                     seed: args.parse_num("seed")?,
                 },
+                obs: obs_server.is_some().then(|| Arc::clone(&obs_bridge)),
+                ledger: args.get("ledger").map(PathBuf::from),
             };
             let summary = serve(&file, &opts).map_err(|e| e.to_string())?;
+            if let Some(path) = &opts.ledger {
+                println!("audit ledger written to {}", path.display());
+            }
             for v in &summary.verdicts {
                 match v.metrics {
                     Some(m) => println!(
@@ -231,15 +281,46 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "explain" => {
+            let ledger = PathBuf::from(args.get("ledger").ok_or("--ledger is required")?);
+            let sample: usize = args.parse_num("sample")?.ok_or("--sample is required")?;
+            let task: Option<usize> = args.parse_num("task")?;
+            let records = load_ledger(&ledger).map_err(|e| e.to_string())?;
+            let explanation = explain(&records, sample, task).map_err(|e| e.to_string())?;
+            print!("{}", explanation.narrative);
+            if !explanation.consistent() {
+                Err(format!(
+                    "ledger verdict '{}' disagrees with the vote trajectory (recomputed '{}') — \
+                     the ledger is corrupt or was edited",
+                    explanation.logged.as_str(),
+                    explanation.recomputed.as_str()
+                ))
+            } else {
+                Ok(())
+            }
+        }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
+    if let Some(server) = obs_server {
+        // Keep the endpoint scrapable after the run (smoke tests and
+        // one-shot dashboards read the final state).
+        if let Some(linger) = args.parse_num::<u64>("obs-linger")? {
+            if result.is_ok() {
+                std::thread::sleep(std::time::Duration::from_secs(linger));
+            }
+        }
+        server.shutdown();
+    }
+    // Flush sinks and write the final snapshot on success *and* failure;
+    // a failed run's trace would otherwise end mid-record.
+    let finished = telemetry.finish();
     if result.is_ok() {
         if let Some(path) =
-            telemetry.finish().map_err(|e| format!("failed to write metrics snapshot: {e}"))?
+            finished.map_err(|e| format!("failed to write metrics snapshot: {e}"))?
         {
             println!("metrics snapshot written to {}", path.display());
         }

@@ -3,6 +3,7 @@
 //! label detection (Alg. 3), and the optional model update (Alg. 4).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,6 +21,10 @@ use enld_telemetry::metrics::{global as metrics, Histogram};
 use enld_telemetry::ScopedTimer;
 
 use crate::config::EnldConfig;
+use crate::ledger::{
+    ContrastDraw, LedgerRecord, LedgerSink, SampleDraw, SampleRecord, TaskRecord, UpdateRecord,
+    Verdict,
+};
 use crate::probability::ConditionalLabelProbability;
 use crate::report::{DetectionReport, IterationSnapshot};
 use crate::sampling::{
@@ -46,6 +51,16 @@ pub struct Enld {
     tasks: usize,
     /// Number of model updates performed (feeds seeds for retraining).
     updates: usize,
+    /// Opt-in audit ledger; `None` keeps the hot path untouched.
+    ledger: Option<LedgerHandle>,
+}
+
+/// Sink plus an instance tag (`main`, or `w0`/`w1`/… for pool workers)
+/// so records from detector clones sharing one sink stay attributable.
+#[derive(Clone)]
+struct LedgerHandle {
+    sink: Arc<dyn LedgerSink>,
+    tag: Arc<str>,
 }
 
 impl Enld {
@@ -99,7 +114,26 @@ impl Enld {
             sc_accum,
             tasks: 0,
             updates: 0,
+            ledger: None,
         }
+    }
+
+    /// Attaches a detection audit ledger: subsequent [`Enld::detect`] /
+    /// [`Enld::update_model`] calls append one [`TaskRecord`] plus one
+    /// [`SampleRecord`] per eligible sample (and [`UpdateRecord`]s) to
+    /// `sink`. `tag` names this detector instance in the records.
+    pub fn set_ledger(&mut self, sink: Arc<dyn LedgerSink>, tag: &str) {
+        self.ledger = Some(LedgerHandle { sink, tag: Arc::from(tag) });
+    }
+
+    /// Detaches the audit ledger.
+    pub fn clear_ledger(&mut self) {
+        self.ledger = None;
+    }
+
+    /// Whether an audit ledger is attached.
+    pub fn has_ledger(&self) -> bool {
+        self.ledger.is_some()
     }
 
     /// The general model `θ` (shared with the confidence-based baselines).
@@ -213,6 +247,26 @@ impl Enld {
             s.record("ambiguous", ambiguous.len());
             (feats_d, ambiguous)
         };
+        // Drift gauge: how ambiguous this arrival looked to the current
+        // general model (spikes signal distribution shift in the lake).
+        let ambiguous_initial = ambiguous.len();
+        let ambiguous_rate = if eligible.is_empty() {
+            0.0
+        } else {
+            ambiguous_initial as f64 / eligible.len() as f64
+        };
+        metrics().gauge("enld.drift.ambiguous_rate").set(ambiguous_rate);
+
+        // Audit trace: collected only while a ledger is attached.
+        let ledger = self.ledger.clone();
+        let mut trace = ledger.as_ref().map(|_| TaskTrace::new(d.len(), cfg.iterations, cfg.steps));
+        let mut draw_buf: Vec<ContrastDraw> = Vec::new();
+        if let Some(trace) = trace.as_mut() {
+            for &i in &ambiguous {
+                trace.ambiguous_initial[i] = true;
+            }
+        }
+
         let hq_in_prime: Vec<usize> = {
             let prime: BTreeSet<usize> = i_prime.iter().copied().collect();
             self.hq.iter().copied().filter(|i| prime.contains(i)).collect()
@@ -226,7 +280,11 @@ impl Enld {
             &i_prime,
             ic_view,
             &mut rng,
+            trace.is_some().then_some(&mut draw_buf),
         );
+        if let Some(trace) = trace.as_mut() {
+            trace.absorb_draws(-1, &mut draw_buf);
+        }
 
         // Warm-up: fine-tune on C, keep the snapshot with the best
         // validation accuracy on D (Alg. 3 line 4).
@@ -280,7 +338,11 @@ impl Enld {
                 self.train_epoch(&mut theta, &mut trainer, &contrast, d);
                 let preds = theta.predict_labels(d_view);
                 for &i in &eligible {
-                    if preds[i] == d.labels()[i] {
+                    let agree = preds[i] == d.labels()[i];
+                    if let Some(trace) = trace.as_mut() {
+                        trace.votes[i][iteration][step] = agree;
+                    }
+                    if agree {
                         count[i] += 1;
                         if count[i] as usize >= threshold && !in_s[i] {
                             in_s[i] = true;
@@ -306,8 +368,22 @@ impl Enld {
             }
 
             contrast = self.select_contrast(
-                &theta, d, &feats_d, &ambiguous, &h_now, &i_prime, ic_view, &mut rng,
+                &theta,
+                d,
+                &feats_d,
+                &ambiguous,
+                &h_now,
+                &i_prime,
+                ic_view,
+                &mut rng,
+                trace.is_some().then_some(&mut draw_buf),
             );
+            if let Some(trace) = trace.as_mut() {
+                trace.absorb_draws(iteration as i64, &mut draw_buf);
+                for &i in &ambiguous {
+                    trace.still_ambiguous[i].push(iteration);
+                }
+            }
             if cfg.ablation.merges_clean_set() {
                 // C = C ∪ S (line 21).
                 for (i, &flag) in in_s.iter().enumerate() {
@@ -356,6 +432,37 @@ impl Enld {
         detect_span.record("noisy", noisy.len());
         detect_span.record("secs", process_secs);
 
+        if let (Some(handle), Some(trace)) = (&ledger, &trace) {
+            handle.sink.record(&LedgerRecord::Task(TaskRecord {
+                detector: handle.tag.to_string(),
+                task: self.tasks,
+                samples: d.len(),
+                eligible: eligible.len(),
+                ambiguous_initial,
+                ambiguous_rate,
+                clean: clean.len(),
+                noisy: noisy.len(),
+                iterations: cfg.iterations,
+                steps: cfg.steps,
+                threshold,
+            }));
+            for &i in &eligible {
+                handle.sink.record(&LedgerRecord::Sample(SampleRecord {
+                    detector: handle.tag.to_string(),
+                    task: self.tasks,
+                    sample: i,
+                    observed: d.labels()[i],
+                    ambiguous_initial: trace.ambiguous_initial[i],
+                    votes: trace.votes[i].clone(),
+                    threshold,
+                    still_ambiguous_after: trace.still_ambiguous[i].clone(),
+                    draws: trace.draws[i].clone(),
+                    verdict: if in_s[i] { Verdict::Clean } else { Verdict::Noisy },
+                }));
+            }
+            handle.sink.flush();
+        }
+
         DetectionReport {
             clean,
             noisy,
@@ -377,6 +484,7 @@ impl Enld {
         if clean.is_empty() {
             return 0;
         }
+        let old_cond = self.cond.clone();
         let mut update_timer = ScopedTimer::with_level("enld.update_model", telemetry::Level::Info);
         update_timer.record_field("clean", clean.len());
         metrics().counter("enld.updates_total").inc();
@@ -408,6 +516,21 @@ impl Enld {
         let candidates: Vec<usize> = (0..self.i_c.len()).collect();
         self.hq = high_quality_filtered(&probs, &preds, self.i_c.labels(), &candidates);
         self.sc_accum = vec![false; self.i_c.len()];
+
+        // Drift gauge: how far the estimated conditional moved across the
+        // update — large jumps mean the accumulated clean set looks very
+        // different from what the previous model believed.
+        let divergence = mean_row_divergence(&old_cond, &self.cond);
+        metrics().gauge("enld.drift.p_row_divergence").set(divergence);
+        if let Some(handle) = &self.ledger {
+            handle.sink.record(&LedgerRecord::Update(UpdateRecord {
+                detector: handle.tag.to_string(),
+                update: self.updates,
+                clean_used: clean.len(),
+                p_row_divergence: divergence,
+            }));
+            handle.sink.flush();
+        }
         clean.len()
     }
 
@@ -424,6 +547,7 @@ impl Enld {
         i_prime: &[usize],
         ic_view: DataRef<'_>,
         rng: &mut StdRng,
+        draws: Option<&mut Vec<ContrastDraw>>,
     ) -> Vec<ContrastSample> {
         let mut span = telemetry::debug_span("enld.detect.contrastive")
             .field("ambiguous", ambiguous.len())
@@ -438,6 +562,7 @@ impl Enld {
             i_prime,
             ic_view,
             rng,
+            draws,
         );
         metrics().histogram("enld.sampling.select_secs").record(sw.elapsed().as_secs_f64());
         span.record("selected", out.len());
@@ -455,6 +580,7 @@ impl Enld {
         i_prime: &[usize],
         ic_view: DataRef<'_>,
         rng: &mut StdRng,
+        draws: Option<&mut Vec<ContrastDraw>>,
     ) -> Vec<ContrastSample> {
         let want = self.config.k * ambiguous.len();
         if ambiguous.is_empty() {
@@ -493,6 +619,7 @@ impl Enld {
                     self.config.k,
                     self.config.ablation.identity_label(),
                     rng,
+                    draws,
                 )
             }
             policy => {
@@ -587,6 +714,63 @@ fn row_argmax(m: &Matrix) -> Vec<u32> {
 
 fn flags_to_indices(flags: &[bool]) -> Vec<usize> {
     flags.iter().enumerate().filter_map(|(i, &f)| f.then_some(i)).collect()
+}
+
+/// Mean total-variation distance between corresponding rows of two
+/// estimated conditionals: `mean_y Σ_{y*} |P̃_old(y*|y) − P̃_new(y*|y)| / 2`,
+/// in `[0, 1]`. Reported as `enld.drift.p_row_divergence` after Alg. 4.
+fn mean_row_divergence(
+    old: &ConditionalLabelProbability,
+    new: &ConditionalLabelProbability,
+) -> f64 {
+    let rows = old.classes().min(new.classes());
+    if rows == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for y in 0..rows {
+        let (a, b) = (old.row(y), new.row(y));
+        let tv: f64 = a.iter().zip(b).map(|(&p, &q)| (p - q).abs()).sum::<f64>() / 2.0;
+        total += tv;
+    }
+    total / rows as f64
+}
+
+/// Per-task audit state gathered while a ledger is attached, folded into
+/// [`SampleRecord`]s at the end of [`Enld::detect`].
+struct TaskTrace {
+    /// `votes[sample][iteration][step]`: did θ' agree with the observed
+    /// label at that step?
+    votes: Vec<Vec<Vec<bool>>>,
+    ambiguous_initial: Vec<bool>,
+    /// Iterations after which the sample was still ambiguous.
+    still_ambiguous: Vec<Vec<usize>>,
+    /// Contrastive draws per sample across selection rounds.
+    draws: Vec<Vec<SampleDraw>>,
+}
+
+impl TaskTrace {
+    fn new(samples: usize, iterations: usize, steps: usize) -> Self {
+        Self {
+            votes: vec![vec![vec![false; steps]; iterations]; samples],
+            ambiguous_initial: vec![false; samples],
+            still_ambiguous: vec![Vec::new(); samples],
+            draws: vec![Vec::new(); samples],
+        }
+    }
+
+    /// Drains a [`ContrastDraw`] buffer from one selection round (`round`
+    /// is −1 for the pre-warm-up selection, else the iteration index)
+    /// into the per-sample draw lists.
+    fn absorb_draws(&mut self, round: i64, buf: &mut Vec<ContrastDraw>) {
+        for draw in buf.drain(..) {
+            self.draws[draw.sample].push(SampleDraw {
+                round,
+                candidate: draw.candidate,
+                neighbors: draw.neighbors,
+            });
+        }
+    }
 }
 
 fn argmax_u32(votes: &[u32]) -> u32 {
@@ -804,5 +988,108 @@ mod tests {
     fn vote_argmax() {
         assert_eq!(argmax_u32(&[0, 3, 2]), 1);
         assert_eq!(argmax_u32(&[5]), 0);
+    }
+
+    #[test]
+    fn ledger_records_replay_to_the_same_verdicts() {
+        use crate::ledger::{replay_verdict, LedgerRecord, MemoryLedger, Verdict};
+
+        let mut lake = small_lake(0.2, 20);
+        let cfg = EnldConfig::fast_test();
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        let sink = Arc::new(MemoryLedger::new());
+        enld.set_ledger(sink.clone(), "test");
+        assert!(enld.has_ledger());
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+
+        let records = sink.records();
+        let tasks: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                LedgerRecord::Task(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tasks.len(), 1);
+        let task = &tasks[0];
+        assert_eq!(task.detector, "test");
+        assert_eq!(task.samples, req.data.len());
+        assert_eq!(task.clean, report.clean.len());
+        assert_eq!(task.noisy, report.noisy.len());
+        assert_eq!(task.clean + task.noisy, task.eligible);
+        assert!((0.0..=1.0).contains(&task.ambiguous_rate));
+
+        let samples: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                LedgerRecord::Sample(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(samples.len(), task.eligible, "one record per eligible sample");
+        let mut saw_draws = false;
+        for rec in &samples {
+            assert_eq!(rec.votes.len(), cfg.iterations);
+            assert!(rec.votes.iter().all(|it| it.len() == cfg.steps));
+            // The logged vote trajectory must reproduce the verdict.
+            assert_eq!(replay_verdict(&rec.votes, rec.threshold), rec.verdict);
+            let in_clean = report.clean.contains(&rec.sample);
+            assert_eq!(rec.verdict == Verdict::Clean, in_clean);
+            assert_eq!(rec.observed, req.data.labels()[rec.sample]);
+            if rec.ambiguous_initial {
+                saw_draws |= !rec.draws.is_empty();
+            } else {
+                // Non-ambiguous samples never receive round -1 draws.
+                assert!(rec.draws.iter().all(|d| d.round >= -1));
+            }
+        }
+        assert!(saw_draws, "ambiguous samples should log contrastive draws");
+    }
+
+    #[test]
+    fn ledger_update_records_divergence() {
+        use crate::ledger::{LedgerRecord, MemoryLedger};
+
+        let mut lake = small_lake(0.2, 21);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        enld.set_ledger(Arc::new(MemoryLedger::new()), "ignored");
+        let req = lake.next_request().expect("queued");
+        let _ = enld.detect(&req.data);
+        let sink = Arc::new(MemoryLedger::new());
+        enld.set_ledger(sink.clone(), "upd");
+        let used = enld.update_model();
+        assert!(used > 0);
+        let records = sink.records();
+        let updates: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                LedgerRecord::Update(u) => Some(u.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].detector, "upd");
+        assert_eq!(updates[0].update, 1);
+        assert_eq!(updates[0].clean_used, used);
+        assert!((0.0..=1.0).contains(&updates[0].p_row_divergence));
+        assert!(updates[0].p_row_divergence > 0.0, "retraining on a different split should move P̃");
+    }
+
+    #[test]
+    fn detect_without_ledger_matches_with_ledger() {
+        use crate::ledger::MemoryLedger;
+
+        let run = |ledger: bool| {
+            let mut lake = small_lake(0.2, 22);
+            let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+            if ledger {
+                enld.set_ledger(Arc::new(MemoryLedger::new()), "a");
+            }
+            let req = lake.next_request().expect("queued");
+            enld.detect(&req.data).noisy
+        };
+        // Tracing must never perturb the RNG stream or the decisions.
+        assert_eq!(run(false), run(true));
     }
 }

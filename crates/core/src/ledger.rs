@@ -1,0 +1,835 @@
+//! Detection audit ledger: opt-in per-sample decision provenance.
+//!
+//! ENLD's clean/noisy verdicts come out of a majority vote over
+//! `iterations × steps` agreement checks (Alg. 3); aggregate counters
+//! cannot answer *why* one sample was kept. When a [`LedgerSink`] is
+//! attached to the detector, every task appends structured JSONL
+//! records:
+//!
+//! * [`TaskRecord`] — one per arriving dataset: eligibility, initial
+//!   ambiguity (and rate, the drift signal), vote geometry, verdict
+//!   totals.
+//! * [`SampleRecord`] — one per eligible sample: the observed label,
+//!   whether it started ambiguous, every contrastive draw made for it
+//!   (candidate label from `P̃(·|ỹ)` plus chosen k-NN neighbours), the
+//!   full per-iteration/per-step vote trajectory, the iterations after
+//!   which it was still ambiguous, and the final verdict.
+//! * [`UpdateRecord`] — one per Alg. 4 model update: how many clean
+//!   samples fed the retrain and how far the `P̃` rows moved (mean
+//!   total-variation distance, the second drift signal).
+//!
+//! The format is deliberately hand-rolled (writer *and* parser live
+//! here, std-only): `enld explain` replays records through
+//! [`replay_verdict`], recomputing the majority vote from the logged
+//! trajectory instead of trusting the logged verdict.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+use enld_telemetry::json::JsonObject;
+
+/// Final decision for one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Clean,
+    Noisy,
+}
+
+impl Verdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Clean => "clean",
+            Self::Noisy => "noisy",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "clean" => Ok(Self::Clean),
+            "noisy" => Ok(Self::Noisy),
+            other => Err(format!("unknown verdict {other:?}")),
+        }
+    }
+}
+
+/// One contrastive-sampling draw captured inside Alg. 2: for ambiguous
+/// sample `sample` (observed label `observed`), candidate true label
+/// `candidate` was drawn from `P̃(·|ỹ)` and `neighbors` are the chosen
+/// k-NN high-quality candidates (indices into `I_c`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContrastDraw {
+    pub sample: usize,
+    pub observed: u32,
+    pub candidate: u32,
+    pub neighbors: Vec<usize>,
+}
+
+/// A [`ContrastDraw`] folded into its sample's record. `round` is `-1`
+/// for the selection before warm-up, otherwise the 0-based iteration
+/// after which re-sampling happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleDraw {
+    pub round: i64,
+    pub candidate: u32,
+    pub neighbors: Vec<usize>,
+}
+
+/// Per-task summary record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Which detector instance wrote this (`main`, or `w3` for a pool worker).
+    pub detector: String,
+    /// 1-based task counter of that detector instance.
+    pub task: usize,
+    pub samples: usize,
+    /// Samples with an observed label (missing-label ones are excluded).
+    pub eligible: usize,
+    pub ambiguous_initial: usize,
+    /// `ambiguous_initial / eligible` — the per-arrival drift gauge.
+    pub ambiguous_rate: f64,
+    pub clean: usize,
+    pub noisy: usize,
+    pub iterations: usize,
+    pub steps: usize,
+    pub threshold: usize,
+}
+
+/// Per-sample decision record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    pub detector: String,
+    pub task: usize,
+    /// Index of the sample within its incremental dataset.
+    pub sample: usize,
+    /// Observed (possibly noisy) label `ỹ`.
+    pub observed: u32,
+    /// Whether the warm-started model already disagreed before warm-up.
+    pub ambiguous_initial: bool,
+    /// `votes[iteration][step]` — did the fine-tuned model agree with the
+    /// observed label at that step?
+    pub votes: Vec<Vec<bool>>,
+    /// Votes-per-iteration needed to enter the clean set.
+    pub threshold: usize,
+    /// Iterations after which the sample was still ambiguous.
+    pub still_ambiguous_after: Vec<usize>,
+    pub draws: Vec<SampleDraw>,
+    pub verdict: Verdict,
+}
+
+/// Per-model-update record (Alg. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRecord {
+    pub detector: String,
+    /// 1-based update counter of that detector instance.
+    pub update: usize,
+    /// Clean samples the replacement model was trained on.
+    pub clean_used: usize,
+    /// Mean total-variation distance between old and new `P̃` rows.
+    pub p_row_divergence: f64,
+}
+
+/// One line of the audit ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerRecord {
+    Task(TaskRecord),
+    Sample(SampleRecord),
+    Update(UpdateRecord),
+}
+
+/// Recomputes the Alg. 3 majority-vote verdict from a logged trajectory:
+/// a sample is clean iff some iteration collects at least `threshold`
+/// agreeing steps. (`count` resets every iteration; membership in `S`
+/// is sticky across iterations.)
+pub fn replay_verdict(votes: &[Vec<bool>], threshold: usize) -> Verdict {
+    for iteration in votes {
+        if iteration.iter().filter(|&&v| v).count() >= threshold {
+            return Verdict::Clean;
+        }
+    }
+    Verdict::Noisy
+}
+
+/// Destination for ledger records. Implementations must be cheap enough
+/// to call once per sample per task and safe to share across detector
+/// clones (the serve pool gives every worker the same sink).
+pub trait LedgerSink: Send + Sync {
+    fn record(&self, record: &LedgerRecord);
+
+    /// Makes previously recorded entries durable (no-op by default).
+    fn flush(&self) {}
+}
+
+/// JSONL file sink: one [`LedgerRecord`] per line.
+pub struct JsonlLedger {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlLedger {
+    /// Creates (truncating) the ledger file.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self { out: Mutex::new(BufWriter::new(File::create(path)?)) })
+    }
+}
+
+impl LedgerSink for JsonlLedger {
+    fn record(&self, record: &LedgerRecord) {
+        let line = record.to_json();
+        let mut out = self.out.lock().expect("ledger writer poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("ledger writer poisoned").flush();
+    }
+}
+
+/// In-memory sink for tests and the overhead benchmark.
+#[derive(Default)]
+pub struct MemoryLedger {
+    records: Mutex<Vec<LedgerRecord>>,
+}
+
+impl MemoryLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn records(&self) -> Vec<LedgerRecord> {
+        self.records.lock().expect("ledger poisoned").clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("ledger poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl LedgerSink for MemoryLedger {
+    fn record(&self, record: &LedgerRecord) {
+        self.records.lock().expect("ledger poisoned").push(record.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+fn usize_array(v: &[usize]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn votes_array(votes: &[Vec<bool>]) -> String {
+    let mut out = String::from("[");
+    for (i, iteration) in votes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, &v) in iteration.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(if v { "true" } else { "false" });
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+fn draws_array(draws: &[SampleDraw]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in draws.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut o = JsonObject::new();
+        o.i64_field("round", d.round)
+            .u64_field("candidate", u64::from(d.candidate))
+            .raw_field("neighbors", &usize_array(&d.neighbors));
+        out.push_str(&o.finish());
+    }
+    out.push(']');
+    out
+}
+
+impl LedgerRecord {
+    /// Serialises the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::Task(t) => {
+                let mut o = JsonObject::new();
+                o.str_field("type", "task")
+                    .str_field("detector", &t.detector)
+                    .u64_field("task", t.task as u64)
+                    .u64_field("samples", t.samples as u64)
+                    .u64_field("eligible", t.eligible as u64)
+                    .u64_field("ambiguous_initial", t.ambiguous_initial as u64)
+                    .f64_field("ambiguous_rate", t.ambiguous_rate)
+                    .u64_field("clean", t.clean as u64)
+                    .u64_field("noisy", t.noisy as u64)
+                    .u64_field("iterations", t.iterations as u64)
+                    .u64_field("steps", t.steps as u64)
+                    .u64_field("threshold", t.threshold as u64);
+                o.finish()
+            }
+            Self::Sample(s) => {
+                let mut o = JsonObject::new();
+                o.str_field("type", "sample")
+                    .str_field("detector", &s.detector)
+                    .u64_field("task", s.task as u64)
+                    .u64_field("sample", s.sample as u64)
+                    .u64_field("observed", u64::from(s.observed))
+                    .bool_field("ambiguous_initial", s.ambiguous_initial)
+                    .raw_field("votes", &votes_array(&s.votes))
+                    .u64_field("threshold", s.threshold as u64)
+                    .raw_field("still_ambiguous_after", &usize_array(&s.still_ambiguous_after))
+                    .raw_field("draws", &draws_array(&s.draws))
+                    .str_field("verdict", s.verdict.as_str());
+                o.finish()
+            }
+            Self::Update(u) => {
+                let mut o = JsonObject::new();
+                o.str_field("type", "update")
+                    .str_field("detector", &u.detector)
+                    .u64_field("update", u.update as u64)
+                    .u64_field("clean_used", u.clean_used as u64)
+                    .f64_field("p_row_divergence", u.p_row_divergence);
+                o.finish()
+            }
+        }
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntactic or schema problem.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let value = parse_json(line)?;
+        let obj = value.as_object().ok_or("ledger record must be a JSON object")?;
+        let kind = get_str(obj, "type")?;
+        match kind {
+            "task" => Ok(Self::Task(TaskRecord {
+                detector: get_str(obj, "detector")?.to_owned(),
+                task: get_usize(obj, "task")?,
+                samples: get_usize(obj, "samples")?,
+                eligible: get_usize(obj, "eligible")?,
+                ambiguous_initial: get_usize(obj, "ambiguous_initial")?,
+                ambiguous_rate: get_f64(obj, "ambiguous_rate")?,
+                clean: get_usize(obj, "clean")?,
+                noisy: get_usize(obj, "noisy")?,
+                iterations: get_usize(obj, "iterations")?,
+                steps: get_usize(obj, "steps")?,
+                threshold: get_usize(obj, "threshold")?,
+            })),
+            "sample" => {
+                let votes = get_array(obj, "votes")?
+                    .iter()
+                    .map(|row| {
+                        row.as_array()
+                            .ok_or_else(|| "votes rows must be arrays".to_owned())?
+                            .iter()
+                            .map(|v| v.as_bool().ok_or_else(|| "votes must be booleans".to_owned()))
+                            .collect::<Result<Vec<bool>, String>>()
+                    })
+                    .collect::<Result<Vec<Vec<bool>>, String>>()?;
+                let draws = get_array(obj, "draws")?
+                    .iter()
+                    .map(|d| {
+                        let d = d.as_object().ok_or("draws must be objects")?;
+                        Ok(SampleDraw {
+                            round: get_i64(d, "round")?,
+                            candidate: get_u32(d, "candidate")?,
+                            neighbors: get_usize_array(d, "neighbors")?,
+                        })
+                    })
+                    .collect::<Result<Vec<SampleDraw>, String>>()?;
+                Ok(Self::Sample(SampleRecord {
+                    detector: get_str(obj, "detector")?.to_owned(),
+                    task: get_usize(obj, "task")?,
+                    sample: get_usize(obj, "sample")?,
+                    observed: get_u32(obj, "observed")?,
+                    ambiguous_initial: get_bool(obj, "ambiguous_initial")?,
+                    votes,
+                    threshold: get_usize(obj, "threshold")?,
+                    still_ambiguous_after: get_usize_array(obj, "still_ambiguous_after")?,
+                    draws,
+                    verdict: Verdict::parse(get_str(obj, "verdict")?)?,
+                }))
+            }
+            "update" => Ok(Self::Update(UpdateRecord {
+                detector: get_str(obj, "detector")?.to_owned(),
+                update: get_usize(obj, "update")?,
+                clean_used: get_usize(obj, "clean_used")?,
+                p_row_divergence: get_f64(obj, "p_row_divergence")?,
+            })),
+            other => Err(format!("unknown ledger record type {other:?}")),
+        }
+    }
+
+    /// Parses a whole JSONL document, skipping blank lines.
+    ///
+    /// # Errors
+    /// Reports the 1-based line number of the first bad line.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<Self>, String> {
+        text.lines()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .map(|(n, line)| Self::from_json(line).map_err(|e| format!("line {}: {e}", n + 1)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parsing (std-only; full JSON value grammar)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            Self::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+/// Returns a byte-offset description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                want as char,
+                self.pos.saturating_sub(1),
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(fields)),
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos.saturating_sub(1),
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos.saturating_sub(1),
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let mut code = self.hex4()?;
+                        // Combine a surrogate pair when one follows.
+                        if (0xD800..0xDC00).contains(&code)
+                            && self.bytes[self.pos..].starts_with(b"\\u")
+                        {
+                            self.pos += 2;
+                            let low = self.hex4()?;
+                            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                        }
+                        let ch = char::from_u32(code).unwrap_or('\u{FFFD}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => {
+                        return Err(format!("bad escape {:?}", other.map(|b| b as char)));
+                    }
+                },
+                Some(byte) => out.push(byte),
+            }
+        }
+        String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_owned())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit =
+                self.bump().and_then(|b| (b as char).to_digit(16)).ok_or("bad \\u escape")?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed field access
+// ---------------------------------------------------------------------------
+
+fn field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    obj.iter()
+        .find_map(|(k, v)| (k == key).then_some(v))
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_str<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a str, String> {
+    field(obj, key)?.as_str().ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn get_f64(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    field(obj, key)?.as_f64().ok_or_else(|| format!("field {key:?} must be a number"))
+}
+
+fn get_bool(obj: &[(String, JsonValue)], key: &str) -> Result<bool, String> {
+    field(obj, key)?.as_bool().ok_or_else(|| format!("field {key:?} must be a boolean"))
+}
+
+fn get_usize(obj: &[(String, JsonValue)], key: &str) -> Result<usize, String> {
+    let n = get_f64(obj, key)?;
+    if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
+        Ok(n as usize)
+    } else {
+        Err(format!("field {key:?} must be a non-negative integer"))
+    }
+}
+
+fn get_u32(obj: &[(String, JsonValue)], key: &str) -> Result<u32, String> {
+    let n = get_usize(obj, key)?;
+    u32::try_from(n).map_err(|_| format!("field {key:?} out of u32 range"))
+}
+
+fn get_i64(obj: &[(String, JsonValue)], key: &str) -> Result<i64, String> {
+    let n = get_f64(obj, key)?;
+    if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        Ok(n as i64)
+    } else {
+        Err(format!("field {key:?} must be an integer"))
+    }
+}
+
+fn get_array<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a [JsonValue], String> {
+    field(obj, key)?.as_array().ok_or_else(|| format!("field {key:?} must be an array"))
+}
+
+fn get_usize_array(obj: &[(String, JsonValue)], key: &str) -> Result<Vec<usize>, String> {
+    get_array(obj, key)?
+        .iter()
+        .map(|v| match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as usize),
+            _ => Err(format!("field {key:?} must hold non-negative integers")),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> LedgerRecord {
+        LedgerRecord::Sample(SampleRecord {
+            detector: "main".to_owned(),
+            task: 1,
+            sample: 12,
+            observed: 3,
+            ambiguous_initial: true,
+            votes: vec![vec![true, false, true], vec![true, true, true]],
+            threshold: 2,
+            still_ambiguous_after: vec![0],
+            draws: vec![
+                SampleDraw { round: -1, candidate: 2, neighbors: vec![4, 9, 17] },
+                SampleDraw { round: 0, candidate: 3, neighbors: vec![4] },
+            ],
+            verdict: Verdict::Clean,
+        })
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![
+            LedgerRecord::Task(TaskRecord {
+                detector: "w0".to_owned(),
+                task: 2,
+                samples: 64,
+                eligible: 60,
+                ambiguous_initial: 12,
+                ambiguous_rate: 0.2,
+                clean: 50,
+                noisy: 10,
+                iterations: 3,
+                steps: 3,
+                threshold: 2,
+            }),
+            sample_record(),
+            LedgerRecord::Update(UpdateRecord {
+                detector: "main".to_owned(),
+                update: 1,
+                clean_used: 40,
+                p_row_divergence: 0.034,
+            }),
+        ];
+        for record in &records {
+            let line = record.to_json();
+            let back = LedgerRecord::from_json(&line).expect("parse back");
+            assert_eq!(&back, record, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn parse_jsonl_skips_blank_lines_and_reports_line_numbers() {
+        let a = sample_record().to_json();
+        let text = format!("{a}\n\n{a}\n");
+        let parsed = LedgerRecord::parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.len(), 2);
+
+        let bad = format!("{a}\n{{\"type\":\"task\"}}\n");
+        let err = LedgerRecord::parse_jsonl(&bad).expect_err("missing fields");
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn replay_matches_sticky_majority_vote_semantics() {
+        // Clean iff SOME iteration reaches the threshold.
+        assert_eq!(replay_verdict(&[vec![true, false, false]], 2), Verdict::Noisy);
+        assert_eq!(replay_verdict(&[vec![true, true, false]], 2), Verdict::Clean);
+        // Votes do not carry across iterations…
+        assert_eq!(replay_verdict(&[vec![true, false], vec![false, true]], 2), Verdict::Noisy);
+        // …but a single winning iteration is sticky even if later ones fail.
+        assert_eq!(replay_verdict(&[vec![true, true], vec![false, false]], 2), Verdict::Clean);
+        // No-majority-voting ablation: threshold 1.
+        assert_eq!(replay_verdict(&[vec![false], vec![true]], 1), Verdict::Clean);
+        // Empty trajectory (no iterations) can never be clean.
+        assert_eq!(replay_verdict(&[], 1), Verdict::Noisy);
+    }
+
+    #[test]
+    fn memory_ledger_collects_records() {
+        let ledger = MemoryLedger::new();
+        assert!(ledger.is_empty());
+        ledger.record(&sample_record());
+        ledger.flush();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.records()[0], sample_record());
+    }
+
+    #[test]
+    fn jsonl_ledger_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("enld-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("ledger.jsonl");
+        let ledger = JsonlLedger::create(&path).expect("create");
+        ledger.record(&sample_record());
+        ledger.record(&sample_record());
+        ledger.flush();
+        let text = std::fs::read_to_string(&path).expect("read");
+        let parsed = LedgerRecord::parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_parser_handles_strings_escapes_and_nesting() {
+        let v =
+            parse_json(r#"{"a":"x\n\"y\\zé","b":[1,-2.5,1e-3],"c":{"d":null}}"#).expect("parse");
+        let obj = v.as_object().expect("object");
+        assert_eq!(get_str(obj, "a").unwrap(), "x\n\"y\\z\u{e9}");
+        let b = get_array(obj, "b").unwrap();
+        assert_eq!(b[0].as_f64(), Some(1.0));
+        assert_eq!(b[1].as_f64(), Some(-2.5));
+        assert_eq!(b[2].as_f64(), Some(0.001));
+        assert_eq!(field(obj, "c").unwrap().as_object().unwrap()[0].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn json_parser_handles_surrogate_pairs() {
+        let v = parse_json(r#""\ud83d\ude00""#).expect("escaped pair");
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        let v = parse_json("\"\u{1F600}\"").expect("raw multi-byte");
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        let v = parse_json(r#""\ud800x""#).expect("lone surrogate");
+        assert_eq!(v.as_str(), Some("\u{FFFD}x"));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "{} extra"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+}

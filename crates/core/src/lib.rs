@@ -39,6 +39,7 @@
 pub mod ablation;
 pub mod config;
 pub mod detector;
+pub mod ledger;
 pub mod metrics;
 pub mod probability;
 pub mod report;
@@ -47,6 +48,7 @@ pub mod sampling;
 pub use ablation::AblationVariant;
 pub use config::EnldConfig;
 pub use detector::Enld;
+pub use ledger::{replay_verdict, JsonlLedger, LedgerRecord, LedgerSink, MemoryLedger, Verdict};
 pub use metrics::{detection_metrics, DetectionMetrics};
 pub use probability::ConditionalLabelProbability;
 pub use report::DetectionReport;

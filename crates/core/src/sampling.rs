@@ -19,6 +19,7 @@ use enld_knn::kdtree::KdTree;
 use enld_nn::loss::entropy;
 use enld_nn::matrix::Matrix;
 
+use crate::ledger::ContrastDraw;
 use crate::probability::ConditionalLabelProbability;
 
 /// Where a fine-tune sample comes from.
@@ -93,6 +94,11 @@ impl SamplingPolicy {
 ///
 /// `index` must map tree hits back to `I_c` indices, and `ic_labels` are
 /// the observed labels of `I_c` (used to label the selected samples).
+///
+/// When `trace` is given, one [`ContrastDraw`] per ambiguous sample is
+/// appended to it — the audit ledger's record of which candidate label
+/// was drawn and which neighbours were chosen. Tracing never touches the
+/// RNG, so traced and untraced runs select identical samples.
 #[allow(clippy::too_many_arguments)]
 pub fn contrastive_sampling(
     ambiguous: &[usize],
@@ -105,6 +111,7 @@ pub fn contrastive_sampling(
     k: usize,
     identity_label: bool,
     rng: &mut StdRng,
+    mut trace: Option<&mut Vec<ContrastDraw>>,
 ) -> Vec<ContrastSample> {
     assert_eq!(ambiguous.len(), ambiguous_labels.len(), "ambiguous shape mismatch");
     let registry = enld_telemetry::metrics::global();
@@ -118,6 +125,14 @@ pub fn contrastive_sampling(
         let hits = index.k_nearest_in_class(j, query_feats.row(a), k);
         query_hist.record(query_start.elapsed().as_secs_f64());
         query_count.inc();
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(ContrastDraw {
+                sample: a,
+                observed,
+                candidate: j,
+                neighbors: hits.iter().map(|h| h.index).collect(),
+            });
+        }
         for hit in hits {
             out.push(ContrastSample {
                 source: SampleSource::Inventory(hit.index),
@@ -302,6 +317,7 @@ mod tests {
             2,
             false,
             &mut rng,
+            None,
         );
         assert_eq!(c.len(), 2);
         assert!(matches!(c[0].source, SampleSource::Inventory(0)));
@@ -327,6 +343,7 @@ mod tests {
             1,
             false,
             &mut rng,
+            None,
         );
         assert!(matches!(c[0].source, SampleSource::Inventory(2)));
         // With identity (ENLD-4): stays class 0 → near neighbours.
@@ -341,6 +358,7 @@ mod tests {
             1,
             true,
             &mut rng,
+            None,
         );
         assert!(matches!(c[0].source, SampleSource::Inventory(0)));
     }
@@ -361,6 +379,7 @@ mod tests {
             3,
             false,
             &mut rng,
+            None,
         );
         assert!(c.is_empty());
     }

@@ -50,4 +50,6 @@ pub use admission::{submit_with_retry, Rejected, RetryBackoff, SubmitError};
 pub use estimator::ServiceTimeEstimator;
 pub use job::JobSpec;
 pub use policy::{PolicyKind, ReadyQueue};
-pub use pool::{Completion, ExpiredJob, FailedJob, JobOutcome, PoolConfig, PoolPanic, WorkerPool};
+pub use pool::{
+    Completion, ExpiredJob, FailedJob, JobOutcome, PoolConfig, PoolPanic, PoolStats, WorkerPool,
+};

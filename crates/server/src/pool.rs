@@ -16,13 +16,15 @@
 //! `serve.pool.{submitted,rejected,expired,panics}_total`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use enld_telemetry as telemetry;
+use enld_telemetry::json::JsonObject;
+use enld_telemetry::ObsStatus;
 
 use crate::admission::{retry_after_hint, Rejected, SubmitError};
 use crate::estimator::ServiceTimeEstimator;
@@ -132,6 +134,158 @@ impl<R> std::fmt::Display for PoolPanic<R> {
 
 impl<R: std::fmt::Debug> std::error::Error for PoolPanic<R> {}
 
+/// Lock-free view of pool state for the observability endpoint: a live
+/// pool keeps its cells current; the [`Arc`] outlives the pool so
+/// scrapers never race a shutdown.
+pub struct PoolStats {
+    started: Instant,
+    accepting: AtomicBool,
+    queue_depth: AtomicUsize,
+    workers: Vec<WorkerCell>,
+}
+
+/// One worker's counters. Single-writer (its worker thread); readers see
+/// relaxed-but-coherent values, which is all a scrape needs.
+struct WorkerCell {
+    alive: AtomicBool,
+    jobs: AtomicU64,
+    busy_micros: AtomicU64,
+    /// EWMA of per-job service seconds, stored as `f64` bits.
+    ewma_service_bits: AtomicU64,
+    /// Micros since pool start at the last completed job (0 = never).
+    last_beat_micros: AtomicU64,
+}
+
+impl WorkerCell {
+    fn new() -> Self {
+        Self {
+            alive: AtomicBool::new(true),
+            jobs: AtomicU64::new(0),
+            busy_micros: AtomicU64::new(0),
+            ewma_service_bits: AtomicU64::new(0.0f64.to_bits()),
+            last_beat_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+/// EWMA smoothing factor for per-worker service times.
+const EWMA_ALPHA: f64 = 0.3;
+
+impl PoolStats {
+    fn new(workers: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            accepting: AtomicBool::new(true),
+            queue_depth: AtomicUsize::new(0),
+            workers: (0..workers).map(|_| WorkerCell::new()).collect(),
+        }
+    }
+
+    /// Seconds since the pool was spawned.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Jobs waiting in the ready queue at the last queue transition.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Whether submissions are currently admitted.
+    pub fn accepting(&self) -> bool {
+        self.accepting.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads still in their serve loop.
+    pub fn workers_alive(&self) -> usize {
+        self.workers.iter().filter(|c| c.alive.load(Ordering::Relaxed)).count()
+    }
+
+    /// Smoothed service time of worker `i` in seconds (0 before its
+    /// first completion).
+    pub fn ewma_service_secs(&self, worker: usize) -> f64 {
+        f64::from_bits(self.workers[worker].ewma_service_bits.load(Ordering::Relaxed))
+    }
+
+    fn record_job(&self, worker: usize, service_secs: f64) {
+        let cell = &self.workers[worker];
+        let jobs = cell.jobs.fetch_add(1, Ordering::Relaxed);
+        cell.busy_micros.fetch_add((service_secs * 1e6) as u64, Ordering::Relaxed);
+        let prev = f64::from_bits(cell.ewma_service_bits.load(Ordering::Relaxed));
+        let next = if jobs == 0 {
+            service_secs
+        } else {
+            EWMA_ALPHA * service_secs + (1.0 - EWMA_ALPHA) * prev
+        };
+        cell.ewma_service_bits.store(next.to_bits(), Ordering::Relaxed);
+        cell.last_beat_micros.store(
+            self.started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+impl ObsStatus for PoolStats {
+    fn healthz(&self) -> (bool, String) {
+        let accepting = self.accepting();
+        let alive = self.workers_alive();
+        let total = self.workers.len();
+        let status = if !accepting {
+            "stopped"
+        } else if alive == total {
+            "ok"
+        } else {
+            "degraded"
+        };
+        // A closed pool is not a failure — it drains deliberately; only
+        // dead workers under an accepting pool are unhealthy.
+        let healthy = !accepting || alive == total;
+        let mut o = JsonObject::new();
+        o.str_field("status", status)
+            .f64_field("uptime_secs", self.uptime_secs())
+            .u64_field("queue_depth", self.queue_depth() as u64)
+            .u64_field("workers", total as u64)
+            .u64_field("workers_alive", alive as u64)
+            .bool_field("accepting", accepting);
+        (healthy, o.finish())
+    }
+
+    fn workers_json(&self) -> String {
+        let uptime = self.uptime_secs().max(1e-9);
+        let mut out = String::from("[");
+        for (i, cell) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let busy = cell.busy_micros.load(Ordering::Relaxed) as f64 / 1e6;
+            let last_beat = cell.last_beat_micros.load(Ordering::Relaxed) as f64 / 1e6;
+            let mut o = JsonObject::new();
+            o.u64_field("worker", i as u64)
+                .bool_field("alive", cell.alive.load(Ordering::Relaxed))
+                .u64_field("jobs", cell.jobs.load(Ordering::Relaxed))
+                .f64_field("busy_secs", busy)
+                .f64_field("utilisation", (busy / uptime).min(1.0))
+                .f64_field(
+                    "ewma_service_secs",
+                    f64::from_bits(cell.ewma_service_bits.load(Ordering::Relaxed)),
+                )
+                .f64_field("idle_secs", (uptime - last_beat).max(0.0));
+            out.push_str(&o.finish());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Flags the worker dead on scope exit — normal return *and* panic.
+struct AliveGuard<'a>(&'a AtomicBool);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
 struct DispatchState<P> {
     queue: ReadyQueue<P>,
     accepting: bool,
@@ -144,6 +298,7 @@ struct Shared<P> {
     submitted: AtomicUsize,
     queue_limit: usize,
     workers: usize,
+    stats: Arc<PoolStats>,
 }
 
 impl<P> Shared<P> {
@@ -190,6 +345,7 @@ impl<P: Send + 'static, R: Send + 'static> WorkerPool<P, R> {
             submitted: AtomicUsize::new(0),
             queue_limit: config.queue_limit,
             workers: config.workers,
+            stats: Arc::new(PoolStats::new(config.workers)),
         });
         let (tx, results) = mpsc::channel();
         let workers = (0..config.workers)
@@ -231,6 +387,7 @@ impl<P: Send + 'static, R: Send + 'static> WorkerPool<P, R> {
         }
         state.queue.push(Queued { spec, submitted_at: Instant::now(), predicted_secs: predicted });
         registry.gauge("serve.queue.depth").add(1.0);
+        self.shared.stats.queue_depth.store(state.queue.len(), Ordering::Relaxed);
         self.shared.submitted.fetch_add(1, Ordering::SeqCst);
         drop(state);
         registry.counter("serve.pool.submitted_total").inc();
@@ -285,11 +442,18 @@ impl<P: Send + 'static, R: Send + 'static> WorkerPool<P, R> {
         self.shared.workers
     }
 
+    /// Live pool statistics for the observability endpoint. The returned
+    /// handle stays valid (frozen at final values) after shutdown.
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
     /// Stops admitting new jobs; queued and running jobs still finish.
     /// Subsequent [`submit`](Self::submit)s fail with
     /// [`SubmitError::ShutDown`].
     pub fn close(&self) {
         self.shared.lock().accepting = false;
+        self.shared.stats.accepting.store(false, Ordering::Relaxed);
         self.shared.available.notify_all();
     }
 
@@ -332,6 +496,7 @@ impl<P, R> Drop for WorkerPool<P, R> {
             let mut state = self.shared.lock();
             state.accepting = false;
         }
+        self.shared.stats.accepting.store(false, Ordering::Relaxed);
         self.shared.available.notify_all();
         for worker in std::mem::take(&mut self.workers) {
             let _ = worker.join();
@@ -364,12 +529,14 @@ fn worker_loop<P, R, D>(
     let util_gauge = registry.gauge(&format!("serve.worker.{worker_id}.utilisation"));
     let spawned_at = Instant::now();
     let mut busy_secs = 0.0f64;
+    let _alive = AliveGuard(&shared.stats.workers[worker_id].alive);
     loop {
         let job = {
             let mut state = shared.lock();
             loop {
                 if let Some(job) = state.queue.pop() {
                     depth.add(-1.0);
+                    shared.stats.queue_depth.store(state.queue.len(), Ordering::Relaxed);
                     break job;
                 }
                 if !state.accepting {
@@ -406,6 +573,7 @@ fn worker_loop<P, R, D>(
         let service_secs = started.elapsed().as_secs_f64();
         busy_secs += service_secs;
         util_gauge.set(busy_secs / spawned_at.elapsed().as_secs_f64().max(1e-9));
+        shared.stats.record_job(worker_id, service_secs);
         span.record("wait_secs", wait_secs);
         span.record("service_secs", service_secs);
         let outcome = match run {
@@ -709,6 +877,50 @@ mod tests {
     fn shutdown_with_nothing_submitted_is_empty() {
         let (pool, _gate) = toy_pool(PoolConfig::default());
         assert!(drain(pool).is_empty());
+    }
+
+    #[test]
+    fn pool_stats_track_jobs_and_liveness() {
+        let (pool, _gate) = toy_pool(PoolConfig { workers: 2, ..PoolConfig::default() });
+        let stats = pool.stats();
+        assert!(stats.accepting());
+        assert_eq!(stats.workers_alive(), 2);
+        let (healthy, body) = stats.healthz();
+        assert!(healthy);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        for i in 0..6 {
+            pool.submit(JobSpec::new(i, Work::SleepMs(2))).expect("admitted");
+        }
+        drain(pool);
+        // The Arc outlives the pool, frozen at final values.
+        assert_eq!(stats.workers_alive(), 0);
+        assert!(!stats.accepting());
+        assert_eq!(stats.queue_depth(), 0);
+        let served: u64 = (0..2)
+            .map(|w| {
+                let json = stats.workers_json();
+                assert!(json.starts_with('[') && json.ends_with(']'));
+                let _ = stats.ewma_service_secs(w);
+                w as u64
+            })
+            .count() as u64;
+        assert_eq!(served, 2);
+        let total_jobs: f64 = stats.workers_json().matches("\"jobs\":").count() as f64;
+        assert_eq!(total_jobs, 2.0, "one entry per worker");
+        let (_, body) = stats.healthz();
+        assert!(body.contains("\"status\":\"stopped\""), "{body}");
+    }
+
+    #[test]
+    fn pool_stats_ewma_follows_service_times() {
+        let stats = PoolStats::new(1);
+        stats.record_job(0, 0.100);
+        assert!((stats.ewma_service_secs(0) - 0.100).abs() < 1e-12, "first job seeds the EWMA");
+        stats.record_job(0, 0.200);
+        let expected = EWMA_ALPHA * 0.200 + (1.0 - EWMA_ALPHA) * 0.100;
+        assert!((stats.ewma_service_secs(0) - expected).abs() < 1e-12);
+        let json = stats.workers_json();
+        assert!(json.contains("\"jobs\":2"), "{json}");
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! One-call wiring for binaries: a level-filtered stderr sink, an
 //! optional JSON-lines trace file, and an optional metrics snapshot
-//! written on shutdown. The `repro` harness, the `enld` CLI, and the
-//! examples all parse `--log-level` / `--trace-out` / `--metrics-out`
-//! into a [`TelemetryConfig`] and call [`TelemetryConfig::install`] /
-//! [`TelemetryConfig::finish`] around their run.
+//! written periodically and on shutdown. The `repro` harness and the
+//! `enld` CLI parse `--log-level` / `--trace-out` / `--metrics-out` /
+//! `--metrics-interval` into a [`TelemetryConfig`], call
+//! [`TelemetryConfig::install`] to get a [`Telemetry`] handle, and call
+//! [`Telemetry::finish`] (or rely on its `Drop`) when the run ends —
+//! including error paths, so trace files are never left truncated
+//! mid-record.
 
 use std::io;
-use std::path::PathBuf;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::level::Level;
 use crate::metrics;
@@ -21,41 +26,134 @@ pub struct TelemetryConfig {
     /// Where to write the JSON-lines trace (always at [`Level::Trace`]);
     /// `None` disables the file sink.
     pub trace_out: Option<PathBuf>,
-    /// Where to write the final metrics snapshot; `None` skips it.
+    /// Where to write the metrics snapshot; `None` skips it.
     pub metrics_out: Option<PathBuf>,
+    /// Seconds between periodic snapshots of `metrics_out` while the
+    /// process runs; `None` writes only at [`Telemetry::finish`]. Each
+    /// write goes to a `.tmp` sibling first and is renamed into place,
+    /// so readers never observe a half-written snapshot.
+    pub metrics_interval: Option<u64>,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        Self { log_level: Level::Info, trace_out: None, metrics_out: None }
+        Self { log_level: Level::Info, trace_out: None, metrics_out: None, metrics_interval: None }
     }
 }
 
 impl TelemetryConfig {
-    /// Installs the configured sinks.
+    /// Installs the configured sinks and starts the periodic snapshot
+    /// writer when `metrics_out` + `metrics_interval` are both set.
     ///
     /// # Errors
     /// Fails when the trace file cannot be created.
-    pub fn install(&self) -> io::Result<()> {
+    pub fn install(&self) -> io::Result<Telemetry> {
         install(Arc::new(StderrSink::new(self.log_level)));
         if let Some(path) = &self.trace_out {
             install(Arc::new(JsonlSink::create(path, Level::Trace)?));
         }
-        Ok(())
+        let writer = match (&self.metrics_out, self.metrics_interval) {
+            (Some(path), Some(secs)) if secs > 0 => Some(SnapshotWriter::spawn(path.clone(), secs)),
+            _ => None,
+        };
+        Ok(Telemetry { config: self.clone(), writer, finished: false })
+    }
+}
+
+/// Writes the global metrics snapshot to `path` atomically: the bytes go
+/// to a `.tmp` sibling which is then renamed over `path`.
+///
+/// # Errors
+/// Fails when the temporary file cannot be written or renamed.
+pub fn write_snapshot_atomic(path: &Path) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, metrics::global().snapshot_json())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Background thread snapshotting the global registry on a fixed cadence.
+struct SnapshotWriter {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: JoinHandle<()>,
+}
+
+impl SnapshotWriter {
+    fn spawn(path: PathBuf, interval_secs: u64) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("enld-metrics-writer".to_owned())
+            .spawn(move || {
+                let (lock, cv) = &*shared;
+                let mut stopped = lock.lock().expect("snapshot writer lock");
+                loop {
+                    let (guard, timeout) = cv
+                        .wait_timeout(stopped, Duration::from_secs(interval_secs))
+                        .expect("snapshot writer wait");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        let _ = write_snapshot_atomic(&path);
+                    }
+                }
+            })
+            .expect("spawn metrics snapshot writer");
+        Self { stop, handle }
     }
 
-    /// Flushes every sink and, when configured, writes the global metrics
-    /// snapshot. Returns the snapshot path if one was written.
+    fn stop(self) {
+        {
+            let (lock, cv) = &*self.stop;
+            *lock.lock().expect("snapshot writer lock") = true;
+            cv.notify_all();
+        }
+        let _ = self.handle.join();
+    }
+}
+
+/// Live handle returned by [`TelemetryConfig::install`]. Owns the
+/// periodic snapshot writer; [`Telemetry::finish`] (idempotent, also run
+/// on `Drop`) stops it, flushes every sink, and writes the final
+/// snapshot.
+pub struct Telemetry {
+    config: TelemetryConfig,
+    writer: Option<SnapshotWriter>,
+    finished: bool,
+}
+
+impl Telemetry {
+    /// Stops the periodic writer, flushes every sink, and writes the
+    /// final metrics snapshot when configured. Returns the snapshot path
+    /// if one was written; subsequent calls only flush and return `None`.
     ///
     /// # Errors
     /// Fails when the snapshot file cannot be written.
-    pub fn finish(&self) -> io::Result<Option<&PathBuf>> {
+    pub fn finish(&mut self) -> io::Result<Option<PathBuf>> {
+        if let Some(writer) = self.writer.take() {
+            writer.stop();
+        }
         flush();
-        if let Some(path) = &self.metrics_out {
-            std::fs::write(path, metrics::global().snapshot_json())?;
-            return Ok(Some(path));
+        if self.finished {
+            return Ok(None);
+        }
+        self.finished = true;
+        if let Some(path) = &self.config.metrics_out {
+            write_snapshot_atomic(path)?;
+            return Ok(Some(path.clone()));
         }
         Ok(None)
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        // Flush-on-any-exit: usage errors and `?`-propagated failures
+        // still land complete trace records and a final snapshot.
+        let _ = self.finish();
     }
 }
 
@@ -69,11 +167,45 @@ mod tests {
         assert_eq!(cfg.log_level, Level::Info);
         assert!(cfg.trace_out.is_none());
         assert!(cfg.metrics_out.is_none());
+        assert!(cfg.metrics_interval.is_none());
     }
 
     #[test]
     fn finish_without_metrics_path_writes_nothing() {
-        let cfg = TelemetryConfig::default();
-        assert!(cfg.finish().expect("flush only").is_none());
+        let mut telemetry =
+            Telemetry { config: TelemetryConfig::default(), writer: None, finished: false };
+        assert!(telemetry.finish().expect("flush only").is_none());
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_snapshot_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("enld-bootstrap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("metrics.json");
+        let cfg = TelemetryConfig { metrics_out: Some(path.clone()), ..Default::default() };
+        let mut telemetry = Telemetry { config: cfg, writer: None, finished: false };
+        let written = telemetry.finish().expect("snapshot").expect("path");
+        assert_eq!(written, path);
+        assert!(path.exists());
+        assert!(!path.with_extension("json.tmp").exists(), "tmp file renamed away");
+        assert!(telemetry.finish().expect("second finish").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_writer_produces_snapshots() {
+        let dir = std::env::temp_dir().join(format!("enld-writer-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("periodic.json");
+        let writer = SnapshotWriter::spawn(path.clone(), 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while !path.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        writer.stop();
+        assert!(path.exists(), "periodic snapshot written within the deadline");
+        let body = std::fs::read_to_string(&path).expect("read snapshot");
+        assert!(body.starts_with("{\"counters\":"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

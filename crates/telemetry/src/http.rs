@@ -1,0 +1,280 @@
+//! Std-only HTTP observability server.
+//!
+//! [`ObsServer`] binds a `TcpListener` and answers four read-only GET
+//! endpoints from a small thread-per-connection loop:
+//!
+//! * `/metrics` — Prometheus text exposition of a [`MetricsRegistry`]
+//! * `/metrics.json` — the registry's `snapshot_json`
+//! * `/healthz` — liveness/queue JSON from an [`ObsStatus`] provider
+//!   (HTTP 503 when the provider reports unhealthy)
+//! * `/workers` — per-worker JSON from the same provider
+//!
+//! There is deliberately no HTTP library: requests are `GET <path>`,
+//! responses are `Connection: close` with an explicit `Content-Length`,
+//! which is all a Prometheus scraper or `curl` needs.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::JsonObject;
+use crate::metrics::MetricsRegistry;
+use crate::prometheus;
+
+/// Live status provider backing `/healthz` and `/workers`. Implemented
+/// by whatever owns the serving state (the worker pool); telemetry only
+/// defines the contract so the layering stays one-directional.
+pub trait ObsStatus: Send + Sync {
+    /// `(healthy, body)` — the JSON body for `/healthz`. An unhealthy
+    /// result is served with HTTP 503 so load-balancer checks fail.
+    fn healthz(&self) -> (bool, String);
+
+    /// JSON body for `/workers`.
+    fn workers_json(&self) -> String;
+}
+
+/// Default [`ObsStatus`]: always healthy, reports uptime only.
+pub struct NullStatus {
+    started: Instant,
+}
+
+impl NullStatus {
+    pub fn new() -> Self {
+        Self { started: Instant::now() }
+    }
+}
+
+impl Default for NullStatus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsStatus for NullStatus {
+    fn healthz(&self) -> (bool, String) {
+        let mut o = JsonObject::new();
+        o.str_field("status", "ok").f64_field("uptime_secs", self.started.elapsed().as_secs_f64());
+        (true, o.finish())
+    }
+
+    fn workers_json(&self) -> String {
+        "{\"workers\":[]}".to_owned()
+    }
+}
+
+/// The observability endpoint. Dropping (or [`ObsServer::shutdown`])
+/// stops the accept loop; in-flight responses finish on their own
+/// detached threads.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `registry` and `status`.
+    ///
+    /// # Errors
+    /// Fails when the address cannot be bound.
+    pub fn bind(
+        addr: &str,
+        registry: &'static MetricsRegistry,
+        status: Arc<dyn ObsStatus>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let accept_loop =
+            std::thread::Builder::new().name("enld-obs".to_owned()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let status = status.clone();
+                    // Detached per-connection thread: scrapes are rare and
+                    // short-lived, and concurrent scrapers must not serialise
+                    // behind each other.
+                    let _ = std::thread::Builder::new()
+                        .name("enld-obs-conn".to_owned())
+                        .spawn(move || handle_connection(stream, registry, &*status));
+                }
+            })?;
+        Ok(Self { addr: local, stop, accept_loop: Some(accept_loop) })
+    }
+
+    /// The bound address (resolves the actual port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(handle) = self.accept_loop.take() else { return };
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &MetricsRegistry, status: &dyn ObsStatus) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return,
+    };
+    if method != "GET" {
+        respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "application/json",
+            "{\"error\":\"only GET is supported\"}",
+        );
+        return;
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = prometheus::render(registry);
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        "/metrics.json" => {
+            respond(&mut stream, "200 OK", "application/json", &registry.snapshot_json());
+        }
+        "/healthz" => {
+            let (healthy, body) = status.healthz();
+            let code = if healthy { "200 OK" } else { "503 Service Unavailable" };
+            respond(&mut stream, code, "application/json", &body);
+        }
+        "/workers" => {
+            respond(&mut stream, "200 OK", "application/json", &status.workers_json());
+        }
+        _ => {
+            respond(&mut stream, "404 Not Found", "application/json", "{\"error\":\"not found\"}");
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {code}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn get(addr: SocketAddr, request: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut raw = String::new();
+        use std::io::Read as _;
+        stream.read_to_string(&mut raw).expect("read");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let code =
+            head.split_whitespace().nth(1).and_then(|c| c.parse().ok()).expect("status code");
+        let content_type = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or_default()
+            .to_owned();
+        (code, content_type, body.to_owned())
+    }
+
+    #[test]
+    fn serves_all_endpoints() {
+        metrics::global().counter("obs.test.requests").add(7);
+        let server = ObsServer::bind("127.0.0.1:0", metrics::global(), Arc::new(NullStatus::new()))
+            .expect("bind");
+        let addr = server.local_addr();
+
+        let (code, ctype, body) = get(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 200);
+        assert!(ctype.starts_with("text/plain"));
+        assert!(body.contains("obs_test_requests"));
+
+        let (code, _, body) = get(addr, "GET /metrics.json HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"obs.test.requests\":7"));
+
+        let (code, _, body) = get(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (code, _, body) = get(addr, "GET /workers HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"workers\""));
+
+        let (code, _, _) = get(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 404);
+        let (code, _, _) = get(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 405);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn unhealthy_status_maps_to_503() {
+        struct Sick;
+        impl ObsStatus for Sick {
+            fn healthz(&self) -> (bool, String) {
+                (false, "{\"status\":\"degraded\"}".to_owned())
+            }
+            fn workers_json(&self) -> String {
+                "{\"workers\":[]}".to_owned()
+            }
+        }
+        let server =
+            ObsServer::bind("127.0.0.1:0", metrics::global(), Arc::new(Sick)).expect("bind");
+        let (code, _, body) = get(server.local_addr(), "GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 503);
+        assert!(body.contains("degraded"));
+    }
+
+    #[test]
+    fn shutdown_returns_promptly() {
+        let server = ObsServer::bind("127.0.0.1:0", metrics::global(), Arc::new(NullStatus::new()))
+            .expect("bind");
+        // Must unblock the accept loop itself; a second stop via Drop is a no-op.
+        server.shutdown();
+    }
+}

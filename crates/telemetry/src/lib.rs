@@ -40,14 +40,17 @@
 //! ```
 
 pub mod bootstrap;
+pub mod http;
 pub mod json;
 pub mod level;
 pub mod metrics;
+pub mod prometheus;
 pub mod sink;
 pub mod span;
 pub mod timer;
 
-pub use bootstrap::TelemetryConfig;
+pub use bootstrap::{Telemetry, TelemetryConfig};
+pub use http::{NullStatus, ObsServer, ObsStatus};
 pub use level::Level;
 pub use sink::{enabled, flush, install, Event, JsonlSink, Sink, SpanRecord, StderrSink};
 pub use span::{debug_span, span, trace_span, FieldValue, SpanBuilder, SpanGuard};

@@ -235,6 +235,17 @@ impl Histogram {
         max
     }
 
+    /// Inclusive upper edges of the non-overflow buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts; the last entry is the overflow
+    /// (+Inf) bucket, so the result has `bounds().len() + 1` entries.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();
         let empty = count == 0;
@@ -303,6 +314,21 @@ impl MetricsRegistry {
             .entry(name.to_owned())
             .or_insert_with(|| Arc::new(Histogram::new(bounds())))
             .clone()
+    }
+
+    /// Point-in-time listing of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.read().counters.iter().map(|(n, c)| (n.clone(), c.get())).collect()
+    }
+
+    /// Point-in-time listing of every gauge, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.read().gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect()
+    }
+
+    /// Handles to every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.read().histograms.iter().map(|(n, h)| (n.clone(), h.clone())).collect()
     }
 
     /// Drops every metric (tests/benchmarks).
@@ -426,6 +452,53 @@ mod tests {
         h.record(2e6);
         assert_eq!(h.quantile(0.99), 2e6);
         assert_eq!(h.summary().max, 2e6);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_overflow_bucket() {
+        // Every observation lands past the last bound; interpolation must
+        // use the observed min/max, not the (finite) bucket edges.
+        let h = Histogram::new(vec![1.0, 2.0]);
+        for v in [100.0, 200.0, 400.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![0, 0, 3]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!((100.0..=400.0).contains(&est), "q={q} est={est}");
+        }
+        assert_eq!(h.quantile(1.0), 400.0);
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact_at_every_q() {
+        let h = Histogram::new(Histogram::duration_bounds());
+        h.record(0.037);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.037, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0] {
+            h.record(v);
+        }
+        // q below 0 behaves like q=0, q above 1 like q=1, and both stay
+        // inside the observed range.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert!(h.quantile(-1.0) >= 0.5);
+        assert_eq!(h.quantile(2.0), 3.0);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Prometheus text exposition format (version 0.0.4) rendering of a
+//! [`MetricsRegistry`].
+//!
+//! The registry's dotted names (`serve.queue.depth`) are sanitised to
+//! the Prometheus grammar (`serve_queue_depth`); when two registry names
+//! collide after sanitisation the first (in sorted registry order) wins
+//! and later ones are skipped, so a scrape never contains duplicate
+//! `# HELP`/`# TYPE` lines or conflicting series. Histograms are
+//! rendered as the standard cumulative `_bucket{le=...}`/`_sum`/`_count`
+//! family plus a companion `<name>_quantiles{quantile=...}` gauge family
+//! carrying the registry's interpolated p50/p95/p99.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+
+/// Maps an arbitrary metric name onto the Prometheus name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid characters (dots included)
+/// become underscores and a leading digit gains an underscore prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if out.is_empty() && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a sample value: finite values round-trip through `{}`,
+/// non-finite ones use the Prometheus spellings.
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn header(out: &mut String, name: &str, kind: &str, source: &str) {
+    let _ = writeln!(out, "# HELP {name} ENLD metric {source}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders every metric in `registry` as Prometheus text exposition.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut seen: HashSet<String> = HashSet::new();
+
+    for (name, value) in registry.counters() {
+        let n = sanitize_name(&name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        header(&mut out, &n, "counter", &name);
+        let _ = writeln!(out, "{n} {value}");
+    }
+
+    for (name, value) in registry.gauges() {
+        let n = sanitize_name(&name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        header(&mut out, &n, "gauge", &name);
+        let _ = writeln!(out, "{n} {}", num(value));
+    }
+
+    for (name, hist) in registry.histograms() {
+        let n = sanitize_name(&name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        header(&mut out, &n, "histogram", &name);
+        let counts = hist.bucket_counts();
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds().iter().zip(&counts) {
+            cumulative += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cumulative}", num(*bound));
+        }
+        cumulative += counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{n}_sum {}", num(hist.sum()));
+        let _ = writeln!(out, "{n}_count {}", hist.count());
+
+        // Interpolated quantiles as a companion gauge family (native
+        // histogram quantiles are a query-side concern in Prometheus).
+        let qn = format!("{n}_quantiles");
+        if seen.insert(qn.clone()) {
+            header(&mut out, &qn, "gauge", &name);
+            for q in [0.5, 0.95, 0.99] {
+                let _ = writeln!(out, "{qn}{{quantile=\"{q}\"}} {}", num(hist.quantile(q)));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_name("serve.worker.0.service_secs"), "serve_worker_0_service_secs");
+        assert_eq!(sanitize_name("lake.queue.depth"), "lake_queue_depth");
+        assert_eq!(sanitize_name("99th"), "_99th");
+        assert_eq!(sanitize_name("already_fine:ok"), "already_fine:ok");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn render_covers_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("enld.tasks").add(3);
+        reg.gauge("lake.queue.depth").set(2.0);
+        let h = reg.histogram_with("svc.secs", || vec![0.1, 1.0]);
+        h.record(0.05);
+        h.record(0.5);
+        h.record(5.0);
+        let text = render(&reg);
+
+        assert!(text.contains("# TYPE enld_tasks counter\nenld_tasks 3\n"));
+        assert!(text.contains("# TYPE lake_queue_depth gauge\nlake_queue_depth 2\n"));
+        assert!(text.contains("svc_secs_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("svc_secs_bucket{le=\"1\"} 2"));
+        assert!(text.contains("svc_secs_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("svc_secs_count 3"));
+        assert!(text.contains("svc_secs_quantiles{quantile=\"0.5\"}"));
+        assert!(text.contains("svc_secs_quantiles{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn colliding_sanitised_names_emit_one_family() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").add(1);
+        reg.counter("a_b").add(2);
+        let text = render(&reg);
+        assert_eq!(text.matches("# TYPE a_b counter").count(), 1);
+        assert_eq!(text.matches("# HELP a_b ").count(), 1);
+        // Sorted registry order: "a.b" precedes "a_b", so its value wins.
+        assert!(text.contains("\na_b 1\n"));
+        assert!(!text.contains("\na_b 2\n"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c.x").inc();
+        reg.gauge("g.y").set(f64::NAN);
+        reg.histogram("h.z").record(0.001);
+        for line in render(&reg).lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "), "{line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty(), "{line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "{line}"
+            );
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN", "{line}");
+        }
+    }
+}

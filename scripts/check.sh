@@ -16,4 +16,7 @@ cargo test --workspace -q
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> observability smoke test (enld serve --obs-addr)"
+bash scripts/obs_smoke.sh
+
 echo "All checks passed."

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Observability smoke test: launch `enld serve --obs-addr 127.0.0.1:0`
+# against a generated lake, scrape /metrics and /healthz over real HTTP,
+# and assert the lake.queue.depth and per-worker service-time families
+# are exposed. Called from check.sh and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v curl >/dev/null 2>&1; then
+  echo "curl not found; skipping the observability smoke test"
+  exit 0
+fi
+
+cargo build --release -q -p enld-cli
+
+SMOKE_DIR=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+./target/release/enld generate --preset test-sim --noise 0.2 --seed 7 \
+  --out "$SMOKE_DIR/lake.json" >/dev/null
+
+# --obs-linger keeps the endpoint scrapable after the short run so the
+# polling loop below cannot race the process exit.
+./target/release/enld serve --lake "$SMOKE_DIR/lake.json" --workers 2 --iterations 2 \
+  --obs-addr 127.0.0.1:0 --obs-linger 120 --ledger "$SMOKE_DIR/ledger.jsonl" \
+  > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 240); do
+  ADDR=$(sed -n 's#^observability endpoint listening on http://##p' "$SMOKE_DIR/serve.log" | head -n1)
+  [ -n "$ADDR" ] && break
+  sleep 0.5
+done
+if [ -z "$ADDR" ]; then
+  echo "obs endpoint never announced itself:"
+  cat "$SMOKE_DIR/serve.log"
+  exit 1
+fi
+
+METRICS=""
+FOUND=""
+for _ in $(seq 1 240); do
+  METRICS=$(curl -fsS "http://$ADDR/metrics" || true)
+  if printf '%s\n' "$METRICS" | grep -q '^lake_queue_depth ' &&
+     printf '%s\n' "$METRICS" | grep -q '^serve_worker_0_service_secs_count '; then
+    FOUND=1
+    break
+  fi
+  sleep 0.5
+done
+if [ -z "$FOUND" ]; then
+  echo "lake_queue_depth / serve_worker_0_service_secs families never appeared in /metrics:"
+  printf '%s\n' "$METRICS"
+  exit 1
+fi
+
+curl -fsS "http://$ADDR/healthz" | grep -q '"status"'
+if [ ! -s "$SMOKE_DIR/ledger.jsonl" ]; then
+  echo "audit ledger is empty"
+  exit 1
+fi
+
+echo "observability endpoint OK at $ADDR"

@@ -1,0 +1,186 @@
+//! Cross-crate observability tests: the live endpoint scraped while the
+//! pool serves jobs, and the audit ledger replayed end-to-end through
+//! `enld explain`'s machinery.
+
+use std::collections::HashSet;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use enld_cli::explain::{explain, load_ledger};
+use enld_cli::{detect, generate, DetectOverrides};
+use enld_core::ledger::{LedgerRecord, Verdict};
+use enld_serve::{JobSpec, PoolConfig, WorkerPool};
+use enld_telemetry::{ObsServer, ObsStatus};
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {response:?}"));
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+/// Every line of a Prometheus 0.0.4 exposition is a `# HELP`/`# TYPE`
+/// comment or `name[{labels}] value`; HELP/TYPE appear once per family.
+fn assert_valid_prometheus(body: &str) {
+    let mut help_seen = HashSet::new();
+    let mut type_seen = HashSet::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP has a name");
+            assert!(help_seen.insert(name.to_owned()), "duplicate HELP for {name}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().expect("TYPE has a name");
+            assert!(type_seen.insert(name.to_owned()), "duplicate TYPE for {name}");
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment shape: {line:?}");
+        let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(!name_part.is_empty(), "empty sample name: {line:?}");
+        let metric_name = name_part.split('{').next().expect("name before labels");
+        assert!(
+            metric_name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "unsanitised metric name {metric_name:?} in {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf" || value == "NaN",
+            "unparseable sample value {value:?} in {line:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_endpoint_stays_valid_under_concurrent_scrapes() {
+    let pool = WorkerPool::spawn(
+        PoolConfig { workers: 2, queue_limit: 256, ..PoolConfig::default() },
+        |_worker| {
+            |ms: &u64| {
+                std::thread::sleep(Duration::from_millis(*ms));
+                *ms
+            }
+        },
+    );
+    let status: Arc<dyn ObsStatus> = pool.stats();
+    let server = ObsServer::bind("127.0.0.1:0", enld_telemetry::metrics::global(), status)
+        .expect("bind ephemeral obs port");
+    let addr = server.local_addr();
+
+    // Feed the pool while four scrapers hammer every endpoint.
+    for i in 0..24 {
+        pool.submit(JobSpec::new(i, 3u64)).expect("admitted");
+    }
+    let scrapers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let (code, body) = http_get(addr, "/metrics");
+                    assert_eq!(code, 200);
+                    assert_valid_prometheus(&body);
+                    let (code, health) = http_get(addr, "/healthz");
+                    assert_eq!(code, 200, "healthy pool must report 200: {health}");
+                    assert!(health.contains("\"status\":\"ok\""), "{health}");
+                }
+            })
+        })
+        .collect();
+    for s in scrapers {
+        s.join().expect("scraper panicked");
+    }
+    let outcomes = pool.shutdown().expect("no worker panics");
+    assert_eq!(outcomes.len(), 24);
+
+    // After the pool served jobs, the per-worker service-time families
+    // and the queue gauge must be present and sanitised.
+    let (code, body) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert_valid_prometheus(&body);
+    assert!(body.contains("serve_worker_0_service_secs"), "missing worker 0 family");
+    assert!(body.contains("serve_queue_depth"), "missing queue depth gauge");
+    assert!(body.contains("serve_worker_0_service_secs_quantiles{quantile=\"0.95\"}"));
+
+    let (code, json) = http_get(addr, "/metrics.json");
+    assert_eq!(code, 200);
+    let value: serde_json::Value = serde_json::from_str(&json).expect("snapshot is valid JSON");
+    assert!(value.get("counters").is_some(), "{json}");
+
+    let (code, workers) = http_get(addr, "/workers");
+    assert_eq!(code, 200);
+    let value: serde_json::Value = serde_json::from_str(&workers).expect("workers is valid JSON");
+    let list = value.as_array().expect("workers is an array");
+    assert_eq!(list.len(), 2);
+    for w in list {
+        assert!(w.get("jobs").is_some() && w.get("ewma_service_secs").is_some(), "{workers}");
+    }
+
+    let (code, _) = http_get(addr, "/nope");
+    assert_eq!(code, 404);
+    server.shutdown();
+}
+
+#[test]
+fn ledger_replay_matches_detect_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("enld-obs-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let lake_path = dir.join("lake.json");
+    let file = generate("test-sim", 0.2, 11, &lake_path).expect("generate lake");
+    let ledger_path = dir.join("ledger.jsonl");
+    let overrides = DetectOverrides { iterations: Some(2), k: Some(2), seed: Some(5) };
+    let verdicts = detect(&file, overrides, Some(&ledger_path)).expect("detect with ledger");
+
+    let records = load_ledger(&ledger_path).expect("parse ledger");
+    let sample_records = records.iter().filter(|r| matches!(r, LedgerRecord::Sample(_))).count();
+    let eligible: usize = verdicts.iter().map(|v| v.clean.len() + v.noisy.len()).sum();
+    assert_eq!(sample_records, eligible, "one sample record per eligible sample");
+
+    // `enld explain` must independently recompute every verdict from the
+    // logged vote trajectories and agree with the detection report.
+    for (i, v) in verdicts.iter().enumerate() {
+        let task = i + 1;
+        let clean: HashSet<usize> = v.clean.iter().copied().collect();
+        for &s in v.clean.iter().chain(&v.noisy) {
+            let e = explain(&records, s, Some(task)).expect("sample has a ledger trail");
+            assert!(e.consistent(), "logged and recomputed verdicts agree for sample {s}");
+            assert_eq!(
+                e.recomputed == Verdict::Clean,
+                clean.contains(&s),
+                "replayed verdict matches the detection report for sample {s} of task {task}"
+            );
+            assert!(e.narrative.contains("verdict:"), "{}", e.narrative);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_json_is_sorted_and_parses() {
+    let registry = enld_telemetry::metrics::global();
+    registry.counter("golden.a_first").inc();
+    registry.counter("golden.b_second").add(2);
+    registry.gauge("golden.gauge").set(1.25);
+    registry.histogram("golden.hist").record(0.5);
+    let snapshot = registry.snapshot_json();
+    let value: serde_json::Value = serde_json::from_str(&snapshot).expect("snapshot parses");
+    let counters = value.get("counters").expect("counters object");
+    assert_eq!(counters.get("golden.a_first").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(counters.get("golden.b_second").and_then(|v| v.as_u64()), Some(2));
+    // Emission order is sorted (BTreeMap iteration) — verify on the raw
+    // text, since serde_json re-sorts objects on parse.
+    let a = snapshot.find("golden.a_first").expect("a present");
+    let b = snapshot.find("golden.b_second").expect("b present");
+    assert!(a < b, "counter keys must serialise in sorted order");
+    assert!(value.get("gauges").is_some() && value.get("histograms").is_some());
+}
