@@ -1,0 +1,404 @@
+//! `benchgate` — fixed-seed wall-clock benchmarks behind the CI bench gate.
+//!
+//! Criterion is great for local exploration but awkward to gate CI on, so
+//! this binary re-times the four hot-path workloads the criterion benches
+//! cover (KD-tree build + batched queries, contrastive sampling, one
+//! training epoch, the end-to-end detection pipeline) with fixed seeds and
+//! reports medians as JSON:
+//!
+//! ```text
+//! benchgate [--iters N] [--warmup N] [--out FILE]
+//!           [--baseline FILE] [--threshold-pct F] [--smoke]
+//! benchgate --report-speedup SEQ.json PAR.json
+//! ```
+//!
+//! * With `--baseline`, the run fails (exit 1) when any bench's median is
+//!   more than `--threshold-pct` (default 25%) slower than the baseline's.
+//!   A baseline with `"bootstrap": true` (or a missing file) skips the
+//!   comparison so a fresh machine can self-calibrate.
+//! * `--smoke` runs one iteration of each workload with no warmup and no
+//!   comparison — a cheap "the benches still run" check for `check.sh`.
+//! * `--report-speedup` prints the per-bench speedup of the second report
+//!   over the first (used to report parallel speedup in the CI summary).
+//! * `BENCHGATE_INJECT_SLOWDOWN=F` scales every recorded timing by `F` —
+//!   the knob used to demonstrate that the gate actually fails on a
+//!   regression (e.g. `F=2` must trip a 25% threshold).
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use enld_core::config::EnldConfig;
+use enld_core::detector::Enld;
+use enld_core::probability::ConditionalLabelProbability;
+use enld_core::sampling::contrastive_sampling;
+use enld_datagen::presets::DatasetPreset;
+use enld_knn::class_index::ClassIndex;
+use enld_lake::lake::{DataLake, LakeConfig};
+use enld_nn::arch::ArchPreset;
+use enld_nn::data::DataRef;
+use enld_nn::matrix::Matrix;
+use enld_nn::model::Mlp;
+use enld_nn::trainer::{TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SCHEMA: &str = "enld-bench-gate-v1";
+
+#[derive(Serialize, Deserialize)]
+struct GateReport {
+    schema: String,
+    /// Thread budget the run used (`enld_par::threads()` at measurement).
+    threads: usize,
+    iters: usize,
+    /// Bootstrap baselines carry no comparable numbers; the gate
+    /// self-calibrates by promoting its own results over them.
+    #[serde(default)]
+    bootstrap: bool,
+    benches: BTreeMap<String, BenchResult>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchResult {
+    median_secs: f64,
+    runs: Vec<f64>,
+}
+
+/// A named workload returning the duration of its timed section, so
+/// per-iteration setup (model init, detector clone) stays untimed exactly
+/// as in the criterion benches.
+struct Workload {
+    name: &'static str,
+    run: Box<dyn FnMut() -> f64>,
+}
+
+fn uniform(n: usize, seed: u64, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Mirrors `benches/kdtree.rs`: per-class index build plus batched queries.
+fn kdtree_workload() -> Workload {
+    const DIM: usize = 48;
+    const N: usize = 20_000;
+    const CLASSES: usize = 10;
+    let pts = uniform(N * DIM, 1, -5.0, 5.0);
+    let labels: Vec<u32> = (0..N).map(|i| (i % CLASSES) as u32).collect();
+    let keep: Vec<usize> = (0..N).collect();
+    let queries = uniform(256 * DIM, 2, -5.0, 5.0);
+    let qlabels: Vec<u32> = (0..256).map(|i| (i % CLASSES) as u32).collect();
+    Workload {
+        name: "kdtree_index_query",
+        run: Box::new(move || {
+            let start = Instant::now();
+            let index = ClassIndex::build(&pts, DIM, &labels, &keep);
+            black_box(index.k_nearest_in_class_batch(&qlabels, &queries, 3));
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// Mirrors `benches/contrastive_sampling.rs` at the larger pool size.
+fn contrastive_workload() -> Workload {
+    const DIM: usize = 96;
+    const CLASSES: usize = 10;
+    const HQ: usize = 2_000;
+    const AMB: usize = 256;
+    let feats = uniform(HQ * DIM, 7, -2.0, 2.0);
+    let labels: Vec<u32> = (0..HQ).map(|i| (i % CLASSES) as u32).collect();
+    let keep: Vec<usize> = (0..HQ).collect();
+    let query_feats = Matrix::from_vec(AMB, DIM, uniform(AMB * DIM, 8, -2.0, 2.0));
+    let ambiguous: Vec<usize> = (0..AMB).collect();
+    let amb_labels: Vec<u32> = (0..AMB).map(|i| (i % CLASSES) as u32).collect();
+    let cond = ConditionalLabelProbability::estimate(&labels, &labels, CLASSES);
+    let label_set: Vec<u32> = (0..CLASSES as u32).collect();
+    Workload {
+        name: "contrastive_sampling",
+        run: Box::new(move || {
+            let start = Instant::now();
+            let index = ClassIndex::build(&feats, DIM, &labels, &keep);
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(contrastive_sampling(
+                &ambiguous,
+                &amb_labels,
+                &query_feats,
+                &index,
+                &label_set,
+                &labels,
+                &cond,
+                3,
+                false,
+                &mut rng,
+                None,
+            ));
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// Mirrors `benches/nn_training.rs`: one epoch on the resnet110-sim preset.
+fn train_workload() -> Workload {
+    const DIM: usize = 48;
+    const CLASSES: usize = 100;
+    const N: usize = 256;
+    let xs = uniform(N * DIM, 5, -2.0, 2.0);
+    let labels: Vec<u32> = (0..N).map(|i| (i % CLASSES) as u32).collect();
+    let arch = ArchPreset::resnet110_sim();
+    Workload {
+        name: "nn_train_epoch",
+        run: Box::new(move || {
+            let data = DataRef::new(&xs, &labels, DIM);
+            let mut model = Mlp::new(&arch.config(DIM, CLASSES), 1);
+            let mut trainer = Trainer::new(TrainConfig { epochs: 1, ..Default::default() }, 1);
+            let start = Instant::now();
+            trainer.fit(&mut model, data, None);
+            black_box(model);
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// Mirrors `benches/detection_pipeline.rs`: `Enld::detect` on one arrival
+/// of the standard `test-sim` preset (init is untimed, as in the bench).
+fn detection_workload() -> Workload {
+    let preset = DatasetPreset::test_sim();
+    let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 7 });
+    let mut cfg = EnldConfig::for_preset(&preset);
+    cfg.iterations = 6;
+    let enld0 = Enld::init(lake.inventory(), &cfg);
+    let d = lake.next_request().expect("test-sim lake must queue an arrival").data;
+    Workload {
+        name: "detection_pipeline",
+        run: Box::new(move || {
+            let mut enld = enld0.clone();
+            let start = Instant::now();
+            black_box(enld.detect(&d));
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+fn median(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = runs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        runs[n / 2]
+    } else {
+        (runs[n / 2 - 1] + runs[n / 2]) / 2.0
+    }
+}
+
+fn load_report(path: &Path) -> Result<GateReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let report: GateReport =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "{}: schema '{}' is not '{SCHEMA}' — regenerate the file",
+            path.display(),
+            report.schema
+        ));
+    }
+    Ok(report)
+}
+
+fn report_speedup(seq_path: &Path, par_path: &Path) -> Result<(), String> {
+    let seq = load_report(seq_path)?;
+    let par = load_report(par_path)?;
+    println!(
+        "parallel speedup: {} threads vs {} thread(s)",
+        par.threads.max(1),
+        seq.threads.max(1)
+    );
+    println!("{:<24} {:>12} {:>12} {:>9}", "bench", "seq median", "par median", "speedup");
+    for (name, s) in &seq.benches {
+        let Some(p) = par.benches.get(name) else { continue };
+        println!(
+            "{name:<24} {:>11.3}s {:>11.3}s {:>8.2}x",
+            s.median_secs,
+            p.median_secs,
+            s.median_secs / p.median_secs.max(1e-9)
+        );
+    }
+    Ok(())
+}
+
+struct Options {
+    iters: usize,
+    warmup: usize,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    threshold_pct: f64,
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    let inject: f64 = match std::env::var("BENCHGATE_INJECT_SLOWDOWN") {
+        Ok(v) => v
+            .parse()
+            .ok()
+            .filter(|f: &f64| *f >= 1.0)
+            .ok_or_else(|| format!("BENCHGATE_INJECT_SLOWDOWN: invalid factor '{v}'"))?,
+        Err(_) => 1.0,
+    };
+    if inject > 1.0 {
+        eprintln!("benchgate: WARNING: injecting a {inject}x artificial slowdown");
+    }
+
+    let threads = enld_par::threads();
+    println!(
+        "benchgate: {} iterations/bench, {} warmup, {} thread(s)",
+        opts.iters, opts.warmup, threads
+    );
+    let workloads =
+        vec![kdtree_workload(), contrastive_workload(), train_workload(), detection_workload()];
+    let mut benches = BTreeMap::new();
+    for mut w in workloads {
+        for _ in 0..opts.warmup {
+            (w.run)();
+        }
+        let runs: Vec<f64> = (0..opts.iters).map(|_| (w.run)() * inject).collect();
+        let med = median(runs.clone());
+        println!("  {:<24} median {:.3}s  (runs: {})", w.name, med, fmt_runs(&runs));
+        benches.insert(w.name.to_string(), BenchResult { median_secs: med, runs });
+    }
+    let report =
+        GateReport { schema: SCHEMA.into(), threads, iters: opts.iters, bootstrap: false, benches };
+
+    if let Some(out) = &opts.out {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialise report: {e}"))?;
+        std::fs::write(out, json + "\n").map_err(|e| format!("write {}: {e}", out.display()))?;
+        println!("benchgate: results written to {}", out.display());
+    }
+
+    let Some(baseline_path) = &opts.baseline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    if !baseline_path.exists() {
+        println!(
+            "benchgate: baseline {} missing — skipping comparison (bootstrap)",
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let baseline = load_report(baseline_path)?;
+    if baseline.bootstrap {
+        println!(
+            "benchgate: baseline {} is a bootstrap sentinel — skipping comparison; \
+             promote this run's results to calibrate the gate",
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut regressions = Vec::new();
+    println!("comparison vs {} (threshold +{:.0}%):", baseline_path.display(), opts.threshold_pct);
+    for (name, cur) in &report.benches {
+        let Some(base) = baseline.benches.get(name) else {
+            println!("  {name:<24} (not in baseline — skipped)");
+            continue;
+        };
+        let delta_pct = (cur.median_secs / base.median_secs.max(1e-9) - 1.0) * 100.0;
+        let verdict = if delta_pct > opts.threshold_pct { "REGRESSION" } else { "ok" };
+        println!(
+            "  {name:<24} {:.3}s vs {:.3}s  {delta_pct:+7.1}%  {verdict}",
+            cur.median_secs, base.median_secs
+        );
+        if delta_pct > opts.threshold_pct {
+            regressions.push(name.clone());
+        }
+    }
+    if regressions.is_empty() {
+        println!("benchgate: gate PASSED");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "benchgate: gate FAILED — median regression above {:.0}% in: {}",
+            opts.threshold_pct,
+            regressions.join(", ")
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn fmt_runs(runs: &[f64]) -> String {
+    runs.iter().map(|r| format!("{r:.3}")).collect::<Vec<_>>().join(" ")
+}
+
+const USAGE: &str = "\
+usage: benchgate [--iters N] [--warmup N] [--out FILE]
+                 [--baseline FILE] [--threshold-pct F] [--smoke]
+       benchgate --report-speedup SEQ.json PAR.json";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--report-speedup") {
+        let [_, seq, par] = &argv[..] else {
+            eprintln!("--report-speedup needs two report files\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        return match report_speedup(Path::new(seq), Path::new(par)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("benchgate: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let mut opts = Options { iters: 5, warmup: 1, out: None, baseline: None, threshold_pct: 25.0 };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::to_owned).ok_or_else(|| format!("{name} requires a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--iters" => value("--iters").and_then(|v| {
+                v.parse().map(|n| opts.iters = n).map_err(|_| format!("--iters: bad value '{v}'"))
+            }),
+            "--warmup" => value("--warmup").and_then(|v| {
+                v.parse().map(|n| opts.warmup = n).map_err(|_| format!("--warmup: bad value '{v}'"))
+            }),
+            "--out" => value("--out").map(|v| opts.out = Some(PathBuf::from(v))),
+            "--baseline" => value("--baseline").map(|v| opts.baseline = Some(PathBuf::from(v))),
+            "--threshold-pct" => value("--threshold-pct").and_then(|v| {
+                v.parse()
+                    .map(|f| opts.threshold_pct = f)
+                    .map_err(|_| format!("--threshold-pct: bad value '{v}'"))
+            }),
+            "--smoke" => {
+                opts.iters = 1;
+                opts.warmup = 0;
+                opts.baseline = None;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("benchgate: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    if opts.iters == 0 {
+        eprintln!("benchgate: --iters must be >= 1\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    match run(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("benchgate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the ENLD paper.
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--seed N] [--out DIR]
+//! repro <experiment>... [--quick] [--seed N] [--out DIR] [--threads N]
 //!       [--log-level LEVEL] [--trace-out FILE] [--metrics-out FILE]
 //!       [--metrics-interval SECS]
 //! repro all --quick
@@ -17,6 +17,9 @@
 //! metrics snapshot (counters, gauges, histograms with p50/p95/p99).
 //! `--metrics-interval SECS` additionally rewrites that snapshot
 //! atomically (tmp + rename) on a fixed cadence while the run is live.
+//!
+//! `--threads N` sizes the data-parallel pool (default: `ENLD_THREADS` or
+//! all cores; `1` = sequential). Results are bit-identical either way.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,7 +30,7 @@ use enld_telemetry::{terror, tinfo, TelemetryConfig};
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR]\n             [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]\n             [--metrics-interval SECS]\n       experiments: {} {} all ext",
+        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR] [--threads N]\n             [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]\n             [--metrics-interval SECS]\n       experiments: {} {} all ext",
         experiments::all_ids().join(" "),
         experiments::extension_ids().join(" ")
     )
@@ -87,6 +90,18 @@ fn main() -> ExitCode {
                 Some(v) => telemetry_cfg.metrics_interval = Some(v),
                 None => {
                     eprintln!("--metrics-interval requires a number of seconds\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    if let Err(e) = enld_par::set_threads(v) {
+                        eprintln!("--threads: {e}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => {
+                    eprintln!("--threads requires a positive integer\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },

@@ -22,14 +22,18 @@ usage:
 
 every command also accepts:
   [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]
-  [--metrics-interval SECS]
+  [--metrics-interval SECS] [--threads N]
+
+--threads N sizes the data-parallel worker pool (default: ENLD_THREADS or all
+cores; 1 = sequential). results are bit-identical for every thread count
 
 the --obs-addr endpoint serves /metrics (Prometheus), /metrics.json, /healthz, /workers
 
 presets: emnist-sim cifar100-sim tiny-imagenet-sim test-sim";
 
-/// Flags every command accepts (telemetry wiring).
-const COMMON_FLAGS: &[&str] = &["log-level", "trace-out", "metrics-out", "metrics-interval"];
+/// Flags every command accepts (telemetry + thread-pool wiring).
+const COMMON_FLAGS: &[&str] =
+    &["log-level", "trace-out", "metrics-out", "metrics-interval", "threads"];
 
 /// Per-command accepted flags; anything else is an error, not silence.
 const COMMAND_FLAGS: &[(&str, &[&str])] = &[
@@ -115,6 +119,11 @@ fn run() -> Result<(), String> {
     let args = Args::parse(rest)?;
     if COMMAND_FLAGS.iter().any(|(c, _)| c == command) {
         args.validate(command)?;
+    }
+    // Size the pool before any parallel work; the global pool is
+    // lazily initialised on first use and cannot be resized afterwards.
+    if let Some(threads) = args.parse_num::<usize>("threads")? {
+        enld_par::set_threads(threads).map_err(|e| format!("--threads: {e}"))?;
     }
     let telemetry_cfg = TelemetryConfig {
         log_level: match args.get("log-level") {

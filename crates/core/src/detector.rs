@@ -242,8 +242,7 @@ impl Enld {
             let mut s = telemetry::debug_span("enld.detect.ambiguous_select").entered();
             let (probs_d, feats_d) = theta.proba_and_features(d_view);
             let preds_d = row_argmax(&probs_d);
-            let ambiguous: Vec<usize> =
-                eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
+            let ambiguous = ambiguous_scan(&eligible, &preds_d, d.labels());
             s.record("ambiguous", ambiguous.len());
             (feats_d, ambiguous)
         };
@@ -337,8 +336,17 @@ impl Enld {
                     .entered();
                 self.train_epoch(&mut theta, &mut trainer, &contrast, d);
                 let preds = theta.predict_labels(d_view);
-                for &i in &eligible {
-                    let agree = preds[i] == d.labels()[i];
+                // Agreement is computed in parallel over fixed chunks; the
+                // stateful vote update below stays sequential in `eligible`
+                // order, so `trace.votes`, `count`, and flip accounting are
+                // identical to the historical loop (and ledger replay via
+                // `enld explain` sees the same trajectories).
+                let agrees = enld_par::par_map(eligible.len(), SCAN_CHUNK, |j| {
+                    let i = eligible[j];
+                    preds[i] == d.labels()[i]
+                });
+                for (j, &i) in eligible.iter().enumerate() {
+                    let agree = agrees[j];
                     if let Some(trace) = trace.as_mut() {
                         trace.votes[i][iteration][step] = agree;
                     }
@@ -358,7 +366,7 @@ impl Enld {
             // Sample update & re-sampling (lines 15–21).
             let (probs_d, feats_d) = theta.proba_and_features(d_view);
             let preds_d = row_argmax(&probs_d);
-            ambiguous = eligible.iter().copied().filter(|&i| preds_d[i] != d.labels()[i]).collect();
+            ambiguous = ambiguous_scan(&eligible, &preds_d, d.labels());
 
             // H' refresh on I' under θ', with the confidence filter; clean
             // votes for the inventory selection (lines 16–19).
@@ -710,6 +718,28 @@ fn high_quality_filtered(
 
 fn row_argmax(m: &Matrix) -> Vec<u32> {
     (0..m.rows()).map(|r| argmax(m.row(r)) as u32).collect()
+}
+
+/// Samples per parallel task in the agreement/ambiguity scans. Fixed (never
+/// derived from the thread count) so results are deterministic.
+const SCAN_CHUNK: usize = 1024;
+
+/// Eligible samples whose prediction disagrees with the observed label —
+/// the ambiguity scan, parallelised over fixed chunks with an *ordered*
+/// concatenation so the result matches the sequential filter exactly.
+fn ambiguous_scan(eligible: &[usize], preds_d: &[u32], labels: &[u32]) -> Vec<usize> {
+    enld_par::par_map_reduce(
+        eligible.len(),
+        SCAN_CHUNK,
+        |range| {
+            eligible[range].iter().copied().filter(|&i| preds_d[i] != labels[i]).collect::<Vec<_>>()
+        },
+        |mut acc, mut part| {
+            acc.append(&mut part);
+            acc
+        },
+    )
+    .unwrap_or_default()
 }
 
 fn flags_to_indices(flags: &[bool]) -> Vec<usize> {

@@ -99,6 +99,12 @@ impl SamplingPolicy {
 /// appended to it — the audit ledger's record of which candidate label
 /// was drawn and which neighbours were chosen. Tracing never touches the
 /// RNG, so traced and untraced runs select identical samples.
+///
+/// Internally this runs in two phases so it parallelises without changing
+/// a single output bit: candidate labels are drawn *sequentially* in sample
+/// order (the RNG stream is identical to the historical per-sample loop),
+/// then the pure k-NN queries run as one parallel batch and results are
+/// assembled back in sample order.
 #[allow(clippy::too_many_arguments)]
 pub fn contrastive_sampling(
     ambiguous: &[usize],
@@ -117,14 +123,40 @@ pub fn contrastive_sampling(
     let registry = enld_telemetry::metrics::global();
     let query_hist = registry.histogram("knn.class_query_secs");
     let query_count = registry.counter("knn.class_queries_total");
+    // Phase 1 — sequential: every RNG draw happens in sample order.
+    let candidates: Vec<u32> =
+        ambiguous_labels
+            .iter()
+            .map(|&observed| {
+                if identity_label {
+                    observed
+                } else {
+                    cond.random_label(observed, hq_label_set, rng)
+                }
+            })
+            .collect();
+    // Phase 2 — parallel: gather the query rows and answer them as a batch.
+    let dim = query_feats.cols();
+    let mut queries = Vec::with_capacity(ambiguous.len() * dim);
+    for &a in ambiguous {
+        queries.extend_from_slice(query_feats.row(a));
+    }
+    let query_start = std::time::Instant::now();
+    let all_hits = index.k_nearest_in_class_batch(&candidates, &queries, k);
+    // Batched timing: the histogram keeps one entry per query (mean batch
+    // latency), so its count/sum still track query volume and wall-clock.
+    if !ambiguous.is_empty() {
+        let per_query = query_start.elapsed().as_secs_f64() / ambiguous.len() as f64;
+        for _ in 0..ambiguous.len() {
+            query_hist.record(per_query);
+        }
+        query_count.add(ambiguous.len() as u64);
+    }
+    // Phase 3 — sequential assembly in sample order.
     let mut out = Vec::with_capacity(ambiguous.len() * k);
-    for (&a, &observed) in ambiguous.iter().zip(ambiguous_labels) {
-        let j =
-            if identity_label { observed } else { cond.random_label(observed, hq_label_set, rng) };
-        let query_start = std::time::Instant::now();
-        let hits = index.k_nearest_in_class(j, query_feats.row(a), k);
-        query_hist.record(query_start.elapsed().as_secs_f64());
-        query_count.inc();
+    for ((&a, &observed), (&j, hits)) in
+        ambiguous.iter().zip(ambiguous_labels).zip(candidates.iter().zip(&all_hits))
+    {
         if let Some(trace) = trace.as_deref_mut() {
             trace.push(ContrastDraw {
                 sample: a,

@@ -20,6 +20,10 @@ use serde::{Deserialize, Serialize};
 use crate::dataset::Dataset;
 use crate::gauss::{fill_standard_normal, standard_normal};
 
+/// Samples per parallel synthesis task. Fixed (never derived from the
+/// thread count) so block boundaries — and results — are deterministic.
+const SAMPLE_BLOCK: usize = 64;
+
 /// Parameters of the class-manifold generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ManifoldSpec {
@@ -96,25 +100,42 @@ impl ManifoldSpec {
         // Isotropic jitter with total norm ≈ `jitter`.
         let jitter_per_dim = self.jitter / dim_norm;
 
+        // Phase 1 — sequential RNG: draw every sample's manifold coordinates
+        // `z` then jitter `ε`, in sample order. This is exactly the draw
+        // order of the historical interleaved loop, so generated datasets
+        // are bit-identical to pre-parallel versions of this crate.
         let n = self.classes * per_class;
-        let mut xs = Vec::with_capacity(n * self.dim);
-        let mut labels = Vec::with_capacity(n);
-        let mut z = vec![0.0f32; self.manifold_dim];
-        for (c, class_modes) in modes.iter().enumerate() {
-            for s in 0..per_class {
-                let mode = &class_modes[s % self.modes];
-                fill_standard_normal(&mut z, &mut rng);
-                for d in 0..self.dim {
-                    let mut v = mode.centre[d];
-                    for (q, &zq) in z.iter().enumerate() {
-                        v += mode.basis[d * self.manifold_dim + q] * zq;
-                    }
-                    v += standard_normal(&mut rng) * jitter_per_dim;
-                    xs.push(v);
-                }
-                labels.push(c as u32);
-            }
+        let q = self.manifold_dim;
+        let dim = self.dim;
+        let mut zs = vec![0.0f32; n * q];
+        let mut eps = vec![0.0f32; n * dim];
+        for g in 0..n {
+            fill_standard_normal(&mut zs[g * q..(g + 1) * q], &mut rng);
+            fill_standard_normal(&mut eps[g * dim..(g + 1) * dim], &mut rng);
         }
+
+        // Phase 2 — parallel pure compute over fixed sample blocks; each
+        // sample's floating-point evaluation order matches the old loop
+        // (centre, basis terms in ascending q, then jitter).
+        let mut xs = vec![0.0f32; n * dim];
+        enld_par::par_chunks_mut(&mut xs, SAMPLE_BLOCK * dim, |_, offset, chunk| {
+            for (local, x) in chunk.chunks_mut(dim).enumerate() {
+                let g = offset / dim + local;
+                let (c, s) = (g / per_class, g % per_class);
+                let mode = &modes[c][s % self.modes];
+                let z = &zs[g * q..(g + 1) * q];
+                let e = &eps[g * dim..(g + 1) * dim];
+                for (d, xv) in x.iter_mut().enumerate() {
+                    let mut v = mode.centre[d];
+                    for (qi, &zq) in z.iter().enumerate() {
+                        v += mode.basis[d * q + qi] * zq;
+                    }
+                    v += e[d] * jitter_per_dim;
+                    *xv = v;
+                }
+            }
+        });
+        let labels: Vec<u32> = (0..n).map(|g| (g / per_class) as u32).collect();
         Dataset::new(xs, labels, self.dim, self.classes)
     }
 
@@ -163,6 +184,16 @@ mod tests {
         assert_eq!(a.xs(), b.xs());
         let c = spec().generate(10, 6);
         assert_ne!(a.xs(), c.xs());
+    }
+
+    #[test]
+    fn generation_is_bit_identical_across_thread_counts() {
+        let base = enld_par::with_threads(1, || spec().generate(40, 11));
+        for threads in [2, 8] {
+            let got = enld_par::with_threads(threads, || spec().generate(40, 11));
+            assert_eq!(got.xs(), base.xs(), "threads={threads}");
+            assert_eq!(got.labels(), base.labels(), "threads={threads}");
+        }
     }
 
     #[test]

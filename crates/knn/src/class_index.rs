@@ -37,9 +37,14 @@ impl ClassIndex {
             entry.0.extend_from_slice(&features[row * dim..(row + 1) * dim]);
             entry.1.push(global);
         }
-        let trees = grouped
+        // Per-class builds are independent; build the trees in parallel and
+        // reassemble in the BTreeMap's (sorted, deterministic) class order.
+        let classes: Vec<(u32, (Vec<f32>, Vec<usize>))> = grouped.into_iter().collect();
+        let built = enld_par::par_map(classes.len(), 1, |c| KdTree::build(&classes[c].1 .0, dim));
+        let trees = classes
             .into_iter()
-            .map(|(label, (pts, globals))| (label, (KdTree::build(&pts, dim), globals)))
+            .zip(built)
+            .map(|((label, (_, globals)), tree)| (label, (tree, globals)))
             .collect();
         Self { trees, dim }
     }
@@ -76,7 +81,29 @@ impl ClassIndex {
             .map(|n| Neighbor { index: globals[n.index], dist_sq: n.dist_sq })
             .collect()
     }
+
+    /// Batched [`Self::k_nearest_in_class`]: answers query `i` (row `i` of
+    /// the flat `queries` buffer) against class `labels[i]`. Queries are
+    /// answered in parallel over fixed-size batches; the result order (and
+    /// every neighbour set) is identical to a sequential loop.
+    ///
+    /// # Panics
+    /// Panics when `queries.len() != labels.len() * dim`.
+    pub fn k_nearest_in_class_batch(
+        &self,
+        labels: &[u32],
+        queries: &[f32],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), labels.len() * self.dim, "query buffer shape mismatch");
+        enld_par::par_map(labels.len(), QUERY_BATCH, |i| {
+            self.k_nearest_in_class(labels[i], &queries[i * self.dim..(i + 1) * self.dim], k)
+        })
+    }
 }
+
+/// Queries per parallel task in [`ClassIndex::k_nearest_in_class_batch`].
+const QUERY_BATCH: usize = 16;
 
 #[cfg(test)]
 mod tests {
@@ -120,6 +147,23 @@ mod tests {
         assert_eq!(idx.len(), 4);
         assert_eq!(idx.class_len(0), 2);
         assert_eq!(idx.classes().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries() {
+        let idx = sample_index();
+        // Mix of present and absent classes, in arbitrary order.
+        let labels = vec![0u32, 1, 0, 7];
+        let queries = vec![0.0f32, 0.0, 0.0, 0.0, 10.0, 10.0, 1.0, 1.0];
+        for threads in [1, 4] {
+            let batch = enld_par::with_threads(threads, || {
+                idx.k_nearest_in_class_batch(&labels, &queries, 2)
+            });
+            for (i, got) in batch.iter().enumerate() {
+                let want = idx.k_nearest_in_class(labels[i], &queries[i * 2..(i + 1) * 2], 2);
+                assert_eq!(got, &want, "query {i} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -4,8 +4,29 @@
 //! so a straightforward ikj-ordered matmul with a flat `Vec<f32>` backing
 //! store is both cache-friendly and easy for LLVM to vectorise; no BLAS
 //! binding is needed at this scale.
+//!
+//! The three matmul variants parallelise over fixed-size *output row blocks*
+//! via `enld-par`. Each output element is accumulated in exactly the same
+//! floating-point order as the sequential loops, so results are bit-identical
+//! for every `ENLD_THREADS` setting.
 
 use std::fmt;
+
+/// Products below this many multiply-adds run as a single (inline) block;
+/// above it, output rows are split into [`PAR_ROW_BLOCK`]-row tasks.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// Output rows per parallel task. Fixed (never derived from the thread
+/// count) so chunk boundaries — and therefore results — are deterministic.
+const PAR_ROW_BLOCK: usize = 16;
+
+fn row_block(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) < PAR_MIN_FLOPS {
+        m.max(1)
+    } else {
+        PAR_ROW_BLOCK
+    }
+}
 
 /// Row-major dense `f32` matrix.
 #[derive(Clone, PartialEq)]
@@ -72,23 +93,27 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner-dim mismatch");
         let (m, n) = (self.rows, other.cols);
+        let k = self.cols;
         let mut out = Matrix::zeros(m, n);
         // ikj order: the innermost loop walks contiguous rows of both
         // `other` and `out`, which is the cache-friendly layout for
-        // row-major storage.
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue; // ReLU outputs are frequently exactly zero.
-                }
-                let b_row = other.row(kk);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // row-major storage. Parallel tasks own disjoint output row blocks.
+        let block = row_block(m, k, n);
+        enld_par::par_chunks_mut(&mut out.data, block * n, |_, offset, chunk| {
+            let i0 = offset / n;
+            for (bi, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = self.row(i0 + bi);
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue; // ReLU outputs are frequently exactly zero.
+                    }
+                    let b_row = other.row(kk);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -98,19 +123,28 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "matmul_at outer-dim mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Parallelism is over output row blocks, NOT over kk: every output
+        // element keeps the sequential kk-ascending accumulation order, so
+        // no floating-point merge of partial sums is ever needed.
+        let block = row_block(m, k, n);
+        enld_par::par_chunks_mut(&mut out.data, block * n, |_, offset, chunk| {
+            let i0 = offset / n;
+            let rows_here = chunk.len() / n;
+            for kk in 0..k {
+                let a_row = self.row(kk);
+                let b_row = other.row(kk);
+                for bi in 0..rows_here {
+                    let a = a_row[i0 + bi];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut chunk[bi * n..(bi + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -120,18 +154,21 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_bt inner-dim mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += a_row[kk] * b_row[kk];
+        let block = row_block(m, k, n);
+        enld_par::par_chunks_mut(&mut out.data, block * n, |_, offset, chunk| {
+            let i0 = offset / n;
+            for (bi, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = self.row(i0 + bi);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        acc += a_row[kk] * b_row[kk];
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
+        });
         out
     }
 
@@ -263,5 +300,25 @@ mod tests {
     fn frobenius() {
         let a = m(1, 2, &[3.0, 4.0]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmuls_are_bit_identical_across_thread_counts() {
+        // Big enough to clear PAR_MIN_FLOPS so the parallel path is real.
+        let a =
+            Matrix::from_vec(96, 64, (0..96 * 64).map(|i| ((i * 7) % 23) as f32 * 0.1).collect());
+        let b =
+            Matrix::from_vec(64, 80, (0..64 * 80).map(|i| ((i * 5) % 19) as f32 * 0.2).collect());
+        let c =
+            Matrix::from_vec(96, 64, (0..96 * 64).map(|i| ((i * 3) % 17) as f32 * 0.3).collect());
+        let base = enld_par::with_threads(1, || (a.matmul(&b), a.matmul_at(&c), c.matmul_bt(&a)));
+        for threads in [2, 8] {
+            let par = enld_par::with_threads(threads, || {
+                (a.matmul(&b), a.matmul_at(&c), c.matmul_bt(&a))
+            });
+            assert_eq!(par.0.data(), base.0.data(), "matmul threads={threads}");
+            assert_eq!(par.1.data(), base.1.data(), "matmul_at threads={threads}");
+            assert_eq!(par.2.data(), base.2.data(), "matmul_bt threads={threads}");
+        }
     }
 }

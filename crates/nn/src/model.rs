@@ -342,13 +342,22 @@ impl Mlp {
 
     fn for_each_chunk(&self, data: DataRef<'_>, mut f: impl FnMut(usize, (Matrix, Matrix))) {
         let n = data.len();
-        let mut start = 0;
-        while start < n {
+        if n == 0 {
+            return;
+        }
+        // Chunk boundaries depend only on `n`, so each chunk's forward pass
+        // is the same computation at every thread count; the (mutating)
+        // consumer is then applied sequentially in chunk order.
+        let n_chunks = n.div_ceil(INFERENCE_BATCH);
+        let results = enld_par::par_map(n_chunks, 1, |ci| {
+            let start = ci * INFERENCE_BATCH;
             let end = (start + INFERENCE_BATCH).min(n);
             let indices: Vec<usize> = (start..end).collect();
             let batch = data.gather(&indices);
-            f(start, self.forward_inference(&batch));
-            start = end;
+            self.forward_inference(&batch)
+        });
+        for (ci, result) in results.into_iter().enumerate() {
+            f(ci * INFERENCE_BATCH, result);
         }
     }
 }

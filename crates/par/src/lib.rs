@@ -1,0 +1,289 @@
+//! Deterministic data-parallel primitives for ENLD hot paths.
+//!
+//! `enld-par` is a `std`-only work-stealing thread pool (no external
+//! dependencies) plus three scoped primitives — [`par_map`],
+//! [`par_chunks_mut`], [`par_map_reduce`] — designed around one contract:
+//!
+//! > **Parallel output is bit-identical to sequential output.**
+//!
+//! The contract holds because work is split into *fixed-size chunks whose
+//! boundaries depend only on the input size*, never on the thread count, and
+//! partial results are merged *in chunk order*. A chunk's internal
+//! computation (including floating-point accumulation order) is written once
+//! and executed identically whether it runs inline, on a worker, or on the
+//! helping caller. Changing `ENLD_THREADS` can therefore change wall-clock
+//! time but never a single output bit — which is what lets the determinism
+//! suite assert byte-identical detection reports across thread counts.
+//!
+//! # Sizing
+//!
+//! The global pool is lazily initialised on first use from, in priority
+//! order: [`set_threads`] (the `--threads` CLI flag), the `ENLD_THREADS`
+//! environment variable, then [`std::thread::available_parallelism`].
+//! `ENLD_THREADS=1` is the sequential fallback: no workers are spawned and
+//! every primitive degenerates to a plain loop. Tests that need several
+//! thread counts in one process use [`with_threads`], which overrides the
+//! pool for the current thread only.
+//!
+//! The pool reports `enld.par.tasks_total`, `enld.par.steals_total`,
+//! `enld.par.threads` and per-worker `enld.par.worker<i>.busy_secs` through
+//! [`enld_telemetry::metrics`], so `/metrics` exposes scheduler behaviour
+//! next to the detection metrics.
+
+mod pool;
+
+pub use pool::{Scope, ThreadPool};
+
+use std::cell::RefCell;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+use pool::Shared;
+
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Fixes the global pool size, overriding `ENLD_THREADS`. Must be called
+/// before the first parallel primitive runs (the CLI does this while parsing
+/// flags); fails once the global pool exists or after a previous call.
+pub fn set_threads(n: usize) -> Result<(), String> {
+    if n == 0 {
+        return Err("thread count must be >= 1".to_string());
+    }
+    if GLOBAL.get().is_some() {
+        return Err(
+            "global pool already initialised; set --threads before any parallel work".to_string()
+        );
+    }
+    CONFIGURED.set(n).map_err(|_| "thread count already configured".to_string())
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn default_threads() -> usize {
+    if let Some(&n) = CONFIGURED.get() {
+        return n;
+    }
+    match std::env::var("ENLD_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available(), // unset semantics for 0 / garbage
+        },
+        Err(_) => available(),
+    }
+}
+
+fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+thread_local! {
+    /// Stack of [`with_threads`] overrides for the current thread.
+    static OVERRIDE: RefCell<Vec<Arc<ThreadPool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` against a private pool of exactly `n` threads, restoring the
+/// previous pool afterwards (also on panic). Thread-local: parallel work
+/// started by *other* threads is unaffected, so tests can compare
+/// `with_threads(1)` / `with_threads(8)` outputs inside one process.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| {
+                o.borrow_mut().pop();
+            });
+        }
+    }
+    OVERRIDE.with(|o| o.borrow_mut().push(Arc::new(ThreadPool::new(n))));
+    let _restore = Restore;
+    f()
+}
+
+/// Resolves the pool for the current thread: the owning pool when called
+/// from inside a worker task (nested parallelism), then the innermost
+/// [`with_threads`] override, then the global pool.
+fn current() -> Arc<Shared> {
+    if let Some(shared) = pool::worker_shared() {
+        return shared;
+    }
+    if let Some(shared) = OVERRIDE.with(|o| o.borrow().last().map(|p| p.shared_arc())) {
+        return shared;
+    }
+    global().shared_arc()
+}
+
+/// Effective thread budget for parallel work started from this thread.
+pub fn threads() -> usize {
+    current().threads()
+}
+
+/// Computes `f(i)` for every `i in 0..n` and returns the results in index
+/// order. Indices are processed in fixed `chunk`-sized blocks (one task per
+/// block), so per-call side effects within a block keep their sequential
+/// order and results are identical for every thread count.
+pub fn par_map<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let shared = current();
+    if shared.threads() == 1 || n <= chunk {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    pool::scope_shared(&shared, |s| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("chunk task completed")).collect()
+}
+
+/// Splits `data` into fixed `chunk`-sized blocks and applies
+/// `f(chunk_index, element_offset, block)` to each in parallel. Block
+/// boundaries depend only on `data.len()` and `chunk`, never on the thread
+/// count.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    if data.is_empty() {
+        return;
+    }
+    let shared = current();
+    if shared.threads() == 1 || data.len() <= chunk {
+        for (ci, block) in data.chunks_mut(chunk).enumerate() {
+            f(ci, ci * chunk, block);
+        }
+        return;
+    }
+    let f = &f;
+    pool::scope_shared(&shared, |s| {
+        for (ci, block) in data.chunks_mut(chunk).enumerate() {
+            s.spawn(move || f(ci, ci * chunk, block));
+        }
+    });
+}
+
+/// Maps fixed index ranges (`chunk` wide, boundaries independent of thread
+/// count) with `map`, then folds the partial results **in range order** with
+/// `fold`. The ordered fold is what keeps non-associative reductions (e.g.
+/// `f32` sums) bit-identical to a sequential run over the same chunking.
+/// Returns `None` when `n == 0`.
+pub fn par_map_reduce<R, M, F>(n: usize, chunk: usize, map: M, fold: F) -> Option<R>
+where
+    R: Send,
+    M: Fn(Range<usize>) -> R + Sync,
+    F: FnMut(R, R) -> R,
+{
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return None;
+    }
+    let n_chunks = n.div_ceil(chunk);
+    let partials = par_map(n_chunks, 1, |ci| {
+        let lo = ci * chunk;
+        map(lo..(lo + chunk).min(n))
+    });
+    partials.into_iter().reduce(fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_every_thread_count() {
+        let seq: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = with_threads(threads, || par_map(1000, 64, |i| (i as f32).sin()));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_exactly_once() {
+        for threads in [1, 4] {
+            let mut data = vec![0u32; 501];
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 32, |_, offset, block| {
+                    for (j, v) in block.iter_mut().enumerate() {
+                        *v += (offset + j) as u32 + 1;
+                    }
+                });
+            });
+            let want: Vec<u32> = (1..=501).collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_ordered_and_bit_stable() {
+        // A deliberately non-associative f32 sum: only an ordered merge over
+        // fixed chunk boundaries gives the same bits for every thread count.
+        let map = |r: Range<usize>| r.map(|i| 1.0f32 / (i as f32 + 1.0)).sum::<f32>();
+        let baseline = with_threads(1, || par_map_reduce(10_000, 128, map, |a, b| a + b));
+        for threads in [2, 5, 8] {
+            let got = with_threads(threads, || par_map_reduce(10_000, 128, map, |a, b| a + b));
+            assert_eq!(got.map(f32::to_bits), baseline.map(f32::to_bits), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_concatenation_preserves_range_order() {
+        let got = with_threads(4, || {
+            par_map_reduce(
+                100,
+                7,
+                |r| r.collect::<Vec<usize>>(),
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+        })
+        .unwrap();
+        let want: Vec<usize> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(par_map(0, 8, |i| i).is_empty());
+        assert_eq!(par_map_reduce(0, 8, |r| r.len(), |a, b| a + b), None);
+        let mut empty: [u8; 0] = [];
+        par_chunks_mut(&mut empty, 8, |_, _, _| unreachable!());
+        // chunk = 0 is clamped to 1 rather than panicking.
+        assert_eq!(par_map(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(4, || {
+            assert_eq!(threads(), 4);
+            with_threads(2, || assert_eq!(threads(), 2));
+            assert_eq!(threads(), 4);
+        });
+    }
+
+    #[test]
+    fn set_threads_rejects_zero() {
+        assert!(set_threads(0).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate: run the four fixed-seed wall-clock benchmarks
+# (`benchgate`), write BENCH_<date>.json, and fail on a >25% median
+# regression against the committed bench/baseline.json. Also measures the
+# parallel speedup (default threads vs ENLD_THREADS=1) and appends it to
+# $GITHUB_STEP_SUMMARY when running in CI.
+#
+# usage: bench_gate.sh [--smoke]
+#   --smoke   single iteration per bench, no baseline compare, no speedup
+#             run — a cheap "the benches still execute" check for check.sh.
+#
+# Tunables (env): BENCH_GATE_ITERS (default 5), BENCH_GATE_THRESHOLD_PCT
+# (default 25), BENCH_GATE_SPEEDUP_ITERS (default 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *)
+      echo "usage: bench_gate.sh [--smoke]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+ITERS="${BENCH_GATE_ITERS:-5}"
+THRESHOLD="${BENCH_GATE_THRESHOLD_PCT:-25}"
+SPEEDUP_ITERS="${BENCH_GATE_SPEEDUP_ITERS:-3}"
+BASELINE="bench/baseline.json"
+
+echo "==> building benchgate (release)"
+cargo build --release -q -p enld-bench --bin benchgate
+BENCHGATE=target/release/benchgate
+
+if [ -n "$SMOKE" ]; then
+  echo "==> benchgate --smoke"
+  "$BENCHGATE" --smoke
+  exit 0
+fi
+
+DATE="$(date -u +%Y%m%d)"
+OUT="BENCH_${DATE}.json"
+
+echo "==> gate run (default threads, $ITERS iters, threshold ${THRESHOLD}%)"
+gate_rc=0
+"$BENCHGATE" --iters "$ITERS" --out "$OUT" \
+  --baseline "$BASELINE" --threshold-pct "$THRESHOLD" || gate_rc=$?
+
+# A bootstrap (or absent) baseline means this machine has no calibrated
+# numbers yet: promote this run's results so the next run can compare.
+if [ ! -f "$BASELINE" ] || grep -q '"bootstrap": *true' "$BASELINE"; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$OUT" "$BASELINE"
+  echo "==> baseline was bootstrap — promoted $OUT to $BASELINE"
+  echo "    commit the updated $BASELINE to calibrate the gate"
+fi
+
+echo "==> sequential run for speedup measurement (ENLD_THREADS=1, $SPEEDUP_ITERS iters)"
+SEQ_OUT="BENCH_${DATE}_seq.json"
+ENLD_THREADS=1 "$BENCHGATE" --iters "$SPEEDUP_ITERS" --out "$SEQ_OUT"
+
+SPEEDUP="$("$BENCHGATE" --report-speedup "$SEQ_OUT" "$OUT")"
+printf '%s\n' "$SPEEDUP"
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "### Bench gate ($OUT)"
+    echo '```'
+    printf '%s\n' "$SPEEDUP"
+    echo '```'
+    if [ "$gate_rc" -eq 0 ]; then
+      echo "Gate: **PASSED** (threshold +${THRESHOLD}% vs $BASELINE)"
+    else
+      echo "Gate: **FAILED** (median regression above ${THRESHOLD}% vs $BASELINE)"
+    fi
+  } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+exit "$gate_rc"

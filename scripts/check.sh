@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> parallel determinism suite (ENLD_THREADS=1 and 4)"
+ENLD_THREADS=1 cargo test -q -p enld-integration --test determinism
+ENLD_THREADS=4 cargo test -q -p enld-integration --test determinism
+
+echo "==> bench gate smoke (single iteration, no baseline compare)"
+bash scripts/bench_gate.sh --smoke
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

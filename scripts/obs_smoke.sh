@@ -33,8 +33,22 @@ trap cleanup EXIT
   > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 
+# If the server dies mid-poll, surface its real exit code and log instead
+# of spinning until the retry budget runs out.
+server_alive_or_die() {
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    rc=0
+    wait "$SERVE_PID" || rc=$?
+    SERVE_PID=""
+    echo "enld serve exited early (exit code $rc):"
+    cat "$SMOKE_DIR/serve.log"
+    exit "$((rc == 0 ? 1 : rc))"
+  fi
+}
+
 ADDR=""
 for _ in $(seq 1 240); do
+  server_alive_or_die
   ADDR=$(sed -n 's#^observability endpoint listening on http://##p' "$SMOKE_DIR/serve.log" | head -n1)
   [ -n "$ADDR" ] && break
   sleep 0.5
@@ -48,6 +62,7 @@ fi
 METRICS=""
 FOUND=""
 for _ in $(seq 1 240); do
+  server_alive_or_die
   METRICS=$(curl -fsS "http://$ADDR/metrics" || true)
   if printf '%s\n' "$METRICS" | grep -q '^lake_queue_depth ' &&
      printf '%s\n' "$METRICS" | grep -q '^serve_worker_0_service_secs_count '; then
@@ -62,7 +77,19 @@ if [ -z "$FOUND" ]; then
   exit 1
 fi
 
-curl -fsS "http://$ADDR/healthz" | grep -q '"status"'
+HEALTHY=""
+for _ in $(seq 1 60); do
+  server_alive_or_die
+  if curl -fsS "http://$ADDR/healthz" | grep -q '"status"'; then
+    HEALTHY=1
+    break
+  fi
+  sleep 0.5
+done
+if [ -z "$HEALTHY" ]; then
+  echo "/healthz never answered with a status payload"
+  exit 1
+fi
 if [ ! -s "$SMOKE_DIR/ledger.jsonl" ]; then
   echo "audit ledger is empty"
   exit 1

@@ -1,0 +1,97 @@
+//! Parallel-determinism suite: every data-parallel hot path must produce
+//! bit-identical results whatever the thread count. The `enld-par`
+//! primitives fix chunk boundaries by input size and merge in order, so
+//! `ENLD_THREADS=1` and `ENLD_THREADS=32` are interchangeable — these
+//! tests pin that contract at the integration level (matrix algebra,
+//! k-NN, dataset synthesis, and a full `Enld::detect` run).
+
+use enld_core::{config::EnldConfig, detector::Enld};
+use enld_datagen::presets::DatasetPreset;
+use enld_knn::class_index::ClassIndex;
+use enld_knn::kdtree::Neighbor;
+use enld_lake::lake::{DataLake, LakeConfig};
+use enld_nn::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn uniform(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-3.0f32..3.0)).collect()
+}
+
+#[test]
+fn matrix_products_are_bit_identical_across_thread_counts() {
+    // Sizes straddle the parallel threshold so both the small sequential
+    // path and the row-blocked parallel path are exercised.
+    for (m, k, n) in [(7, 5, 9), (120, 64, 80)] {
+        let a = Matrix::from_vec(m, k, uniform(m * k, 41));
+        let b = Matrix::from_vec(k, n, uniform(k * n, 42));
+        let at = Matrix::from_vec(k, m, uniform(k * m, 43));
+        let bt = Matrix::from_vec(n, k, uniform(n * k, 44));
+        let base = enld_par::with_threads(1, || (a.matmul(&b), at.matmul_at(&a), a.matmul_bt(&bt)));
+        for threads in THREAD_COUNTS {
+            let got = enld_par::with_threads(threads, || {
+                (a.matmul(&b), at.matmul_at(&a), a.matmul_bt(&bt))
+            });
+            assert_eq!(got.0, base.0, "matmul {m}x{k}x{n} threads={threads}");
+            assert_eq!(got.1, base.1, "matmul_at {m}x{k}x{n} threads={threads}");
+            assert_eq!(got.2, base.2, "matmul_bt {m}x{k}x{n} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn knn_neighbour_sets_are_identical_across_thread_counts() {
+    const DIM: usize = 24;
+    const N: usize = 600;
+    let feats = uniform(N * DIM, 51);
+    let labels: Vec<u32> = (0..N).map(|i| (i % 5) as u32).collect();
+    let keep: Vec<usize> = (0..N).collect();
+    let queries = uniform(40 * DIM, 52);
+    let qlabels: Vec<u32> = (0..40).map(|i| (i % 5) as u32).collect();
+
+    let run = || {
+        let index = ClassIndex::build(&feats, DIM, &labels, &keep);
+        index.k_nearest_in_class_batch(&qlabels, &queries, 4)
+    };
+    let base: Vec<Vec<Neighbor>> = enld_par::with_threads(1, run);
+    for threads in THREAD_COUNTS {
+        let got = enld_par::with_threads(threads, run);
+        assert_eq!(got, base, "threads={threads}");
+    }
+}
+
+#[test]
+fn generated_datasets_are_bit_identical_across_thread_counts() {
+    let preset = DatasetPreset::test_sim().scaled(0.5);
+    let base = enld_par::with_threads(1, || preset.generate(9));
+    for threads in THREAD_COUNTS {
+        let got = enld_par::with_threads(threads, || preset.generate(9));
+        assert_eq!(got.xs(), base.xs(), "threads={threads}");
+        assert_eq!(got.labels(), base.labels(), "threads={threads}");
+    }
+}
+
+#[test]
+fn detection_reports_are_identical_across_thread_counts() {
+    // The full pipeline: lake construction, model training, the iterative
+    // detector, and contrastive sampling all run under the pool. Reports
+    // must match field-for-field (timings excluded, obviously).
+    let run = || {
+        let preset = DatasetPreset::test_sim().scaled(0.5);
+        let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 105 });
+        let mut cfg = EnldConfig::fast_test();
+        cfg.iterations = 3;
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        let req = lake.next_request().expect("queued");
+        let r = enld.detect(&req.data);
+        (r.clean, r.noisy, r.pseudo_labels, r.inventory_clean)
+    };
+    let base = enld_par::with_threads(1, run);
+    for threads in THREAD_COUNTS {
+        let got = enld_par::with_threads(threads, run);
+        assert_eq!(got, base, "threads={threads}");
+    }
+}
