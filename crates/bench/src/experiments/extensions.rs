@@ -313,7 +313,7 @@ pub fn ext_obs(ctx: &ExpContext) -> io::Result<()> {
         let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: ctx.seed });
         let mut enld = Enld::init(lake.inventory(), &cfg);
         if let Some(sink) = &sink {
-            enld.set_ledger(Arc::clone(sink), "bench");
+            enld.set_ledger(sink.clone(), "bench");
         }
         let n = ctx.scale.cap(lake.pending_requests());
         let mut secs = Vec::with_capacity(n);

@@ -16,12 +16,20 @@ use crate::CliError;
 
 /// Loads and parses a JSONL ledger written by `--ledger`.
 ///
+/// Tolerates a torn final line (a crash mid-write leaves one); interior
+/// corruption is still an error. A dropped tail is reported on stderr so
+/// auditors know the file was cut short.
+///
 /// # Errors
 /// I/O failures and malformed records (with their line number).
 pub fn load_ledger(path: &Path) -> Result<Vec<LedgerRecord>, CliError> {
     let text = fs::read_to_string(path)?;
-    LedgerRecord::parse_jsonl(&text)
-        .map_err(|e| CliError::BadInput(format!("malformed ledger {}: {e}", path.display())))
+    let (records, torn) = LedgerRecord::parse_jsonl_tolerant(&text)
+        .map_err(|e| CliError::BadInput(format!("malformed ledger {}: {e}", path.display())))?;
+    if let Some(tail) = torn {
+        eprintln!("warning: ledger {} ends in a torn record ({tail}); dropped", path.display());
+    }
+    Ok(records)
 }
 
 /// The result of replaying one sample's ledger trail.

@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use enld_core::checkpoint::Checkpoint;
 use enld_core::config::EnldConfig;
 use enld_core::detector::Enld;
 use enld_core::ledger::JsonlLedger;
@@ -164,6 +165,36 @@ pub fn detect(
     overrides: DetectOverrides,
     ledger: Option<&Path>,
 ) -> Result<Vec<Verdict>, CliError> {
+    detect_with_recovery(file, overrides, ledger, RecoveryOptions::default())
+}
+
+/// Crash-recovery knobs for [`detect_with_recovery`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOptions {
+    /// Where to persist detector checkpoints at iteration boundaries;
+    /// `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Restore from `checkpoint` instead of starting fresh. Requires
+    /// `checkpoint` to be set and the file to exist.
+    pub resume: bool,
+}
+
+/// [`detect`] with checkpoint/resume wiring (`enld detect --checkpoint
+/// FILE [--resume]`).
+///
+/// With a checkpoint path set, detector state is persisted atomically at
+/// every iteration boundary, so a killed run loses at most one
+/// iteration of work. With `resume`, the detector is restored from the
+/// checkpoint: arrivals that already completed are skipped (their
+/// verdicts are *not* re-emitted), an interrupted arrival continues from
+/// its last persisted iteration, and the ledger — if any — is opened in
+/// append mode so the interrupted run's records survive.
+pub fn detect_with_recovery(
+    file: &LakeFile,
+    overrides: DetectOverrides,
+    ledger: Option<&Path>,
+    recovery: RecoveryOptions,
+) -> Result<Vec<Verdict>, CliError> {
     let mut cfg = config_for(file, overrides);
     if let Some(t) = overrides.iterations {
         cfg.iterations = t;
@@ -171,16 +202,44 @@ pub fn detect(
     if let Some(k) = overrides.k {
         cfg.k = k;
     }
-    let mut enld = Enld::init(&file.inventory, &cfg);
+    if recovery.resume && recovery.checkpoint.is_none() {
+        return Err(CliError::BadInput("--resume requires --checkpoint FILE".to_owned()));
+    }
+    let mut enld = if recovery.resume {
+        let path = recovery.checkpoint.as_deref().expect("checked above");
+        let ckpt = Checkpoint::load(path)
+            .map_err(|e| CliError::BadInput(format!("checkpoint {}: {e}", path.display())))?;
+        Enld::resume_from(&file.inventory, &cfg, &ckpt)
+            .map_err(|e| CliError::BadInput(format!("checkpoint {}: {e}", path.display())))?
+    } else {
+        Enld::init(&file.inventory, &cfg)
+    };
+    if let Some(path) = &recovery.checkpoint {
+        enld.enable_checkpoints(path);
+    }
     if let Some(path) = ledger {
-        let sink = Arc::new(JsonlLedger::create(path)?);
+        let sink = if recovery.resume {
+            Arc::new(JsonlLedger::append(path)?)
+        } else {
+            Arc::new(JsonlLedger::create(path)?)
+        };
         enld.set_ledger(sink, "main");
+    }
+    // Completed arrivals are skipped on resume; an in-flight one (counted
+    // in `tasks` but unfinished) is re-served and continues mid-task.
+    let done = if recovery.resume { enld.tasks_completed() } else { 0 };
+    if done > file.arrivals.len() {
+        return Err(CliError::BadInput(format!(
+            "checkpoint has {done} completed arrivals but the lake only has {}",
+            file.arrivals.len()
+        )));
     }
     let has_truth = file.arrivals.iter().any(|a| a.labels() != a.true_labels());
     Ok(file
         .arrivals
         .iter()
         .enumerate()
+        .skip(done)
         .map(|(i, data)| {
             let report = enld.detect(data);
             let metrics = has_truth
@@ -336,7 +395,7 @@ pub fn serve(file: &LakeFile, opts: &ServeOptions) -> Result<ServeSummary, CliEr
     let pool = WorkerPool::spawn(pool_cfg, |worker| {
         let mut enld = prototype.clone();
         if let Some(sink) = &ledger_sink {
-            enld.set_ledger(Arc::clone(sink), &format!("w{worker}"));
+            enld.set_ledger(sink.clone(), &format!("w{worker}"));
         }
         move |data: &Dataset| enld.detect(data)
     });
@@ -517,6 +576,29 @@ mod tests {
             assert!(m.f1 >= 0.0 && m.f1 <= 1.0);
         }
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn detect_with_recovery_checkpoints_and_resumes() {
+        let (file, path) = small_lake("ckpt");
+        let ckpt = tmp("ckpt_file");
+        let overrides = DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) };
+        let recovery = RecoveryOptions { checkpoint: Some(ckpt.clone()), resume: false };
+        let verdicts = detect_with_recovery(&file, overrides, None, recovery).expect("detect");
+        assert_eq!(verdicts.len(), file.arrivals.len());
+        assert!(ckpt.exists(), "checkpoint persisted at the final task boundary");
+        // Resuming a finished run has nothing left to do.
+        let recovery = RecoveryOptions { checkpoint: Some(ckpt.clone()), resume: true };
+        let resumed = detect_with_recovery(&file, overrides, None, recovery).expect("resume");
+        assert!(resumed.is_empty(), "every arrival was already completed");
+        // --resume without --checkpoint is a usage error.
+        let bad = RecoveryOptions { checkpoint: None, resume: true };
+        assert!(matches!(
+            detect_with_recovery(&file, DetectOverrides::default(), None, bad),
+            Err(CliError::BadInput(_))
+        ));
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&ckpt);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use enld_cli::explain::{explain, load_ledger};
 use enld_cli::{
-    audit, detect, generate, load_lake, serve, write_json, DetectOverrides, ObsBridge, ServeOptions,
+    audit, detect_with_recovery, generate, load_lake, serve, write_json, DetectOverrides,
+    ObsBridge, RecoveryOptions, ServeOptions,
 };
 use enld_telemetry::{ObsServer, ObsStatus, TelemetryConfig};
 
@@ -14,6 +15,7 @@ const USAGE: &str = "\
 usage:
   enld generate --preset <name> [--noise R] [--seed N] --out FILE
   enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N] [--ledger FILE]
+                [--checkpoint FILE [--resume]]
   enld serve    --lake FILE [--workers N] [--policy fifo|sjf|priority|edf]
                 [--queue-limit N] [--out FILE] [--iterations N] [--k N] [--seed N]
                 [--obs-addr HOST:PORT] [--obs-linger SECS] [--ledger FILE]
@@ -29,6 +31,12 @@ cores; 1 = sequential). results are bit-identical for every thread count
 
 the --obs-addr endpoint serves /metrics (Prometheus), /metrics.json, /healthz, /workers
 
+--checkpoint FILE persists detector state atomically at iteration boundaries;
+--resume restores it and continues, skipping arrivals already completed
+
+ENLD_FAILPOINTS=\"site=action[@trigger];...\" arms deterministic fault injection
+(testing only); see DESIGN.md section 10 for the failpoint catalogue
+
 presets: emnist-sim cifar100-sim tiny-imagenet-sim test-sim";
 
 /// Flags every command accepts (telemetry + thread-pool wiring).
@@ -38,7 +46,7 @@ const COMMON_FLAGS: &[&str] =
 /// Per-command accepted flags; anything else is an error, not silence.
 const COMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("generate", &["preset", "noise", "seed", "out"]),
-    ("detect", &["lake", "out", "iterations", "k", "seed", "ledger"]),
+    ("detect", &["lake", "out", "iterations", "k", "seed", "ledger", "checkpoint", "resume"]),
     (
         "serve",
         &[
@@ -59,6 +67,9 @@ const COMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("explain", &["ledger", "sample", "task"]),
 ];
 
+/// Flags that take no value; their presence means "true".
+const SWITCH_FLAGS: &[&str] = &["resume"];
+
 struct Args {
     flags: Vec<(String, String)>,
 }
@@ -71,6 +82,10 @@ impl Args {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, found '{flag}'"))?;
+            if SWITCH_FLAGS.contains(&name) {
+                flags.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} requires a value"))?;
             flags.push((name.to_owned(), value.clone()));
         }
@@ -103,6 +118,10 @@ impl Args {
         self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
     fn parse_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.get(name) {
             None => Ok(None),
@@ -119,6 +138,12 @@ fn run() -> Result<(), String> {
     let args = Args::parse(rest)?;
     if COMMAND_FLAGS.iter().any(|(c, _)| c == command) {
         args.validate(command)?;
+    }
+    // Arm deterministic fault injection before any detector work; an
+    // unset ENLD_FAILPOINTS arms nothing and costs one env lookup.
+    let armed = enld_chaos::init_from_env().map_err(|e| format!("ENLD_FAILPOINTS: {e}"))?;
+    if armed > 0 {
+        eprintln!("chaos: {armed} failpoint(s) armed from ENLD_FAILPOINTS");
     }
     // Size the pool before any parallel work; the global pool is
     // lazily initialised on first use and cannot be resized afterwards.
@@ -178,8 +203,15 @@ fn run() -> Result<(), String> {
                 seed: args.parse_num("seed")?,
             };
             let ledger = args.get("ledger").map(PathBuf::from);
-            let verdicts =
-                detect(&file, overrides, ledger.as_deref()).map_err(|e| e.to_string())?;
+            let recovery = RecoveryOptions {
+                checkpoint: args.get("checkpoint").map(PathBuf::from),
+                resume: args.has("resume"),
+            };
+            if recovery.resume {
+                println!("resuming from checkpoint (completed arrivals are skipped)");
+            }
+            let verdicts = detect_with_recovery(&file, overrides, ledger.as_deref(), recovery)
+                .map_err(|e| e.to_string())?;
             if let Some(path) = &ledger {
                 println!("audit ledger written to {}", path.display());
             }

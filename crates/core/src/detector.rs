@@ -3,6 +3,7 @@
 //! label detection (Alg. 3), and the optional model update (Alg. 4).
 
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -20,6 +21,9 @@ use enld_telemetry as telemetry;
 use enld_telemetry::metrics::{global as metrics, Histogram};
 use enld_telemetry::ScopedTimer;
 
+use crate::checkpoint::{
+    self, Checkpoint, CheckpointError, CondState, DrawState, InFlightTask, ModelState, TraceState,
+};
 use crate::config::EnldConfig;
 use crate::ledger::{
     ContrastDraw, LedgerRecord, LedgerSink, SampleDraw, SampleRecord, TaskRecord, UpdateRecord,
@@ -35,7 +39,6 @@ use crate::sampling::{
 /// The ENLD system state: general model `θ`, estimated conditional
 /// probability `P̃`, the inventory splits `I_t`/`I_c`, the high-quality
 /// set `H`, and the clean-inventory votes accumulated across tasks.
-#[derive(Clone)]
 pub struct Enld {
     config: EnldConfig,
     model: Mlp,
@@ -53,6 +56,39 @@ pub struct Enld {
     updates: usize,
     /// Opt-in audit ledger; `None` keeps the hot path untouched.
     ledger: Option<LedgerHandle>,
+    /// Fingerprint of the inventory passed to [`Enld::init`], embedded in
+    /// checkpoints so resume can reject a different inventory.
+    inventory_fp: u64,
+    /// Crash-recovery checkpoint file; `None` disables checkpointing.
+    checkpoint_path: Option<PathBuf>,
+    /// In-flight task restored by [`Enld::resume_from`], consumed by the
+    /// next [`Enld::detect`] call.
+    pending: Option<PendingTask>,
+}
+
+impl Clone for Enld {
+    /// Clones share all detector state but none of the crash-recovery
+    /// wiring: a clone neither writes to the original's checkpoint file
+    /// (two writers would race the tmp + rename) nor inherits a pending
+    /// in-flight task (only one detect call may consume it).
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            model: self.model.clone(),
+            cond: self.cond.clone(),
+            i_t: self.i_t.clone(),
+            i_c: self.i_c.clone(),
+            hq: self.hq.clone(),
+            sc_accum: self.sc_accum.clone(),
+            setup_secs: self.setup_secs,
+            tasks: self.tasks,
+            updates: self.updates,
+            ledger: self.ledger.clone(),
+            inventory_fp: self.inventory_fp,
+            checkpoint_path: None,
+            pending: None,
+        }
+    }
 }
 
 /// Sink plus an instance tag (`main`, or `w0`/`w1`/… for pool workers)
@@ -115,6 +151,9 @@ impl Enld {
             tasks: 0,
             updates: 0,
             ledger: None,
+            inventory_fp: checkpoint::dataset_fingerprint(inventory),
+            checkpoint_path: None,
+            pending: None,
         }
     }
 
@@ -195,23 +234,198 @@ impl Enld {
         self.config = *config;
     }
 
+    /// Enables crash-recovery checkpoints: detector state is persisted
+    /// atomically (tmp + rename) to `path` after warm-up, at every
+    /// iteration boundary of [`Enld::detect`], at task end, and after
+    /// [`Enld::update_model`].
+    ///
+    /// A failed checkpoint write panics rather than silently dropping
+    /// durability; the previous checkpoint file is left intact, so a
+    /// supervisor can restart and [`Enld::resume_from`] it. Clones (e.g.
+    /// serve-pool workers) do not inherit the checkpoint path — two
+    /// writers would race the tmp + rename.
+    pub fn enable_checkpoints(&mut self, path: impl Into<PathBuf>) {
+        self.checkpoint_path = Some(path.into());
+    }
+
+    /// Stops writing checkpoints.
+    pub fn disable_checkpoints(&mut self) {
+        self.checkpoint_path = None;
+    }
+
+    /// Where checkpoints are written, when enabled.
+    pub fn checkpoint_file(&self) -> Option<&Path> {
+        self.checkpoint_path.as_deref()
+    }
+
+    /// Whether a resumed in-flight task is waiting for [`Enld::detect`].
+    pub fn has_pending_task(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Fingerprint of the incremental dataset the pending in-flight task
+    /// was processing (compare with
+    /// [`checkpoint::dataset_fingerprint`] to find the right arrival).
+    pub fn pending_dataset_fingerprint(&self) -> Option<u64> {
+        self.pending.as_ref().map(|p| p.d_fp)
+    }
+
+    /// Detection tasks fully completed (excludes a pending in-flight one).
+    pub fn tasks_completed(&self) -> usize {
+        self.tasks - usize::from(self.pending.is_some())
+    }
+
+    /// Captures the current state (including any pending in-flight task)
+    /// as a [`Checkpoint`].
+    pub fn capture_checkpoint(&self) -> Checkpoint {
+        let in_flight = self.pending.as_ref().map(|p| cursor_to_in_flight(&p.cursor, p.d_fp));
+        self.checkpoint_with(in_flight)
+    }
+
+    fn checkpoint_with(&self, in_flight: Option<InFlightTask>) -> Checkpoint {
+        let (classes, joint, cond) = self.cond.to_parts();
+        Checkpoint {
+            config_fp: checkpoint::config_fingerprint(&self.config),
+            inventory_fp: self.inventory_fp,
+            tasks: self.tasks,
+            updates: self.updates,
+            setup_secs: self.setup_secs,
+            hq: self.hq.clone(),
+            sc_accum: self.sc_accum.clone(),
+            cond: CondState { classes, joint: joint.to_vec(), cond: cond.to_vec() },
+            model: ModelState::capture(&self.model),
+            in_flight,
+        }
+    }
+
+    fn persist_pending(&self, d_fp: u64, st: &TaskCursor) {
+        let Some(path) = &self.checkpoint_path else { return };
+        let ckpt = self.checkpoint_with(Some(cursor_to_in_flight(st, d_fp)));
+        if let Err(e) = ckpt.save_atomic(path) {
+            panic!("enld checkpoint write to {} failed: {e}", path.display());
+        }
+    }
+
+    fn persist_state(&self) {
+        let Some(path) = &self.checkpoint_path else { return };
+        if let Err(e) = self.capture_checkpoint().save_atomic(path) {
+            panic!("enld checkpoint write to {} failed: {e}", path.display());
+        }
+    }
+
+    /// Rebuilds a detector from a [`Checkpoint`] without retraining.
+    ///
+    /// `inventory` and `config` must be the ones originally passed to
+    /// [`Enld::init`] (both are validated by fingerprint). The
+    /// deterministic `I_t`/`I_c` split is recomputed; everything else —
+    /// general model with SGD momentum, `P̃`, `H`, `S_c`, the task/update
+    /// counters that drive every derived seed, and any in-flight task
+    /// cursor — is restored from the checkpoint. When the checkpoint
+    /// holds an in-flight task, the next [`Enld::detect`] call must
+    /// receive the same incremental dataset and continues that task from
+    /// the first incomplete iteration, bit-identical to an uninterrupted
+    /// run.
+    ///
+    /// The ledger and checkpoint path are *not* restored — re-attach with
+    /// [`Enld::set_ledger`] (appending to the old file) and
+    /// [`Enld::enable_checkpoints`].
+    ///
+    /// # Errors
+    /// [`CheckpointError::Mismatch`] when the config or inventory differs
+    /// from the checkpointed one.
+    pub fn resume_from(
+        inventory: &Dataset,
+        config: &EnldConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, CheckpointError> {
+        config.validate();
+        let config_fp = checkpoint::config_fingerprint(config);
+        if config_fp != ckpt.config_fp {
+            return Err(CheckpointError::Mismatch(
+                "configuration differs from the checkpointed one".into(),
+            ));
+        }
+        let inventory_fp = checkpoint::dataset_fingerprint(inventory);
+        if inventory_fp != ckpt.inventory_fp {
+            return Err(CheckpointError::Mismatch(
+                "inventory dataset differs from the checkpointed one".into(),
+            ));
+        }
+        let (mut i_t, mut i_c) = split_half(inventory, config.seed.wrapping_add(1000));
+        if ckpt.updates % 2 == 1 {
+            // Alg. 4 swaps the splits on every model update.
+            std::mem::swap(&mut i_t, &mut i_c);
+        }
+        if ckpt.sc_accum.len() != i_c.len() {
+            return Err(CheckpointError::Mismatch("S_c length does not match I_c".into()));
+        }
+        let model_cfg = config.arch.config(inventory.dim(), inventory.classes());
+        let mut model = Mlp::new(&model_cfg, config.seed);
+        ckpt.model.restore_into(&mut model);
+        let cond = ConditionalLabelProbability::from_parts(
+            ckpt.cond.classes,
+            ckpt.cond.joint.clone(),
+            ckpt.cond.cond.clone(),
+        );
+        let pending = ckpt.in_flight.as_ref().map(|t| {
+            let mut theta = Mlp::new(&model_cfg, config.seed);
+            t.theta.restore_into(&mut theta);
+            PendingTask { d_fp: t.d_fp, cursor: in_flight_to_cursor(t, theta) }
+        });
+        Ok(Self {
+            config: *config,
+            model,
+            cond,
+            i_t,
+            i_c,
+            hq: ckpt.hq.clone(),
+            sc_accum: ckpt.sc_accum.clone(),
+            setup_secs: ckpt.setup_secs,
+            tasks: ckpt.tasks,
+            updates: ckpt.updates,
+            ledger: None,
+            inventory_fp,
+            checkpoint_path: None,
+            pending,
+        })
+    }
+
     /// Alg. 2 + Alg. 3: fine-grained noisy-label detection with
     /// contrastive sampling for one incremental dataset.
+    ///
+    /// After [`Enld::resume_from`] with an in-flight task, the call must
+    /// receive the same dataset the interrupted task was processing
+    /// (checked by fingerprint); detection then continues from the first
+    /// incomplete iteration instead of starting over.
     pub fn detect(&mut self, d: &Dataset) -> DetectionReport {
         assert_eq!(d.dim(), self.i_c.dim(), "incremental dataset dimension mismatch");
         assert_eq!(d.classes(), self.i_c.classes(), "incremental dataset class-count mismatch");
         let sw = Stopwatch::start();
         let cfg = self.config;
-        self.tasks += 1;
+        let d_fp = checkpoint::dataset_fingerprint(d);
+        let resumed = match self.pending.take() {
+            Some(p) => {
+                assert_eq!(
+                    p.d_fp, d_fp,
+                    "resumed detect() was given a different dataset than the in-flight task"
+                );
+                Some(p.cursor)
+            }
+            None => {
+                self.tasks += 1;
+                None
+            }
+        };
         let mut detect_span = telemetry::span("enld.detect")
             .field("task", self.tasks)
             .field("samples", d.len())
             .entered();
         metrics().counter("enld.detect.tasks").inc();
-        // Per-task sampling RNG: deterministic given (config seed, task #).
-        let mut rng = StdRng::seed_from_u64(
-            cfg.seed ^ (self.tasks as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        // Every random choice below is seeded by pure counters — (config
+        // seed, task #, selection round / fine-tune epoch index) — so a
+        // resumed task replays the exact streams of an uninterrupted run
+        // without serialising RNG state into checkpoints.
+        let task_seed = cfg.seed ^ (self.tasks as u64).wrapping_mul(GOLDEN);
         let d_view = DataRef::new(d.xs(), d.labels(), d.dim());
         let ic_view = DataRef::new(self.i_c.xs(), self.i_c.labels(), self.i_c.dim());
 
@@ -222,120 +436,61 @@ impl Enld {
         // Alg. 3 line 3: I' = candidates whose observed label ∈ label(D).
         let i_prime: Vec<usize> =
             (0..self.i_c.len()).filter(|&i| labels_d.contains(&self.i_c.labels()[i])).collect();
+        let missing: Vec<usize> = d.missing_indices();
+        let threshold = cfg.vote_threshold();
+        let ledger = self.ledger.clone();
+        let mut draw_buf: Vec<ContrastDraw> = Vec::new();
 
-        // θ' starts from a snapshot of the general model.
-        let mut theta = self.model.clone();
-        theta.reset_momentum();
-        let mut trainer = Trainer::new(
-            TrainConfig {
-                epochs: 1,
-                batch_size: cfg.finetune_batch,
-                sgd: cfg.finetune_sgd,
-                mixup_alpha: None,
-                lr_decay: 1.0,
-            },
-            cfg.seed.wrapping_add(17),
-        );
-
-        // Initial A, H', C under θ (Alg. 1 lines 5–7).
-        let (feats_d, mut ambiguous) = {
-            let mut s = telemetry::debug_span("enld.detect.ambiguous_select").entered();
-            let (probs_d, feats_d) = theta.proba_and_features(d_view);
-            let preds_d = row_argmax(&probs_d);
-            let ambiguous = ambiguous_scan(&eligible, &preds_d, d.labels());
-            s.record("ambiguous", ambiguous.len());
-            (feats_d, ambiguous)
+        let mut st = match resumed {
+            Some(cursor) => cursor,
+            None => {
+                let st = self.start_task(
+                    task_seed,
+                    d,
+                    d_view,
+                    ic_view,
+                    &eligible,
+                    &i_prime,
+                    &missing,
+                    ledger.is_some(),
+                    &mut draw_buf,
+                );
+                // Post-warm-up checkpoint: a crash inside iteration 0 can
+                // resume without redoing selection and warm-up.
+                self.persist_pending(d_fp, &st);
+                st
+            }
         };
         // Drift gauge: how ambiguous this arrival looked to the current
         // general model (spikes signal distribution shift in the lake).
-        let ambiguous_initial = ambiguous.len();
         let ambiguous_rate = if eligible.is_empty() {
             0.0
         } else {
-            ambiguous_initial as f64 / eligible.len() as f64
+            st.ambiguous_initial as f64 / eligible.len() as f64
         };
         metrics().gauge("enld.drift.ambiguous_rate").set(ambiguous_rate);
 
-        // Audit trace: collected only while a ledger is attached.
-        let ledger = self.ledger.clone();
-        let mut trace = ledger.as_ref().map(|_| TaskTrace::new(d.len(), cfg.iterations, cfg.steps));
-        let mut draw_buf: Vec<ContrastDraw> = Vec::new();
-        if let Some(trace) = trace.as_mut() {
-            for &i in &ambiguous {
-                trace.ambiguous_initial[i] = true;
-            }
-        }
-
-        let hq_in_prime: Vec<usize> = {
-            let prime: BTreeSet<usize> = i_prime.iter().copied().collect();
-            self.hq.iter().copied().filter(|i| prime.contains(i)).collect()
-        };
-        let mut contrast = self.select_contrast(
-            &theta,
-            d,
-            &feats_d,
-            &ambiguous,
-            &hq_in_prime,
-            &i_prime,
-            ic_view,
-            &mut rng,
-            trace.is_some().then_some(&mut draw_buf),
-        );
-        if let Some(trace) = trace.as_mut() {
-            trace.absorb_draws(-1, &mut draw_buf);
-        }
-
-        // Warm-up: fine-tune on C, keep the snapshot with the best
-        // validation accuracy on D (Alg. 3 line 4).
-        let eval_acc = |m: &Mlp| -> f32 {
-            if eligible.is_empty() {
-                return 0.0;
-            }
-            let preds = m.predict_labels(d_view);
-            let hit = eligible.iter().filter(|&&i| preds[i] == d.labels()[i]).count();
-            hit as f32 / eligible.len() as f32
-        };
-        let mut best = theta.clone();
-        let mut best_acc = eval_acc(&theta);
-        {
-            let mut warmup_timer = ScopedTimer::new("enld.detect.warmup");
-            warmup_timer.record_field("epochs", cfg.warmup_epochs);
-            for _ in 0..cfg.warmup_epochs {
-                self.train_epoch(&mut theta, &mut trainer, &contrast, d);
-                let acc = eval_acc(&theta);
-                if acc >= best_acc {
-                    best_acc = acc;
-                    best = theta.clone();
-                }
-            }
-            warmup_timer.record_field("val_acc", best_acc);
-        }
-        theta = best;
-        let warmup_val_acc = best_acc;
-
         // Fine-grained detection loop (Alg. 3 lines 5–22).
-        let threshold = cfg.vote_threshold();
-        let mut in_s = vec![false; d.len()];
-        let mut count_c = vec![0usize; self.i_c.len()];
-        let mut pseudo_votes: Vec<Vec<u32>> = vec![Vec::new(); d.len()];
-        let missing: Vec<usize> = d.missing_indices();
-        for &i in &missing {
-            pseudo_votes[i] = vec![0; d.classes()];
-        }
-        let mut history = Vec::with_capacity(cfg.iterations);
-
-        for iteration in 0..cfg.iterations {
+        for iteration in st.next_iteration..cfg.iterations {
+            enld_chaos::fail_point("detector.iteration");
             let mut iter_timer = ScopedTimer::new("enld.detect.iteration");
             iter_timer.record_field("iteration", iteration);
             let mut count = vec![0u32; d.len()];
             let mut flips = 0u64;
             for step in 0..cfg.steps {
+                enld_chaos::fail_point("detector.step");
                 let _step_span = telemetry::trace_span("enld.detect.step")
                     .field("iteration", iteration)
                     .field("step", step)
                     .entered();
-                self.train_epoch(&mut theta, &mut trainer, &contrast, d);
-                let preds = theta.predict_labels(d_view);
+                let epoch = cfg.warmup_epochs + iteration * cfg.steps + step;
+                self.train_epoch(
+                    &mut st.theta,
+                    train_seed(task_seed, epoch as u64),
+                    &st.contrast,
+                    d,
+                );
+                let preds = st.theta.predict_labels(d_view);
                 // Agreement is computed in parallel over fixed chunks; the
                 // stateful vote update below stays sequential in `eligible`
                 // order, so `trace.votes`, `count`, and flip accounting are
@@ -347,56 +502,57 @@ impl Enld {
                 });
                 for (j, &i) in eligible.iter().enumerate() {
                     let agree = agrees[j];
-                    if let Some(trace) = trace.as_mut() {
+                    if let Some(trace) = st.trace.as_mut() {
                         trace.votes[i][iteration][step] = agree;
                     }
                     if agree {
                         count[i] += 1;
-                        if count[i] as usize >= threshold && !in_s[i] {
-                            in_s[i] = true;
+                        if count[i] as usize >= threshold && !st.in_s[i] {
+                            st.in_s[i] = true;
                             flips += 1;
                         }
                     }
                 }
                 for &i in &missing {
-                    pseudo_votes[i][preds[i] as usize] += 1;
+                    st.pseudo_votes[i][preds[i] as usize] += 1;
                 }
             }
 
             // Sample update & re-sampling (lines 15–21).
-            let (probs_d, feats_d) = theta.proba_and_features(d_view);
+            let (probs_d, feats_d) = st.theta.proba_and_features(d_view);
             let preds_d = row_argmax(&probs_d);
-            ambiguous = ambiguous_scan(&eligible, &preds_d, d.labels());
+            st.ambiguous = ambiguous_scan(&eligible, &preds_d, d.labels());
 
             // H' refresh on I' under θ', with the confidence filter; clean
             // votes for the inventory selection (lines 16–19).
-            let h_now = self.refresh_high_quality(&theta, &i_prime, ic_view);
+            let h_now = self.refresh_high_quality(&st.theta, &i_prime, ic_view);
             for &i in &h_now {
-                count_c[i] += 1;
+                st.count_c[i] += 1;
             }
 
-            contrast = self.select_contrast(
-                &theta,
+            let mut sel_rng = sampling_rng(task_seed, iteration as u64 + 1);
+            st.contrast = self.select_contrast(
+                &st.theta,
                 d,
                 &feats_d,
-                &ambiguous,
+                &st.ambiguous,
                 &h_now,
                 &i_prime,
                 ic_view,
-                &mut rng,
-                trace.is_some().then_some(&mut draw_buf),
+                &mut sel_rng,
+                st.trace.is_some().then_some(&mut draw_buf),
             );
-            if let Some(trace) = trace.as_mut() {
+            if let Some(trace) = st.trace.as_mut() {
                 trace.absorb_draws(iteration as i64, &mut draw_buf);
-                for &i in &ambiguous {
+                for &i in &st.ambiguous {
                     trace.still_ambiguous[i].push(iteration);
                 }
             }
             if cfg.ablation.merges_clean_set() {
                 // C = C ∪ S (line 21).
-                for (i, &flag) in in_s.iter().enumerate() {
+                for (i, &flag) in st.in_s.iter().enumerate() {
                     if flag {
-                        contrast.push(ContrastSample {
+                        st.contrast.push(ContrastSample {
                             source: SampleSource::Incremental(i),
                             label: d.labels()[i],
                         });
@@ -407,30 +563,36 @@ impl Enld {
             metrics().counter("enld.detect.vote_flips_total").add(flips);
             metrics()
                 .histogram_with("enld.detect.ambiguous_per_iteration", Histogram::count_bounds)
-                .record(ambiguous.len() as f64);
-            iter_timer.record_field("ambiguous", ambiguous.len());
+                .record(st.ambiguous.len() as f64);
+            iter_timer.record_field("ambiguous", st.ambiguous.len());
             iter_timer.record_field("flips", flips);
-            iter_timer.record_field("contrast", contrast.len());
+            iter_timer.record_field("contrast", st.contrast.len());
 
-            history.push(IterationSnapshot {
+            st.history.push(IterationSnapshot {
                 iteration,
-                clean_so_far: flags_to_indices(&in_s),
-                ambiguous: ambiguous.len(),
-                contrastive_size: contrast.len(),
+                clean_so_far: flags_to_indices(&st.in_s),
+                ambiguous: st.ambiguous.len(),
+                contrastive_size: st.contrast.len(),
             });
+            st.next_iteration = iteration + 1;
+            // Iteration-boundary checkpoint: everything needed to replay
+            // the remaining iterations bit-identically after a crash.
+            self.persist_pending(d_fp, &st);
         }
 
-        let clean = flags_to_indices(&in_s);
-        let noisy: Vec<usize> = eligible.iter().copied().filter(|&i| !in_s[i]).collect();
+        let clean = flags_to_indices(&st.in_s);
+        let noisy: Vec<usize> = eligible.iter().copied().filter(|&i| !st.in_s[i]).collect();
         // Stringent inventory criterion: clean in *all* t iterations.
         let inventory_clean: Vec<usize> =
-            i_prime.iter().copied().filter(|&i| count_c[i] == cfg.iterations).collect();
+            i_prime.iter().copied().filter(|&i| st.count_c[i] == cfg.iterations).collect();
         for &i in &inventory_clean {
             self.sc_accum[i] = true;
         }
         let pseudo_labels: Vec<(usize, u32)> =
-            missing.iter().map(|&i| (i, argmax_u32(&pseudo_votes[i]))).collect();
+            missing.iter().map(|&i| (i, argmax_u32(&st.pseudo_votes[i]))).collect();
 
+        // Wall-clock only; a resumed run counts post-resume time, so
+        // byte-identity comparisons must exclude this field.
         let process_secs = sw.elapsed().as_secs_f64();
         let m = metrics();
         m.counter("enld.detect.clean_total").add(clean.len() as u64);
@@ -440,13 +602,14 @@ impl Enld {
         detect_span.record("noisy", noisy.len());
         detect_span.record("secs", process_secs);
 
-        if let (Some(handle), Some(trace)) = (&ledger, &trace) {
+        if let (Some(handle), Some(trace)) = (&ledger, &st.trace) {
+            enld_chaos::fail_point("detector.ledger");
             handle.sink.record(&LedgerRecord::Task(TaskRecord {
                 detector: handle.tag.to_string(),
                 task: self.tasks,
                 samples: d.len(),
                 eligible: eligible.len(),
-                ambiguous_initial,
+                ambiguous_initial: st.ambiguous_initial,
                 ambiguous_rate,
                 clean: clean.len(),
                 noisy: noisy.len(),
@@ -465,20 +628,128 @@ impl Enld {
                     threshold,
                     still_ambiguous_after: trace.still_ambiguous[i].clone(),
                     draws: trace.draws[i].clone(),
-                    verdict: if in_s[i] { Verdict::Clean } else { Verdict::Noisy },
+                    verdict: if st.in_s[i] { Verdict::Clean } else { Verdict::Noisy },
                 }));
             }
             handle.sink.flush();
         }
 
-        DetectionReport {
+        let report = DetectionReport {
             clean,
             noisy,
             pseudo_labels,
             inventory_clean,
-            history,
+            history: st.history,
             process_secs,
-            warmup_val_acc,
+            warmup_val_acc: st.warmup_val_acc,
+        };
+        // Task-boundary checkpoint (no in-flight section): a crash before
+        // the next task's first checkpoint resumes from here.
+        self.persist_state();
+        report
+    }
+
+    /// Initial ambiguity scan, contrastive selection round 0, and warm-up
+    /// (Alg. 1 lines 5–7 + Alg. 3 line 4) for a fresh task.
+    #[allow(clippy::too_many_arguments)]
+    fn start_task(
+        &self,
+        task_seed: u64,
+        d: &Dataset,
+        d_view: DataRef<'_>,
+        ic_view: DataRef<'_>,
+        eligible: &[usize],
+        i_prime: &[usize],
+        missing: &[usize],
+        tracing: bool,
+        draw_buf: &mut Vec<ContrastDraw>,
+    ) -> TaskCursor {
+        let cfg = self.config;
+        // θ' starts from a snapshot of the general model.
+        let mut theta = self.model.clone();
+        theta.reset_momentum();
+
+        let (feats_d, ambiguous) = {
+            let mut s = telemetry::debug_span("enld.detect.ambiguous_select").entered();
+            let (probs_d, feats_d) = theta.proba_and_features(d_view);
+            let preds_d = row_argmax(&probs_d);
+            let ambiguous = ambiguous_scan(eligible, &preds_d, d.labels());
+            s.record("ambiguous", ambiguous.len());
+            (feats_d, ambiguous)
+        };
+        let ambiguous_initial = ambiguous.len();
+
+        // Audit trace: collected only while a ledger is attached.
+        let mut trace = tracing.then(|| TaskTrace::new(d.len(), cfg.iterations, cfg.steps));
+        if let Some(trace) = trace.as_mut() {
+            for &i in &ambiguous {
+                trace.ambiguous_initial[i] = true;
+            }
+        }
+
+        let hq_in_prime: Vec<usize> = {
+            let prime: BTreeSet<usize> = i_prime.iter().copied().collect();
+            self.hq.iter().copied().filter(|i| prime.contains(i)).collect()
+        };
+        let mut sel_rng = sampling_rng(task_seed, 0);
+        let contrast = self.select_contrast(
+            &theta,
+            d,
+            &feats_d,
+            &ambiguous,
+            &hq_in_prime,
+            i_prime,
+            ic_view,
+            &mut sel_rng,
+            trace.is_some().then_some(&mut *draw_buf),
+        );
+        if let Some(trace) = trace.as_mut() {
+            trace.absorb_draws(-1, draw_buf);
+        }
+
+        // Warm-up: fine-tune on C, keep the snapshot with the best
+        // validation accuracy on D (Alg. 3 line 4).
+        let eval_acc = |m: &Mlp| -> f32 {
+            if eligible.is_empty() {
+                return 0.0;
+            }
+            let preds = m.predict_labels(d_view);
+            let hit = eligible.iter().filter(|&&i| preds[i] == d.labels()[i]).count();
+            hit as f32 / eligible.len() as f32
+        };
+        let mut best = theta.clone();
+        let mut best_acc = eval_acc(&theta);
+        {
+            let mut warmup_timer = ScopedTimer::new("enld.detect.warmup");
+            warmup_timer.record_field("epochs", cfg.warmup_epochs);
+            for epoch in 0..cfg.warmup_epochs {
+                self.train_epoch(&mut theta, train_seed(task_seed, epoch as u64), &contrast, d);
+                let acc = eval_acc(&theta);
+                if acc >= best_acc {
+                    best_acc = acc;
+                    best = theta.clone();
+                }
+            }
+            warmup_timer.record_field("val_acc", best_acc);
+        }
+        theta = best;
+
+        let mut pseudo_votes: Vec<Vec<u32>> = vec![Vec::new(); d.len()];
+        for &i in missing {
+            pseudo_votes[i] = vec![0; d.classes()];
+        }
+        TaskCursor {
+            next_iteration: 0,
+            theta,
+            contrast,
+            ambiguous,
+            in_s: vec![false; d.len()],
+            count_c: vec![0usize; self.i_c.len()],
+            pseudo_votes,
+            history: Vec::with_capacity(cfg.iterations),
+            warmup_val_acc: best_acc,
+            ambiguous_initial,
+            trace,
         }
     }
 
@@ -492,6 +763,7 @@ impl Enld {
         if clean.is_empty() {
             return 0;
         }
+        enld_chaos::fail_point("detector.update_model");
         let old_cond = self.cond.clone();
         let mut update_timer = ScopedTimer::with_level("enld.update_model", telemetry::Level::Info);
         update_timer.record_field("clean", clean.len());
@@ -539,6 +811,9 @@ impl Enld {
             }));
             handle.sink.flush();
         }
+        // Update-boundary checkpoint: a crash after the swap must not
+        // resume into pre-update state (the derived seeds moved on).
+        self.persist_state();
         clean.len()
     }
 
@@ -639,17 +914,26 @@ impl Enld {
         }
     }
 
-    /// One fine-tune epoch over the materialised contrastive set.
-    fn train_epoch(
-        &self,
-        theta: &mut Mlp,
-        trainer: &mut Trainer,
-        contrast: &[ContrastSample],
-        d: &Dataset,
-    ) {
+    /// One fine-tune epoch over the materialised contrastive set. A fresh
+    /// `Trainer` is built from `seed` (derived from the epoch counter) so
+    /// the shuffle stream depends only on counters, never on how many
+    /// epochs this process has already run — the property that lets a
+    /// resumed task replay the remaining epochs bit-identically.
+    fn train_epoch(&self, theta: &mut Mlp, seed: u64, contrast: &[ContrastSample], d: &Dataset) {
         if contrast.is_empty() {
             return;
         }
+        let cfg = self.config;
+        let mut trainer = Trainer::new(
+            TrainConfig {
+                epochs: 1,
+                batch_size: cfg.finetune_batch,
+                sgd: cfg.finetune_sgd,
+                mixup_alpha: None,
+                lr_decay: 1.0,
+            },
+            seed,
+        );
         let dim = d.dim();
         let mut xs = Vec::with_capacity(contrast.len() * dim);
         let mut labels = Vec::with_capacity(contrast.len());
@@ -801,6 +1085,137 @@ impl TaskTrace {
             });
         }
     }
+}
+
+/// Mutable state of one in-flight detection task. Lives on the stack
+/// during [`Enld::detect`]; serialised into the checkpoint's
+/// [`InFlightTask`] section at iteration boundaries and parked in
+/// [`Enld::pending`] after [`Enld::resume_from`].
+struct TaskCursor {
+    /// First iteration that has not completed yet.
+    next_iteration: usize,
+    /// Fine-tuned model θ' (weights + SGD momentum).
+    theta: Mlp,
+    contrast: Vec<ContrastSample>,
+    ambiguous: Vec<usize>,
+    /// Sticky clean flags `S` over the incremental dataset.
+    in_s: Vec<bool>,
+    /// Clean-inventory vote counts over `I_c`.
+    count_c: Vec<usize>,
+    /// Pseudo-label votes for missing-label samples (empty when labelled).
+    pseudo_votes: Vec<Vec<u32>>,
+    history: Vec<IterationSnapshot>,
+    warmup_val_acc: f32,
+    ambiguous_initial: usize,
+    trace: Option<TaskTrace>,
+}
+
+/// An in-flight task restored from a checkpoint, waiting for the next
+/// [`Enld::detect`] call with the matching dataset.
+struct PendingTask {
+    d_fp: u64,
+    cursor: TaskCursor,
+}
+
+fn cursor_to_in_flight(st: &TaskCursor, d_fp: u64) -> InFlightTask {
+    InFlightTask {
+        d_fp,
+        next_iteration: st.next_iteration,
+        warmup_val_acc: st.warmup_val_acc,
+        ambiguous_initial: st.ambiguous_initial,
+        theta: ModelState::capture(&st.theta),
+        contrast: st.contrast.clone(),
+        ambiguous: st.ambiguous.clone(),
+        in_s: st.in_s.clone(),
+        count_c: st.count_c.clone(),
+        pseudo_votes: st.pseudo_votes.clone(),
+        history: st.history.clone(),
+        trace: st.trace.as_ref().map(trace_to_state),
+    }
+}
+
+/// `theta` must be a freshly constructed model of the right architecture;
+/// the checkpointed tensors are restored into it.
+fn in_flight_to_cursor(t: &InFlightTask, theta: Mlp) -> TaskCursor {
+    TaskCursor {
+        next_iteration: t.next_iteration,
+        theta,
+        contrast: t.contrast.clone(),
+        ambiguous: t.ambiguous.clone(),
+        in_s: t.in_s.clone(),
+        count_c: t.count_c.clone(),
+        pseudo_votes: t.pseudo_votes.clone(),
+        history: t.history.clone(),
+        warmup_val_acc: t.warmup_val_acc,
+        ambiguous_initial: t.ambiguous_initial,
+        trace: t.trace.as_ref().map(state_to_trace),
+    }
+}
+
+fn trace_to_state(tr: &TaskTrace) -> TraceState {
+    TraceState {
+        steps: tr.votes.first().and_then(|s| s.first()).map_or(0, Vec::len),
+        votes: tr.votes.clone(),
+        ambiguous_initial: tr.ambiguous_initial.clone(),
+        still_ambiguous: tr.still_ambiguous.clone(),
+        draws: tr
+            .draws
+            .iter()
+            .map(|per| {
+                per.iter()
+                    .map(|d| DrawState {
+                        round: d.round,
+                        candidate: d.candidate,
+                        neighbors: d.neighbors.clone(),
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn state_to_trace(ts: &TraceState) -> TaskTrace {
+    TaskTrace {
+        votes: ts.votes.clone(),
+        ambiguous_initial: ts.ambiguous_initial.clone(),
+        still_ambiguous: ts.still_ambiguous.clone(),
+        draws: ts
+            .draws
+            .iter()
+            .map(|per| {
+                per.iter()
+                    .map(|d| SampleDraw {
+                        round: d.round,
+                        candidate: d.candidate,
+                        neighbors: d.neighbors.clone(),
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Weyl-sequence increment (2⁶⁴/φ) used to spread counter seeds.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64 finaliser — decorrelates structured (counter-derived) seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fresh RNG for contrastive-selection round `round` of a task
+/// (0 = pre-warm-up selection, `iteration + 1` afterwards).
+fn sampling_rng(task_seed: u64, round: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(task_seed ^ round.wrapping_mul(GOLDEN) ^ 0x53454C))
+}
+
+/// Seed for fine-tune epoch `epoch` of a task (warm-up epochs first, then
+/// `warmup_epochs + iteration·steps + step`).
+fn train_seed(task_seed: u64, epoch: u64) -> u64 {
+    splitmix64(task_seed ^ epoch.wrapping_mul(GOLDEN) ^ 0x545249)
 }
 
 fn argmax_u32(votes: &[u32]) -> u32 {
@@ -1121,5 +1536,116 @@ mod tests {
         };
         // Tracing must never perturb the RNG stream or the decisions.
         assert_eq!(run(false), run(true));
+    }
+
+    /// The fields a resumed run must reproduce bit-for-bit. Wall-clock
+    /// (`process_secs`) is deliberately excluded: a resumed run only
+    /// counts post-resume time.
+    fn canon(r: &DetectionReport) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<(usize, u32)>) {
+        (r.clean.clone(), r.noisy.clone(), r.inventory_clean.clone(), r.pseudo_labels.clone())
+    }
+
+    #[test]
+    fn capture_and_resume_at_a_task_boundary_matches_uninterrupted() {
+        use crate::checkpoint::Checkpoint;
+
+        let mut lake = small_lake(0.2, 31);
+        let cfg = EnldConfig::fast_test();
+        let inventory = lake.inventory().clone();
+        let a0 = lake.next_request().expect("queued").data;
+        let a1 = lake.next_request().expect("queued").data;
+
+        let mut primary = Enld::init(&inventory, &cfg);
+        let _ = primary.detect(&a0);
+        let ckpt = primary.capture_checkpoint();
+        assert!(ckpt.in_flight.is_none(), "no task in flight at a boundary");
+        // Round-trip through the on-disk codec, not just the struct.
+        let ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("codec round-trip");
+        let mut resumed = Enld::resume_from(&inventory, &cfg, &ckpt).expect("resume");
+        assert_eq!(resumed.tasks_completed(), 1);
+        assert!(!resumed.has_pending_task());
+        assert_eq!(resumed.accumulated_clean(), primary.accumulated_clean());
+
+        let expect = primary.detect(&a1);
+        let got = resumed.detect(&a1);
+        assert_eq!(canon(&got), canon(&expect));
+        assert_eq!(got.history, expect.history);
+        // Post-resume model updates stay in lockstep too.
+        assert_eq!(resumed.update_model(), primary.update_model());
+    }
+
+    #[test]
+    #[ignore = "arms process-global failpoints; run serially via the chaos job"]
+    fn mid_task_crash_resumes_bit_identically() {
+        use crate::checkpoint::Checkpoint;
+
+        let dir = std::env::temp_dir().join(format!("enld-det-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt_path = dir.join("det.ckpt");
+
+        let mut lake = small_lake(0.2, 30);
+        let cfg = EnldConfig::fast_test();
+        let inventory = lake.inventory().clone();
+        let req = lake.next_request().expect("queued");
+
+        let mut baseline = Enld::init(&inventory, &cfg);
+        let expect = baseline.detect(&req.data);
+
+        // Kill the task at the top of its second iteration; the detector
+        // checkpoints after warm-up and after every completed iteration.
+        let guard = enld_chaos::scenario_with("detector.iteration=panic@nth:2");
+        let mut enld = Enld::init(&inventory, &cfg);
+        enld.enable_checkpoints(&ckpt_path);
+        let data = req.data.clone();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _ = enld.detect(&data);
+        }));
+        assert!(crashed.is_err(), "failpoint must abort the task");
+        drop(guard);
+
+        let ckpt = Checkpoint::load(&ckpt_path).expect("checkpoint persisted before the crash");
+        assert!(ckpt.in_flight.is_some(), "the crash left a task in flight");
+        let mut resumed = Enld::resume_from(&inventory, &cfg, &ckpt).expect("resume");
+        assert!(resumed.has_pending_task());
+        assert_eq!(resumed.tasks_completed(), 0);
+        let got = resumed.detect(&req.data);
+        assert_eq!(canon(&got), canon(&expect));
+        assert_eq!(got.history, expect.history);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_config_and_inventory_mismatch() {
+        use crate::checkpoint::CheckpointError;
+
+        let lake = small_lake(0.2, 32);
+        let cfg = EnldConfig::fast_test();
+        let enld = Enld::init(lake.inventory(), &cfg);
+        let ckpt = enld.capture_checkpoint();
+
+        let other_cfg = cfg.clone().with_seed(cfg.seed.wrapping_add(1));
+        assert!(matches!(
+            Enld::resume_from(lake.inventory(), &other_cfg, &ckpt),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let other_lake = small_lake(0.2, 33);
+        assert!(matches!(
+            Enld::resume_from(other_lake.inventory(), &cfg, &ckpt),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn clones_do_not_inherit_recovery_wiring() {
+        let dir = std::env::temp_dir().join(format!("enld-det-clone-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let lake = small_lake(0.2, 34);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        enld.enable_checkpoints(dir.join("a.ckpt"));
+        let cloned = enld.clone();
+        assert!(cloned.checkpoint_file().is_none(), "clones must not race the tmp+rename");
+        assert!(!cloned.has_pending_task());
+        assert!(enld.checkpoint_file().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

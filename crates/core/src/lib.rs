@@ -37,6 +37,7 @@
 //! ```
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod config;
 pub mod detector;
 pub mod ledger;
@@ -46,6 +47,7 @@ pub mod report;
 pub mod sampling;
 
 pub use ablation::AblationVariant;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::EnldConfig;
 pub use detector::Enld;
 pub use ledger::{replay_verdict, JsonlLedger, LedgerRecord, LedgerSink, MemoryLedger, Verdict};

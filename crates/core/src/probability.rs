@@ -73,31 +73,62 @@ impl ConditionalLabelProbability {
         &self.cond[i * self.classes..(i + 1) * self.classes]
     }
 
-    /// Draws a candidate true label for observed label `observed`,
-    /// restricted to `allowed` (`random_label(i, P̃, label(H'))`, Alg. 2
-    /// line 5).
+    /// Row `observed` renormalised over `allowed`: entry `m` is the
+    /// probability assigned to label `allowed[m]`.
     ///
-    /// The row is renormalised over the allowed labels; if no allowed
-    /// label has positive mass the draw is uniform over `allowed`, and if
-    /// `allowed` is empty the observed label is returned unchanged.
-    pub fn random_label(&self, observed: u32, allowed: &[u32], rng: &mut StdRng) -> u32 {
+    /// When no allowed label carries positive mass (a degenerate
+    /// restriction — e.g. an identity-fallback row restricted away from
+    /// its diagonal) the result falls back to the uniform distribution
+    /// over `allowed`, so the output always sums to 1 and never contains
+    /// NaN. An empty `allowed` yields an empty vector.
+    pub fn restricted_row(&self, observed: u32, allowed: &[u32]) -> Vec<f64> {
         if allowed.is_empty() {
-            return observed;
+            return Vec::new();
         }
         let row = self.row(observed as usize);
         let mass: f64 = allowed.iter().map(|&j| row[j as usize]).sum();
         if mass <= 0.0 {
-            return allowed[rng.gen_range(0..allowed.len())];
+            return vec![1.0 / allowed.len() as f64; allowed.len()];
         }
-        let mut u: f64 = rng.gen_range(0.0..mass);
-        for &j in allowed {
-            let p = row[j as usize];
-            if u < p {
+        allowed.iter().map(|&j| row[j as usize] / mass).collect()
+    }
+
+    /// Draws a candidate true label for observed label `observed`,
+    /// restricted to `allowed` (`random_label(i, P̃, label(H'))`, Alg. 2
+    /// line 5).
+    ///
+    /// The row is renormalised over the allowed labels via
+    /// [`Self::restricted_row`] (uniform fallback when no allowed label
+    /// has positive mass); if `allowed` is empty the observed label is
+    /// returned unchanged.
+    pub fn random_label(&self, observed: u32, allowed: &[u32], rng: &mut StdRng) -> u32 {
+        if allowed.is_empty() {
+            return observed;
+        }
+        let probs = self.restricted_row(observed, allowed);
+        let mut u: f64 = rng.gen_range(0.0..1.0);
+        for (m, &j) in allowed.iter().enumerate() {
+            if u < probs[m] {
                 return j;
             }
-            u -= p;
+            u -= probs[m];
         }
         *allowed.last().expect("allowed is non-empty")
+    }
+
+    /// Raw parts `(classes, joint, cond)` for binary checkpointing.
+    pub fn to_parts(&self) -> (usize, &[u64], &[f64]) {
+        (self.classes, &self.joint, &self.cond)
+    }
+
+    /// Rebuilds the estimate from [`Self::to_parts`] output.
+    ///
+    /// # Panics
+    /// Panics when either buffer is not `classes × classes`.
+    pub fn from_parts(classes: usize, joint: Vec<u64>, cond: Vec<f64>) -> Self {
+        assert_eq!(joint.len(), classes * classes, "joint count shape mismatch");
+        assert_eq!(cond.len(), classes * classes, "conditional shape mismatch");
+        Self { classes, joint, cond }
     }
 
     /// Estimated per-class correct-label probability `P̃(y* = i | ỹ = i)`;
@@ -199,6 +230,68 @@ mod tests {
                 prop_assert!((s - 1.0).abs() < 1e-9);
                 prop_assert!(est.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
             }
+        }
+
+        #[test]
+        fn prop_restricted_row_renormalises(
+            pairs in proptest::collection::vec((0u32..5, 0u32..5), 1..80),
+            allowed in proptest::collection::btree_set(0u32..5, 1..5),
+            observed in 0u32..5,
+        ) {
+            let obs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let pred: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let est = ConditionalLabelProbability::estimate(&obs, &pred, 5);
+            let allowed: Vec<u32> = allowed.into_iter().collect();
+            let restricted = est.restricted_row(observed, &allowed);
+            prop_assert_eq!(restricted.len(), allowed.len());
+            let sum: f64 = restricted.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+            prop_assert!(restricted.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+            // Proportionality: when the restriction keeps positive mass,
+            // renormalising must preserve the ratios of the original row.
+            let row = est.row(observed as usize);
+            let mass: f64 = allowed.iter().map(|&j| row[j as usize]).sum();
+            if mass > 0.0 {
+                for (m, &j) in allowed.iter().enumerate() {
+                    prop_assert!((restricted[m] - row[j as usize] / mass).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_degenerate_rows_fall_back_without_nan(
+            allowed in proptest::collection::btree_set(0u32..4, 1..5),
+            seed in 0u64..500,
+        ) {
+            // Class 4's row was never observed: estimation falls back to
+            // the identity. Restricting it to labels != 4 leaves zero mass,
+            // which must yield the uniform fallback — never NaN.
+            let est = ConditionalLabelProbability::estimate(&[0, 1], &[1, 0], 5);
+            let allowed: Vec<u32> = allowed.into_iter().collect();
+            let restricted = est.restricted_row(4, &allowed);
+            prop_assert!(restricted.iter().all(|p| p.is_finite()));
+            let sum: f64 = restricted.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+            for &p in &restricted {
+                prop_assert!((p - 1.0 / allowed.len() as f64).abs() < 1e-12);
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let drawn = est.random_label(4, &allowed, &mut rng);
+            prop_assert!(allowed.contains(&drawn));
+        }
+
+        #[test]
+        fn prop_parts_round_trip(
+            pairs in proptest::collection::vec((0u32..4, 0u32..4), 1..40),
+        ) {
+            let obs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let pred: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let est = ConditionalLabelProbability::estimate(&obs, &pred, 4);
+            let (classes, joint, cond) = est.to_parts();
+            let back = ConditionalLabelProbability::from_parts(
+                classes, joint.to_vec(), cond.to_vec(),
+            );
+            prop_assert_eq!(back, est);
         }
 
         #[test]

@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// State captured at the end of each fine-grained detection iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IterationSnapshot {
     /// Iteration index (0-based).
     pub iteration: usize,

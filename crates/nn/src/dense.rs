@@ -110,6 +110,24 @@ impl Dense {
         (&self.w, &self.b)
     }
 
+    /// Borrow the SGD momentum buffers `(vel_w, vel_b)` — needed when a
+    /// checkpoint must capture mid-fine-tune optimiser state exactly.
+    pub fn momentum(&self) -> (&[f32], &[f32]) {
+        (&self.vel_w, &self.vel_b)
+    }
+
+    /// Restores momentum buffers captured by [`Dense::momentum`]. Call
+    /// *after* [`Dense::set_weights`], which zeroes them.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_momentum(&mut self, vel_w: Vec<f32>, vel_b: Vec<f32>) {
+        assert_eq!(vel_w.len(), self.vel_w.len(), "vel_w length mismatch");
+        assert_eq!(vel_b.len(), self.vel_b.len(), "vel_b length mismatch");
+        self.vel_w = vel_w;
+        self.vel_b = vel_b;
+    }
+
     /// Replaces the trained parameters (persistence restore). Optimiser
     /// state is reset — a freshly loaded model starts momentum-free.
     ///

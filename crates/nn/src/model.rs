@@ -311,33 +311,67 @@ impl Mlp {
         let expected = 2 + 2 * self.blocks.len();
         assert_eq!(tensors.len(), expected, "tensor count mismatch");
         for (name, w, b) in tensors {
-            let layer: &mut Dense = match name.as_str() {
-                "embed" => &mut self.embed,
-                "head" => &mut self.head,
-                other => {
-                    let rest = other
-                        .strip_prefix("block")
-                        .unwrap_or_else(|| panic!("unknown tensor '{other}'"));
-                    let (idx, which) = rest
-                        .split_once('.')
-                        .unwrap_or_else(|| panic!("malformed tensor name '{other}'"));
-                    let idx: usize = idx
-                        .parse()
-                        .unwrap_or_else(|_| panic!("malformed block index in '{other}'"));
-                    let block =
-                        self.blocks.get_mut(idx).unwrap_or_else(|| panic!("no block {idx}"));
-                    match which {
-                        "d1" => &mut block.d1,
-                        "d2" => &mut block.d2,
-                        _ => panic!("unknown tensor '{other}'"),
-                    }
-                }
-            };
-            layer.set_weights(w, b);
+            self.layer_mut(&name).set_weights(w, b);
         }
         self.embed_mask = None;
         self.embed_out = None;
         self.features_cache = None;
+    }
+
+    /// Exports SGD momentum buffers as `(name, vel_w, vel_b)` in the same
+    /// stable order as [`Mlp::export_tensors`]. A checkpoint restoring a
+    /// mid-fine-tune model needs these to reproduce the next step exactly.
+    pub fn export_momentum(&self) -> Vec<(String, Vec<f32>, Vec<f32>)> {
+        let mut out = Vec::with_capacity(2 + 2 * self.blocks.len());
+        let dump = |name: String, d: &Dense, out: &mut Vec<(String, Vec<f32>, Vec<f32>)>| {
+            let (vw, vb) = d.momentum();
+            out.push((name, vw.to_vec(), vb.to_vec()));
+        };
+        dump("embed".into(), &self.embed, &mut out);
+        for (i, block) in self.blocks.iter().enumerate() {
+            dump(format!("block{i}.d1"), &block.d1, &mut out);
+            dump(format!("block{i}.d2"), &block.d2, &mut out);
+        }
+        dump("head".into(), &self.head, &mut out);
+        out
+    }
+
+    /// Restores momentum buffers from [`Mlp::export_momentum`]. Call
+    /// *after* [`Mlp::import_tensors`], which resets momentum.
+    ///
+    /// # Panics
+    /// Panics when a name or buffer length does not match this model.
+    pub fn import_momentum(&mut self, momentum: Vec<(String, Vec<f32>, Vec<f32>)>) {
+        let expected = 2 + 2 * self.blocks.len();
+        assert_eq!(momentum.len(), expected, "momentum tensor count mismatch");
+        for (name, vw, vb) in momentum {
+            self.layer_mut(&name).set_momentum(vw, vb);
+        }
+    }
+
+    /// Resolves a stable tensor name (`embed`, `block{i}.d1/.d2`, `head`)
+    /// to its layer.
+    fn layer_mut(&mut self, name: &str) -> &mut Dense {
+        match name {
+            "embed" => &mut self.embed,
+            "head" => &mut self.head,
+            other => {
+                let rest = other
+                    .strip_prefix("block")
+                    .unwrap_or_else(|| panic!("unknown tensor '{other}'"));
+                let (idx, which) = rest
+                    .split_once('.')
+                    .unwrap_or_else(|| panic!("malformed tensor name '{other}'"));
+                let idx: usize =
+                    idx.parse().unwrap_or_else(|_| panic!("malformed block index in '{other}'"));
+                let block = self.blocks.get_mut(idx).unwrap_or_else(|| panic!("no block {idx}"));
+                match which {
+                    "d1" => &mut block.d1,
+                    "d2" => &mut block.d2,
+                    _ => panic!("unknown tensor '{other}'"),
+                }
+            }
+        }
     }
 
     fn for_each_chunk(&self, data: DataRef<'_>, mut f: impl FnMut(usize, (Matrix, Matrix))) {
@@ -499,6 +533,46 @@ mod tests {
         let (p2, f2) = model.proba_and_features(data);
         assert_eq!(p2.data(), probs.data());
         assert_eq!(f2.data(), feats.data());
+    }
+
+    #[test]
+    fn momentum_round_trip_reproduces_next_step_exactly() {
+        let cfg = ArchPreset::tiny().config(4, 3);
+        let mut model = Mlp::new(&cfg, 6);
+        let (xs, labels) = toy_data();
+        let data = DataRef::new(&xs, &labels, 4);
+        let idx: Vec<usize> = (0..30).collect();
+        let batch = data.gather(&idx);
+        let targets = one_hot(&labels[..30], 3);
+        let sgd = SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 };
+
+        // Build non-trivial momentum, then snapshot.
+        for _ in 0..3 {
+            let logits = model.forward_train(&batch);
+            let (_, grad) = softmax_cross_entropy(&logits, &targets);
+            model.backward(&grad);
+            model.apply_gradients(&sgd);
+        }
+        let tensors = model.export_tensors();
+        let momentum = model.export_momentum();
+        assert!(
+            momentum.iter().any(|(_, vw, _)| vw.iter().any(|v| *v != 0.0)),
+            "snapshot should carry live momentum"
+        );
+
+        let mut restored = Mlp::new(&cfg, 999);
+        restored.import_tensors(tensors);
+        restored.import_momentum(momentum);
+
+        // One more identical step on both models must agree bit-for-bit;
+        // without momentum restore the velocity term would diverge.
+        for m in [&mut model, &mut restored] {
+            let logits = m.forward_train(&batch);
+            let (_, grad) = softmax_cross_entropy(&logits, &targets);
+            m.backward(&grad);
+            m.apply_gradients(&sgd);
+        }
+        assert_eq!(model.predict_proba(data).data(), restored.predict_proba(data).data());
     }
 
     #[test]

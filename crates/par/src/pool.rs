@@ -263,12 +263,19 @@ impl<'env> Scope<'env> {
             // Inline execution; an unwind propagates through the scope body
             // and is re-raised at the end of `scope_shared`, matching the
             // parallel path's "panic surfaces at scope exit" contract.
+            enld_chaos::fail_point("par.task.run");
             f();
             return;
         }
         let state = Arc::clone(&self.state);
         let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+            // The failpoint sits inside catch_unwind on purpose: an injected
+            // panic must ride the same capture-and-re-raise path as a real
+            // task panic, never strand the scope's pending count.
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| {
+                enld_chaos::fail_point("par.task.run");
+                f();
+            })) {
                 let mut slot = lock(&state.panic);
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -419,6 +426,30 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    #[ignore = "arms process-global failpoints; run serially via the chaos job"]
+    fn task_failpoint_surfaces_at_scope_exit_and_pool_survives() {
+        let _guard = enld_chaos::scenario_with("par.task.run=panic@nth:3");
+        let pool = ThreadPool::new(4);
+        let survivors = AtomicUsize::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let payload = caught.expect_err("injected panic must surface at scope exit");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("failpoint: par.task.run"), "{msg}");
+        assert_eq!(survivors.load(Ordering::Relaxed), 7, "siblings still ran");
+        drop(_guard);
+        let ok = pool.scope(|_| 42);
+        assert_eq!(ok, 42, "pool stays usable once the scenario is disarmed");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cooperating client: exponential backoff, never shorter than the
 //! server's hint.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::job::JobSpec;
 use crate::policy::PolicyKind;
@@ -77,6 +77,11 @@ pub struct RetryBackoff {
     pub max_delay: Duration,
     /// Total submission attempts (the first submit counts as one).
     pub max_attempts: u32,
+    /// Cap on the *total* wall-clock spent inside [`submit_with_retry`],
+    /// sleeps included. `None` leaves only `max_attempts` as the bound —
+    /// with a 60 s server hint that can mean minutes of blocking, so
+    /// latency-sensitive callers should keep a budget.
+    pub budget: Option<Duration>,
 }
 
 impl Default for RetryBackoff {
@@ -86,6 +91,7 @@ impl Default for RetryBackoff {
             factor: 2.0,
             max_delay: Duration::from_secs(1),
             max_attempts: 8,
+            budget: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -99,14 +105,16 @@ impl RetryBackoff {
 }
 
 /// Submits `spec`, sleeping and retrying on [`SubmitError::Rejected`]
-/// until it is admitted or `backoff.max_attempts` submissions have been
-/// refused. Each sleep is the longer of the server's `retry_after` hint
-/// and the local exponential delay. Shutdown aborts immediately.
+/// until it is admitted, `backoff.max_attempts` submissions have been
+/// refused, or the next sleep would overrun `backoff.budget` of total
+/// wall-clock. Each sleep is the longer of the server's `retry_after`
+/// hint and the local exponential delay. Shutdown aborts immediately.
 ///
 /// # Errors
-/// The final [`SubmitError`] once attempts are exhausted (carrying the
-/// job back), or [`SubmitError::ShutDown`] as soon as the pool stops
-/// accepting.
+/// The last [`SubmitError::Rejected`] once attempts or the deadline
+/// budget are exhausted — carrying the job *and* the server's final
+/// `retry_after` hint back so the caller can re-route or re-schedule —
+/// or [`SubmitError::ShutDown`] as soon as the pool stops accepting.
 pub fn submit_with_retry<P, R>(
     pool: &WorkerPool<P, R>,
     spec: JobSpec<P>,
@@ -118,6 +126,7 @@ where
 {
     let mut spec = spec;
     let attempts = backoff.max_attempts.max(1);
+    let deadline = backoff.budget.map(|b| Instant::now() + b);
     for attempt in 0..attempts {
         match pool.submit(spec) {
             Ok(()) => return Ok(()),
@@ -126,7 +135,15 @@ where
                 if attempt + 1 == attempts {
                     return Err(SubmitError::Rejected(r));
                 }
-                std::thread::sleep(r.retry_after.max(backoff.delay(attempt)));
+                let wait = r.retry_after.max(backoff.delay(attempt));
+                // Never start a sleep the budget cannot cover: return the
+                // last rejection (with its hint) instead of overrunning.
+                if let Some(deadline) = deadline {
+                    if Instant::now() + wait > deadline {
+                        return Err(SubmitError::Rejected(r));
+                    }
+                }
+                std::thread::sleep(wait);
                 spec = r.spec;
             }
         }
@@ -162,6 +179,7 @@ mod tests {
             factor: 2.0,
             max_delay: Duration::from_millis(50),
             max_attempts: 6,
+            budget: None,
         };
         assert_eq!(b.delay(0), Duration::from_millis(10));
         assert_eq!(b.delay(1), Duration::from_millis(20));
@@ -192,6 +210,12 @@ mod tests {
         let down: SubmitError<u32> = SubmitError::ShutDown(JobSpec::new(1, 7));
         assert_eq!(down.retry_after(), None);
         assert_eq!(down.into_spec().id, 1);
+    }
+
+    #[test]
+    fn default_backoff_keeps_a_deadline_budget() {
+        let b = RetryBackoff::default();
+        assert_eq!(b.budget, Some(Duration::from_secs(30)));
     }
 
     #[test]

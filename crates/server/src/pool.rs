@@ -465,6 +465,7 @@ impl<P: Send + 'static, R: Send + 'static> WorkerPool<P, R> {
     /// panics are *not* this: they surface as [`JobOutcome::Failed`]);
     /// the outcomes drained so far ride along in the error.
     pub fn shutdown(mut self) -> Result<Vec<JobOutcome<R>>, PoolPanic<R>> {
+        enld_chaos::fail_point("serve.pool.shutdown");
         self.close();
         let mut drained = Vec::new();
         while self.received < self.shared.submitted.load(Ordering::SeqCst) {
@@ -546,6 +547,11 @@ fn worker_loop<P, R, D>(
                     shared.available.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        // Deliberately outside catch_unwind: a panic here is a scheduler
+        // failure (the job is dequeued but unstarted), the worker thread
+        // dies, and shutdown() must surface it as a PoolPanic with the
+        // job unaccounted for. The chaos suite asserts exactly that.
+        enld_chaos::fail_point("serve.job.pickup");
         let wait_secs = job.submitted_at.elapsed().as_secs_f64();
         wait_hist.record(wait_secs);
         let spec = job.spec;
@@ -569,7 +575,12 @@ fn worker_loop<P, R, D>(
             .field("worker", worker_id as u64)
             .entered();
         let started = Instant::now();
-        let run = catch_unwind(AssertUnwindSafe(|| detector(&spec.payload)));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            // Inside catch_unwind: fires like a detector panic and must
+            // surface as JobOutcome::Failed with the worker surviving.
+            enld_chaos::fail_point("serve.job.run");
+            detector(&spec.payload)
+        }));
         let service_secs = started.elapsed().as_secs_f64();
         busy_secs += service_secs;
         util_gauge.set(busy_secs / spawned_at.elapsed().as_secs_f64().max(1e-9));
@@ -827,12 +838,38 @@ mod tests {
             factor: 2.0,
             max_delay: Duration::from_millis(20),
             max_attempts: 50,
+            budget: Some(Duration::from_secs(20)),
         };
         for i in 0..10 {
             submit_with_retry(&pool, JobSpec::new(i, Work::SleepMs(1)), &backoff)
                 .expect("every job admitted eventually");
         }
         assert_eq!(drain(pool).len(), 10);
+    }
+
+    #[test]
+    fn retry_budget_bounds_wall_clock_and_returns_the_last_rejection() {
+        let config = PoolConfig { workers: 1, queue_limit: 1, ..PoolConfig::default() };
+        let (pool, gate) = toy_pool(config);
+        pool.submit(JobSpec::new(0, Work::Gate)).expect("occupies the worker");
+        wait_queue_empty(&pool);
+        pool.submit(JobSpec::new(1, Work::Double(1))).expect("fills the queue");
+        let backoff = RetryBackoff {
+            initial: Duration::from_millis(5),
+            factor: 2.0,
+            max_delay: Duration::from_millis(50),
+            max_attempts: 1000,
+            budget: Some(Duration::from_millis(40)),
+        };
+        let started = Instant::now();
+        let err = submit_with_retry(&pool, JobSpec::new(2, Work::Double(2)), &backoff)
+            .expect_err("queue stays full, budget must expire");
+        assert!(started.elapsed() < Duration::from_secs(5), "budget bounds the wall-clock");
+        let hint = err.retry_after().expect("last cause is a rejection with a hint");
+        assert!(hint >= Duration::from_millis(10));
+        assert_eq!(err.into_spec().id, 2, "the job comes back to the caller");
+        gate.send(()).expect("release");
+        assert_eq!(drain(pool).len(), 2);
     }
 
     #[test]
@@ -921,6 +958,41 @@ mod tests {
         assert!((stats.ewma_service_secs(0) - expected).abs() < 1e-12);
         let json = stats.workers_json();
         assert!(json.contains("\"jobs\":2"), "{json}");
+    }
+
+    #[test]
+    #[ignore = "arms process-global failpoints; run serially via the chaos job"]
+    fn pickup_failpoint_kills_the_worker_and_shutdown_reports_it() {
+        let _guard = enld_chaos::scenario_with("serve.job.pickup=panic@nth:1");
+        let (pool, _gate) = toy_pool(PoolConfig { workers: 1, ..PoolConfig::default() });
+        pool.submit(JobSpec::new(0, Work::Double(3))).expect("admitted");
+        let err = pool.shutdown().expect_err("a dequeued-but-unstarted job must not vanish");
+        assert_eq!(err.panics.len(), 1);
+        assert!(err.panics[0].contains("failpoint: serve.job.pickup"), "{}", err.panics[0]);
+        // The job was dequeued but never produced an outcome: the caller
+        // can account for it as submitted − drained.
+        assert!(err.drained.is_empty());
+    }
+
+    #[test]
+    #[ignore = "arms process-global failpoints; run serially via the chaos job"]
+    fn run_failpoint_fails_the_job_like_a_detector_panic() {
+        let _guard = enld_chaos::scenario_with("serve.job.run=panic@nth:1");
+        let (pool, _gate) = toy_pool(PoolConfig { workers: 1, ..PoolConfig::default() });
+        pool.submit(JobSpec::new(0, Work::Double(3))).expect("admitted");
+        pool.submit(JobSpec::new(1, Work::Double(21))).expect("admitted");
+        let outcomes = pool.shutdown().expect("worker must survive an in-detector failpoint");
+        assert_eq!(outcomes.len(), 2);
+        match &outcomes[0] {
+            JobOutcome::Failed(f) => {
+                assert!(f.panic_msg.contains("failpoint: serve.job.run"), "{}", f.panic_msg);
+            }
+            other => panic!("expected a failure, got {other:?}"),
+        }
+        match &outcomes[1] {
+            JobOutcome::Completed(c) => assert_eq!(c.result, 42),
+            other => panic!("expected a completion, got {other:?}"),
+        }
     }
 
     #[test]

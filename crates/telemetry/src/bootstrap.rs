@@ -69,7 +69,9 @@ pub fn write_snapshot_atomic(path: &Path) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
+    enld_chaos::fail_point_io("telemetry.snapshot.write")?;
     std::fs::write(&tmp, metrics::global().snapshot_json())?;
+    enld_chaos::fail_point_io("telemetry.snapshot.rename")?;
     std::fs::rename(&tmp, path)
 }
 
@@ -189,6 +191,31 @@ mod tests {
         assert!(path.exists());
         assert!(!path.with_extension("json.tmp").exists(), "tmp file renamed away");
         assert!(telemetry.finish().expect("second finish").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[ignore = "arms process-global failpoints; run serially via the chaos job"]
+    fn snapshot_failpoints_surface_as_io_errors_and_leave_no_torn_file() {
+        let dir = std::env::temp_dir().join(format!("enld-snapfp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("metrics.json");
+        {
+            let _guard = enld_chaos::scenario_with("telemetry.snapshot.write=error@nth:1");
+            let err = write_snapshot_atomic(&path).expect_err("write failpoint fires");
+            assert!(err.to_string().contains("telemetry.snapshot.write"), "{err}");
+            assert!(!path.exists(), "failed write must not publish a snapshot");
+        }
+        {
+            // A crash between write and rename leaves only the tmp file;
+            // the published path stays either absent or previous-intact.
+            let _guard = enld_chaos::scenario_with("telemetry.snapshot.rename=error@nth:1");
+            let err = write_snapshot_atomic(&path).expect_err("rename failpoint fires");
+            assert!(err.to_string().contains("telemetry.snapshot.rename"), "{err}");
+            assert!(!path.exists(), "interrupted rename must not publish a snapshot");
+        }
+        write_snapshot_atomic(&path).expect("clean write succeeds");
+        assert!(path.exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

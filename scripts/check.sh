@@ -17,6 +17,16 @@ echo "==> parallel determinism suite (ENLD_THREADS=1 and 4)"
 ENLD_THREADS=1 cargo test -q -p enld-integration --test determinism
 ENLD_THREADS=4 cargo test -q -p enld-integration --test determinism
 
+echo "==> chaos + recovery suite (ENLD_THREADS=1 and 4)"
+ENLD_THREADS=1 cargo test -q -p enld-integration --test chaos
+ENLD_THREADS=4 cargo test -q -p enld-integration --test chaos
+
+echo "==> failpoint-arming unit tests (serial, #[ignore]d in the default run)"
+cargo test -q --workspace -- --ignored --test-threads=1
+
+echo "==> checkpoint/resume CLI smoke (injected crash + resume)"
+bash scripts/chaos_smoke.sh
+
 echo "==> bench gate smoke (single iteration, no baseline compare)"
 bash scripts/bench_gate.sh --smoke
 

@@ -4,6 +4,10 @@
 //! `ENLD_THREADS=1` and `ENLD_THREADS=32` are interchangeable — these
 //! tests pin that contract at the integration level (matrix algebra,
 //! k-NN, dataset synthesis, and a full `Enld::detect` run).
+//!
+//! Every test holds the `enld_chaos::scenario()` lock: the resume test
+//! arms process-global failpoints, and the lock keeps that window from
+//! overlapping another test's detection run.
 
 use enld_core::{config::EnldConfig, detector::Enld};
 use enld_datagen::presets::DatasetPreset;
@@ -23,6 +27,7 @@ fn uniform(n: usize, seed: u64) -> Vec<f32> {
 
 #[test]
 fn matrix_products_are_bit_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
     // Sizes straddle the parallel threshold so both the small sequential
     // path and the row-blocked parallel path are exercised.
     for (m, k, n) in [(7, 5, 9), (120, 64, 80)] {
@@ -30,10 +35,10 @@ fn matrix_products_are_bit_identical_across_thread_counts() {
         let b = Matrix::from_vec(k, n, uniform(k * n, 42));
         let at = Matrix::from_vec(k, m, uniform(k * m, 43));
         let bt = Matrix::from_vec(n, k, uniform(n * k, 44));
-        let base = enld_par::with_threads(1, || (a.matmul(&b), at.matmul_at(&a), a.matmul_bt(&bt)));
+        let base = enld_par::with_threads(1, || (a.matmul(&b), at.matmul_at(&b), a.matmul_bt(&bt)));
         for threads in THREAD_COUNTS {
             let got = enld_par::with_threads(threads, || {
-                (a.matmul(&b), at.matmul_at(&a), a.matmul_bt(&bt))
+                (a.matmul(&b), at.matmul_at(&b), a.matmul_bt(&bt))
             });
             assert_eq!(got.0, base.0, "matmul {m}x{k}x{n} threads={threads}");
             assert_eq!(got.1, base.1, "matmul_at {m}x{k}x{n} threads={threads}");
@@ -44,6 +49,7 @@ fn matrix_products_are_bit_identical_across_thread_counts() {
 
 #[test]
 fn knn_neighbour_sets_are_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
     const DIM: usize = 24;
     const N: usize = 600;
     let feats = uniform(N * DIM, 51);
@@ -65,6 +71,7 @@ fn knn_neighbour_sets_are_identical_across_thread_counts() {
 
 #[test]
 fn generated_datasets_are_bit_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
     let preset = DatasetPreset::test_sim().scaled(0.5);
     let base = enld_par::with_threads(1, || preset.generate(9));
     for threads in THREAD_COUNTS {
@@ -75,7 +82,61 @@ fn generated_datasets_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn resume_is_bit_identical_across_thread_counts() {
+    // Recovery state is counters and weights, never anything derived from
+    // scheduling — so a checkpoint written under one thread count must
+    // resume bit-identically under another (and vice versa).
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use enld_core::checkpoint::Checkpoint;
+
+    let _guard = enld_chaos::scenario();
+    let dir = std::env::temp_dir().join(format!("enld-det-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let ckpt_path = dir.join("state.ckpt");
+
+    let fresh = || {
+        let preset = DatasetPreset::test_sim().scaled(0.5);
+        let lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 105 });
+        (Enld::init(lake.inventory(), &EnldConfig::fast_test()), lake)
+    };
+    let base = enld_par::with_threads(1, || {
+        let (mut enld, mut lake) = fresh();
+        let req = lake.next_request().expect("queued");
+        let r = enld.detect(&req.data);
+        (r.clean, r.noisy, r.pseudo_labels, r.inventory_clean)
+    });
+
+    for (crash_threads, resume_threads) in [(1usize, 4usize), (4, 1)] {
+        enld_par::with_threads(crash_threads, || {
+            let (mut enld, mut lake) = fresh();
+            enld.enable_checkpoints(&ckpt_path);
+            let req = lake.next_request().expect("queued");
+            enld_chaos::arm_from_spec("detector.iteration=panic@nth:2").expect("valid spec");
+            let crashed = catch_unwind(AssertUnwindSafe(move || {
+                let _ = enld.detect(&req.data);
+            }));
+            enld_chaos::disarm_all();
+            assert!(crashed.is_err(), "failpoint must crash the run at {crash_threads} threads");
+        });
+        let got = enld_par::with_threads(resume_threads, || {
+            let (_, mut lake) = fresh();
+            let ckpt = Checkpoint::load(&ckpt_path).expect("checkpoint survives the crash");
+            let mut enld = Enld::resume_from(lake.inventory(), &EnldConfig::fast_test(), &ckpt)
+                .expect("resume");
+            let req = lake.next_request().expect("queued");
+            let r = enld.detect(&req.data);
+            (r.clean, r.noisy, r.pseudo_labels, r.inventory_clean)
+        });
+        assert_eq!(got, base, "crash@{crash_threads} threads → resume@{resume_threads} threads");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn detection_reports_are_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
     // The full pipeline: lake construction, model training, the iterative
     // detector, and contrastive sampling all run under the pool. Reports
     // must match field-for-field (timings excluded, obviously).
