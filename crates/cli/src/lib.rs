@@ -41,6 +41,7 @@ use enld_telemetry::json::JsonObject;
 use enld_telemetry::ObsStatus;
 
 pub mod explain;
+pub mod profile;
 
 /// A dataset bundle on disk: the lake's inventory plus arrivals.
 #[derive(Debug, Clone, Serialize, Deserialize)]

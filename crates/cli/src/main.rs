@@ -21,6 +21,7 @@ usage:
                 [--obs-addr HOST:PORT] [--obs-linger SECS] [--ledger FILE]
   enld audit    --lake FILE [--arrival N] [--workers N]
   enld explain  --ledger FILE --sample N [--task N]
+  enld profile  SPANS.jsonl [--chrome FILE] [--folded FILE] [--top N] [--trace ID]
 
 every command also accepts:
   [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]
@@ -29,7 +30,12 @@ every command also accepts:
 --threads N sizes the data-parallel worker pool (default: ENLD_THREADS or all
 cores; 1 = sequential). results are bit-identical for every thread count
 
-the --obs-addr endpoint serves /metrics (Prometheus), /metrics.json, /healthz, /workers
+the --obs-addr endpoint serves /metrics (Prometheus), /metrics.json, /healthz,
+/workers, and /traces (tail-sampled Chrome trace JSON of the slowest/error jobs)
+
+enld profile reads a --trace-out span file and reports per-site self/total
+time, the slowest trace's critical path, and optional Chrome-trace/folded
+flamegraph exports
 
 --checkpoint FILE persists detector state atomically at iteration boundaries;
 --resume restores it and continues, skipping arrivals already completed
@@ -65,6 +71,7 @@ const COMMAND_FLAGS: &[(&str, &[&str])] = &[
     ),
     ("audit", &["lake", "arrival", "workers"]),
     ("explain", &["ledger", "sample", "task"]),
+    ("profile", &["spans", "chrome", "folded", "top", "trace"]),
 ];
 
 /// Flags that take no value; their presence means "true".
@@ -135,6 +142,14 @@ fn run() -> Result<(), String> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(USAGE.to_owned());
     };
+    // `profile` takes its spans file positionally (`enld profile t.jsonl`);
+    // `--spans FILE` is accepted as an equivalent spelling.
+    let (positional, rest) = match rest.split_first() {
+        Some((first, more)) if command == "profile" && !first.starts_with("--") => {
+            (Some(first.clone()), more)
+        }
+        _ => (None, rest),
+    };
     let args = Args::parse(rest)?;
     if COMMAND_FLAGS.iter().any(|(c, _)| c == command) {
         args.validate(command)?;
@@ -171,8 +186,18 @@ fn run() -> Result<(), String> {
     let obs_server = match args.get("obs-addr") {
         Some(addr) if command == "serve" => {
             let status: Arc<dyn ObsStatus> = Arc::clone(&obs_bridge) as Arc<dyn ObsStatus>;
-            let server = ObsServer::bind(addr, enld_telemetry::metrics::global(), status)
-                .map_err(|e| format!("--obs-addr {addr}: bind failed: {e}"))?;
+            // Tail-sampling span buffer behind /traces: installed as a
+            // sink so it sees every span, it retains the slowest and all
+            // error traces of the run as Chrome trace-event JSON.
+            let traces = Arc::new(enld_telemetry::TraceBuffer::new(32));
+            enld_telemetry::install(Arc::clone(&traces) as Arc<dyn enld_telemetry::Sink>);
+            let server = ObsServer::bind_with_traces(
+                addr,
+                enld_telemetry::metrics::global(),
+                status,
+                Some(traces),
+            )
+            .map_err(|e| format!("--obs-addr {addr}: bind failed: {e}"))?;
             println!("observability endpoint listening on http://{}", server.local_addr());
             Some(server)
         }
@@ -339,6 +364,18 @@ fn run() -> Result<(), String> {
             } else {
                 Ok(())
             }
+        }
+        "profile" => {
+            let spans = positional
+                .or_else(|| args.get("spans").map(str::to_owned))
+                .ok_or("a spans file is required: enld profile SPANS.jsonl (or --spans FILE)")?;
+            let opts = enld_cli::profile::ProfileOptions {
+                top: args.parse_num("top")?.unwrap_or(20),
+                trace: args.parse_num("trace")?,
+                chrome: args.get("chrome").map(PathBuf::from),
+                folded: args.get("folded").map(PathBuf::from),
+            };
+            enld_cli::profile::run(&PathBuf::from(spans), &opts)
         }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -1,0 +1,339 @@
+//! `enld profile` — offline analysis of span JSONL traces.
+//!
+//! Reads the file written by `--trace-out`, rebuilds the span forest,
+//! and reports where time went: a per-site self/total-time table, a
+//! critical-path breakdown of the slowest (or a chosen) trace, and
+//! optional exports — Chrome trace-event JSON for Perfetto /
+//! `chrome://tracing`, and folded stacks for `flamegraph.pl`-style
+//! tooling.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use enld_core::ledger::{parse_json, JsonValue};
+use enld_telemetry::chrome_trace::{self, json_string};
+use enld_telemetry::profile::{aggregate_sites, critical_path, folded_stacks, slowest_trace};
+use enld_telemetry::OwnedSpan;
+
+/// What `enld profile` was asked to produce.
+pub struct ProfileOptions {
+    /// Rows in the hot-site table.
+    pub top: usize,
+    /// Analyse this trace id instead of the slowest one.
+    pub trace: Option<u64>,
+    /// Write Chrome trace-event JSON here.
+    pub chrome: Option<std::path::PathBuf>,
+    /// Write folded flamegraph stacks here.
+    pub folded: Option<std::path::PathBuf>,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        Self { top: 20, trace: None, chrome: None, folded: None }
+    }
+}
+
+/// Renders one parsed JSON field value back to a raw JSON token for
+/// [`OwnedSpan::fields`] (numbers keep integer spelling when integral).
+fn value_token(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_owned(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Number(n) if n.fract() == 0.0 && n.abs() < 2f64.powi(53) => {
+            format!("{}", *n as i64)
+        }
+        JsonValue::Number(n) => format!("{n}"),
+        JsonValue::String(s) => json_string(s),
+        // Nested values don't occur in span fields; re-render defensively.
+        JsonValue::Array(_) | JsonValue::Object(_) => "null".to_owned(),
+    }
+}
+
+fn get_u64(obj: &[(String, JsonValue)], key: &str) -> Option<u64> {
+    obj.iter()
+        .find_map(|(k, v)| (k == key).then_some(v))
+        .and_then(JsonValue::as_f64)
+        .and_then(|n| (n >= 0.0 && n.fract() == 0.0 && n < 2f64.powi(53)).then_some(n as u64))
+}
+
+/// Converts one parsed JSONL object to a span; `None` for non-span
+/// records (events, metric snapshots) which share the trace file.
+fn span_from_json(value: &JsonValue) -> Option<OwnedSpan> {
+    let obj = value.as_object()?;
+    let kind = obj.iter().find_map(|(k, v)| (k == "type").then_some(v))?.as_str()?;
+    if kind != "span" {
+        return None;
+    }
+    let name = obj.iter().find_map(|(k, v)| (k == "name").then_some(v))?.as_str()?.to_owned();
+    let fields = obj
+        .iter()
+        .find(|(k, _)| k == "fields")
+        .and_then(|(_, v)| v.as_object())
+        .map(|f| f.iter().map(|(k, v)| (k.clone(), value_token(v))).collect())
+        .unwrap_or_default();
+    Some(OwnedSpan {
+        id: get_u64(obj, "id")?,
+        parent: get_u64(obj, "parent"),
+        trace: get_u64(obj, "trace").unwrap_or(0),
+        tid: get_u64(obj, "tid").unwrap_or(0),
+        name,
+        start_us: get_u64(obj, "start_us")?,
+        dur_us: get_u64(obj, "dur_us")?,
+        fields,
+    })
+}
+
+/// Loads every span record from a `--trace-out` JSONL file.
+///
+/// A malformed *final* line (torn by a crash mid-write) is dropped and
+/// reported on stderr; malformed interior lines are hard errors.
+///
+/// # Errors
+/// Reports the 1-based line number of the first bad interior line, or
+/// an unreadable file.
+pub fn load_spans(path: &Path) -> Result<Vec<OwnedSpan>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let lines: Vec<(usize, &str)> =
+        text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
+    let mut spans = Vec::new();
+    for (idx, &(n, line)) in lines.iter().enumerate() {
+        match parse_json(line) {
+            Ok(value) => spans.extend(span_from_json(&value)),
+            Err(e) if idx + 1 == lines.len() => {
+                eprintln!("warning: dropped torn final line {}: {e}", n + 1);
+            }
+            Err(e) => return Err(format!("{}:{}: {e}", path.display(), n + 1)),
+        }
+    }
+    Ok(spans)
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1000.0
+}
+
+/// The per-site table: top `n` span names by self-time.
+pub fn render_site_table(spans: &[OwnedSpan], n: usize) -> String {
+    let sites = aggregate_sites(spans);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>8} {:>12} {:>12} {:>10}",
+        "site", "count", "self(ms)", "total(ms)", "max(ms)"
+    );
+    for s in sites.iter().take(n) {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>8} {:>12.3} {:>12.3} {:>10.3}",
+            s.name,
+            s.count,
+            ms(s.self_us),
+            ms(s.total_us),
+            ms(s.max_us)
+        );
+    }
+    if sites.len() > n {
+        let _ = writeln!(out, "… {} more site(s); raise --top to see them", sites.len() - n);
+    }
+    out
+}
+
+/// The critical-path table for `trace_id`. Contributions telescope, so
+/// the footer's sum equals the root span's wall-clock.
+pub fn render_critical_path(spans: &[OwnedSpan], trace_id: u64) -> String {
+    let path = critical_path(spans, trace_id);
+    let mut out = String::new();
+    let Some(root) = path.first() else {
+        let _ = writeln!(out, "trace {trace_id}: no root span found");
+        return out;
+    };
+    let root_ms = ms(root.dur_us);
+    let _ =
+        writeln!(out, "critical path of trace {trace_id} (root {}, {:.3}ms):", root.name, root_ms);
+    let _ = writeln!(
+        out,
+        "  {:<30} {:>5} {:>12} {:>16} {:>7}",
+        "span", "tid", "dur(ms)", "contribution(ms)", "share"
+    );
+    let mut sum_us = 0u64;
+    for step in &path {
+        sum_us += step.contribution_us;
+        let share = if root.dur_us == 0 {
+            0.0
+        } else {
+            step.contribution_us as f64 / root.dur_us as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<30} {:>5} {:>12.3} {:>16.3} {:>6.1}%",
+            step.name,
+            step.tid,
+            ms(step.dur_us),
+            ms(step.contribution_us),
+            share
+        );
+    }
+    let covered = if root.dur_us == 0 { 100.0 } else { sum_us as f64 / root.dur_us as f64 * 100.0 };
+    let _ = writeln!(
+        out,
+        "  contributions sum to {:.3}ms ({covered:.1}% of root wall-clock)",
+        ms(sum_us)
+    );
+    out
+}
+
+/// Runs the full `enld profile` report against `path`, printing to
+/// stdout and writing any requested export files.
+///
+/// # Errors
+/// Fails on unreadable/corrupt input or unwritable outputs.
+pub fn run(path: &Path, opts: &ProfileOptions) -> Result<(), String> {
+    let spans = load_spans(path)?;
+    if spans.is_empty() {
+        return Err(format!(
+            "{}: no span records (run with --trace-out and --log-level debug or trace)",
+            path.display()
+        ));
+    }
+    let mut traces: Vec<u64> = spans.iter().filter(|s| s.id == s.trace).map(|s| s.trace).collect();
+    traces.sort_unstable();
+    traces.dedup();
+    println!("{}: {} span(s), {} complete trace(s)\n", path.display(), spans.len(), traces.len());
+    print!("{}", render_site_table(&spans, opts.top.max(1)));
+    println!();
+
+    let target = match opts.trace {
+        Some(id) => {
+            if !spans.iter().any(|s| s.trace == id) {
+                return Err(format!("trace {id} not present in {}", path.display()));
+            }
+            Some(id)
+        }
+        None => slowest_trace(&spans),
+    };
+    match target {
+        Some(id) => print!("{}", render_critical_path(&spans, id)),
+        None => println!("no complete trace (root span missing); skipping critical path"),
+    }
+
+    if let Some(out) = &opts.chrome {
+        std::fs::write(out, chrome_trace::render(&spans))
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!(
+            "chrome trace written to {} (load in Perfetto or chrome://tracing)",
+            out.display()
+        );
+    }
+    if let Some(out) = &opts.folded {
+        std::fs::write(out, folded_stacks(&spans))
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("folded stacks written to {}", out.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(
+        id: u64,
+        parent: Option<u64>,
+        trace: u64,
+        tid: u64,
+        start: u64,
+        dur: u64,
+    ) -> String {
+        let parent = parent.map(|p| format!(",\"parent\":{p}")).unwrap_or_default();
+        format!(
+            "{{\"type\":\"span\",\"id\":{id},\"trace\":{trace},\"tid\":{tid},\"name\":\"s{id}\",\
+             \"level\":\"debug\",\"start_us\":{start},\"dur_us\":{dur},\"depth\":0{parent},\
+             \"fields\":{{\"k\":3,\"s\":\"v\"}}}}"
+        )
+    }
+
+    #[test]
+    fn spans_parse_and_non_span_lines_are_skipped() {
+        let text = format!(
+            "{}\n{{\"type\":\"event\",\"ts_us\":1,\"level\":\"info\",\"target\":\"t\",\
+             \"message\":\"m\"}}\n{}\n",
+            span_line(1, None, 1, 1, 0, 100),
+            span_line(2, Some(1), 1, 2, 10, 50),
+        );
+        let dir = std::env::temp_dir().join(format!("enld-profile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, text).expect("write");
+        let spans = load_spans(&path).expect("load");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, Some(1));
+        assert_eq!(spans[1].tid, 2);
+        assert_eq!(spans[0].fields, vec![("k".into(), "3".into()), ("s".into(), "\"v\"".into())]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_interior_corruption_fails() {
+        let dir = std::env::temp_dir().join(format!("enld-profile-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let torn = dir.join("torn.jsonl");
+        std::fs::write(&torn, format!("{}\n{{\"type\":\"spa", span_line(1, None, 1, 1, 0, 9)))
+            .expect("write");
+        assert_eq!(load_spans(&torn).expect("tolerant").len(), 1);
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, format!("{{oops\n{}\n", span_line(1, None, 1, 1, 0, 9)))
+            .expect("write");
+        assert!(load_spans(&bad).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn critical_path_report_covers_the_root_wall_clock() {
+        let spans = vec![
+            OwnedSpan {
+                id: 1,
+                parent: None,
+                trace: 1,
+                tid: 1,
+                name: "root".into(),
+                start_us: 0,
+                dur_us: 100,
+                fields: vec![],
+            },
+            OwnedSpan {
+                id: 2,
+                parent: Some(1),
+                trace: 1,
+                tid: 2,
+                name: "child".into(),
+                start_us: 40,
+                dur_us: 55,
+                fields: vec![],
+            },
+        ];
+        let report = render_critical_path(&spans, 1);
+        assert!(report.contains("root"), "{report}");
+        assert!(report.contains("child"), "{report}");
+        assert!(report.contains("(100.0% of root wall-clock)"), "{report}");
+    }
+
+    #[test]
+    fn site_table_lists_hot_sites_and_caps_rows() {
+        let spans: Vec<OwnedSpan> = (0..5)
+            .map(|i| OwnedSpan {
+                id: i + 1,
+                parent: None,
+                trace: i + 1,
+                tid: 1,
+                name: format!("site{i}"),
+                start_us: 0,
+                dur_us: 10 * (i + 1),
+                fields: vec![],
+            })
+            .collect();
+        let table = render_site_table(&spans, 2);
+        assert!(table.contains("site4"), "{table}");
+        assert!(table.contains("3 more site(s)"), "{table}");
+    }
+}

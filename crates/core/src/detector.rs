@@ -616,6 +616,10 @@ impl Enld {
                 iterations: cfg.iterations,
                 steps: cfg.steps,
                 threshold,
+                // Joins this ledger line to the span trace; 0 (omitted
+                // on write) when span tracing is off.
+                trace_id: detect_span.trace_id().unwrap_or(0),
+                span_id: detect_span.id().unwrap_or(0),
             }));
             for &i in &eligible {
                 handle.sink.record(&LedgerRecord::Sample(SampleRecord {

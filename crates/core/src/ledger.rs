@@ -94,6 +94,12 @@ pub struct TaskRecord {
     pub iterations: usize,
     pub steps: usize,
     pub threshold: usize,
+    /// Telemetry trace id of the `enld.detect` span that processed this
+    /// task (0 = span tracing was off). Joins ledger lines to span JSONL
+    /// traces and the `/traces` endpoint.
+    pub trace_id: u64,
+    /// Telemetry span id of that `enld.detect` span (0 = tracing off).
+    pub span_id: u64,
 }
 
 /// Per-sample decision record.
@@ -303,6 +309,15 @@ impl LedgerRecord {
                     .u64_field("iterations", t.iterations as u64)
                     .u64_field("steps", t.steps as u64)
                     .u64_field("threshold", t.threshold as u64);
+                // Written only when tracing was live, so runs without a
+                // span sink produce byte-identical ledgers (the chaos
+                // suite compares crash/resume ledgers bytewise).
+                if t.trace_id != 0 {
+                    o.u64_field("trace_id", t.trace_id);
+                }
+                if t.span_id != 0 {
+                    o.u64_field("span_id", t.span_id);
+                }
                 o.finish()
             }
             Self::Sample(s) => {
@@ -353,6 +368,8 @@ impl LedgerRecord {
                 iterations: get_usize(obj, "iterations")?,
                 steps: get_usize(obj, "steps")?,
                 threshold: get_usize(obj, "threshold")?,
+                trace_id: get_u64_or_zero(obj, "trace_id")?,
+                span_id: get_u64_or_zero(obj, "span_id")?,
             })),
             "sample" => {
                 let votes = get_array(obj, "votes")?
@@ -709,6 +726,15 @@ fn get_usize(obj: &[(String, JsonValue)], key: &str) -> Result<usize, String> {
     }
 }
 
+/// Optional id field: absent means 0 (tracing was off when written).
+fn get_u64_or_zero(obj: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+    if obj.iter().any(|(k, _)| k == key) {
+        get_usize(obj, key).map(|n| n as u64)
+    } else {
+        Ok(0)
+    }
+}
+
 fn get_u32(obj: &[(String, JsonValue)], key: &str) -> Result<u32, String> {
     let n = get_usize(obj, key)?;
     u32::try_from(n).map_err(|_| format!("field {key:?} out of u32 range"))
@@ -774,6 +800,8 @@ mod tests {
                 iterations: 3,
                 steps: 3,
                 threshold: 2,
+                trace_id: 7,
+                span_id: 9,
             }),
             sample_record(),
             LedgerRecord::Update(UpdateRecord {
@@ -788,6 +816,40 @@ mod tests {
             let back = LedgerRecord::from_json(&line).expect("parse back");
             assert_eq!(&back, record, "line: {line}");
         }
+    }
+
+    #[test]
+    fn task_trace_ids_are_omitted_when_zero_and_round_trip_otherwise() {
+        let mut task = TaskRecord {
+            detector: "main".to_owned(),
+            task: 1,
+            samples: 8,
+            eligible: 8,
+            ambiguous_initial: 2,
+            ambiguous_rate: 0.25,
+            clean: 6,
+            noisy: 2,
+            iterations: 3,
+            steps: 3,
+            threshold: 2,
+            trace_id: 0,
+            span_id: 0,
+        };
+        // Untraced runs must serialise without the id fields so ledgers
+        // stay byte-comparable across crash/resume.
+        let line = LedgerRecord::Task(task.clone()).to_json();
+        assert!(!line.contains("trace_id"), "{line}");
+        assert!(!line.contains("span_id"), "{line}");
+        let back = LedgerRecord::from_json(&line).expect("parse");
+        assert_eq!(back, LedgerRecord::Task(task.clone()));
+
+        task.trace_id = 41;
+        task.span_id = 43;
+        let line = LedgerRecord::Task(task.clone()).to_json();
+        assert!(line.contains("\"trace_id\":41"), "{line}");
+        assert!(line.contains("\"span_id\":43"), "{line}");
+        let back = LedgerRecord::from_json(&line).expect("parse");
+        assert_eq!(back, LedgerRecord::Task(task));
     }
 
     #[test]
@@ -890,6 +952,9 @@ mod tests {
                 iterations: rng.gen_range(0usize..10),
                 steps: rng.gen_range(0usize..10),
                 threshold: rng.gen_range(0usize..10),
+                // 0 exercises the fields-omitted path half the time.
+                trace_id: rng.gen_range(0u64..2) * rng.gen_range(1u64..1_000_000),
+                span_id: rng.gen_range(0u64..2) * rng.gen_range(1u64..1_000_000),
             }),
             1 => {
                 let iterations = rng.gen_range(0usize..4);

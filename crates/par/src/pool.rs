@@ -24,8 +24,22 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use enld_telemetry::metrics::{self, Counter, Gauge};
+use enld_telemetry::{self as telemetry, Level, TraceContext};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Runs a task body under a `par.task` span parented to the submitting
+/// span (captured at [`Scope::spawn`]), so cross-thread execution stays
+/// one connected trace. With no captured context the body runs bare.
+fn run_traced(ctx: Option<TraceContext>, f: impl FnOnce()) {
+    match ctx {
+        Some(ctx) => {
+            let _span = telemetry::trace_span("par.task").follows(ctx).entered();
+            f();
+        }
+        None => f(),
+    }
+}
 
 thread_local! {
     /// Set for the lifetime of a worker thread: `(pool shared state, worker id)`.
@@ -259,12 +273,17 @@ impl<'env> Scope<'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        // Capture the submitter's trace context only when a trace-level
+        // sink is live: the disabled path stays one relaxed atomic load,
+        // keeping untraced spawns inside the bench-gate noise floor.
+        let ctx =
+            if telemetry::enabled(Level::Trace) { telemetry::current_context() } else { None };
         if self.sequential {
             // Inline execution; an unwind propagates through the scope body
             // and is re-raised at the end of `scope_shared`, matching the
             // parallel path's "panic surfaces at scope exit" contract.
             enld_chaos::fail_point("par.task.run");
-            f();
+            run_traced(ctx, f);
             return;
         }
         let state = Arc::clone(&self.state);
@@ -274,7 +293,7 @@ impl<'env> Scope<'env> {
             // task panic, never strand the scope's pending count.
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| {
                 enld_chaos::fail_point("par.task.run");
-                f();
+                run_traced(ctx, f);
             })) {
                 let mut slot = lock(&state.panic);
                 if slot.is_none() {

@@ -84,6 +84,10 @@ pub struct Queued<P> {
     /// The estimator's service-time prediction at submission, in
     /// seconds — SJF's sort key, and the basis of `retry_after` hints.
     pub predicted_secs: f64,
+    /// Trace context of the submitting thread, captured at `submit` when
+    /// span tracing is live; the worker's job span follows it so the
+    /// cross-thread hop keeps one connected trace.
+    pub ctx: Option<enld_telemetry::TraceContext>,
 }
 
 struct Entry<P> {
@@ -183,7 +187,7 @@ mod tests {
         if let Some(ms) = deadline_ms {
             spec = spec.with_deadline(Instant::now() + Duration::from_millis(ms));
         }
-        Queued { spec, submitted_at: Instant::now(), predicted_secs: predicted }
+        Queued { spec, submitted_at: Instant::now(), predicted_secs: predicted, ctx: None }
     }
 
     fn drain_ids<P>(q: &mut ReadyQueue<P>) -> Vec<u64> {

@@ -154,6 +154,8 @@ struct WorkerCell {
     ewma_service_bits: AtomicU64,
     /// Micros since pool start at the last completed job (0 = never).
     last_beat_micros: AtomicU64,
+    /// Cumulative queue-wait micros of jobs this worker has run.
+    wait_micros: AtomicU64,
 }
 
 impl WorkerCell {
@@ -164,6 +166,7 @@ impl WorkerCell {
             busy_micros: AtomicU64::new(0),
             ewma_service_bits: AtomicU64::new(0.0f64.to_bits()),
             last_beat_micros: AtomicU64::new(0),
+            wait_micros: AtomicU64::new(0),
         }
     }
 }
@@ -207,10 +210,16 @@ impl PoolStats {
         f64::from_bits(self.workers[worker].ewma_service_bits.load(Ordering::Relaxed))
     }
 
-    fn record_job(&self, worker: usize, service_secs: f64) {
+    /// Cumulative queue-wait seconds across all jobs worker `i` has run.
+    pub fn wait_secs(&self, worker: usize) -> f64 {
+        self.workers[worker].wait_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    fn record_job(&self, worker: usize, service_secs: f64, wait_secs: f64) {
         let cell = &self.workers[worker];
         let jobs = cell.jobs.fetch_add(1, Ordering::Relaxed);
         cell.busy_micros.fetch_add((service_secs * 1e6) as u64, Ordering::Relaxed);
+        cell.wait_micros.fetch_add((wait_secs * 1e6) as u64, Ordering::Relaxed);
         let prev = f64::from_bits(cell.ewma_service_bits.load(Ordering::Relaxed));
         let next = if jobs == 0 {
             service_secs
@@ -269,7 +278,8 @@ impl ObsStatus for PoolStats {
                     "ewma_service_secs",
                     f64::from_bits(cell.ewma_service_bits.load(Ordering::Relaxed)),
                 )
-                .f64_field("idle_secs", (uptime - last_beat).max(0.0));
+                .f64_field("idle_secs", (uptime - last_beat).max(0.0))
+                .f64_field("wait_secs", cell.wait_micros.load(Ordering::Relaxed) as f64 / 1e6);
             out.push_str(&o.finish());
         }
         out.push(']');
@@ -385,7 +395,20 @@ impl<P: Send + 'static, R: Send + 'static> WorkerPool<P, R> {
             registry.counter("serve.pool.rejected_total").inc();
             return Err(SubmitError::Rejected(Rejected { spec, retry_after }));
         }
-        state.queue.push(Queued { spec, submitted_at: Instant::now(), predicted_secs: predicted });
+        // Capture the submitter's span context only when a debug-level
+        // sink is live (the job span is debug-level); the disabled path
+        // stays a single relaxed atomic load per submission.
+        let ctx = if telemetry::enabled(telemetry::Level::Debug) {
+            telemetry::current_context()
+        } else {
+            None
+        };
+        state.queue.push(Queued {
+            spec,
+            submitted_at: Instant::now(),
+            predicted_secs: predicted,
+            ctx,
+        });
         registry.gauge("serve.queue.depth").add(1.0);
         self.shared.stats.queue_depth.store(state.queue.len(), Ordering::Relaxed);
         self.shared.submitted.fetch_add(1, Ordering::SeqCst);
@@ -554,6 +577,7 @@ fn worker_loop<P, R, D>(
         enld_chaos::fail_point("serve.job.pickup");
         let wait_secs = job.submitted_at.elapsed().as_secs_f64();
         wait_hist.record(wait_secs);
+        let ctx = job.ctx;
         let spec = job.spec;
         if let Some(deadline) = spec.deadline {
             let now = Instant::now();
@@ -573,6 +597,7 @@ fn worker_loop<P, R, D>(
         let mut span = telemetry::debug_span("serve.pool.job")
             .field("job", spec.id)
             .field("worker", worker_id as u64)
+            .follows(ctx)
             .entered();
         let started = Instant::now();
         let run = catch_unwind(AssertUnwindSafe(|| {
@@ -584,7 +609,7 @@ fn worker_loop<P, R, D>(
         let service_secs = started.elapsed().as_secs_f64();
         busy_secs += service_secs;
         util_gauge.set(busy_secs / spawned_at.elapsed().as_secs_f64().max(1e-9));
-        shared.stats.record_job(worker_id, service_secs);
+        shared.stats.record_job(worker_id, service_secs, wait_secs);
         span.record("wait_secs", wait_secs);
         span.record("service_secs", service_secs);
         let outcome = match run {
@@ -604,11 +629,14 @@ fn worker_loop<P, R, D>(
                 // The detector's state may be inconsistent now, but the
                 // scheduler's is not; keep the worker serving.
                 registry.counter("serve.pool.panics_total").inc();
+                let panic_msg = panic_message(payload.as_ref());
+                // Mark the span so the tail-sampler retains this trace.
+                span.record("error", panic_msg.as_str());
                 JobOutcome::Failed(FailedJob {
                     id: spec.id,
                     class: spec.class,
                     worker: worker_id,
-                    panic_msg: panic_message(payload.as_ref()),
+                    panic_msg,
                 })
             }
         };
@@ -951,13 +979,15 @@ mod tests {
     #[test]
     fn pool_stats_ewma_follows_service_times() {
         let stats = PoolStats::new(1);
-        stats.record_job(0, 0.100);
+        stats.record_job(0, 0.100, 0.010);
         assert!((stats.ewma_service_secs(0) - 0.100).abs() < 1e-12, "first job seeds the EWMA");
-        stats.record_job(0, 0.200);
+        stats.record_job(0, 0.200, 0.030);
         let expected = EWMA_ALPHA * 0.200 + (1.0 - EWMA_ALPHA) * 0.100;
         assert!((stats.ewma_service_secs(0) - expected).abs() < 1e-12);
+        assert!((stats.wait_secs(0) - 0.040).abs() < 1e-6, "queue waits accumulate");
         let json = stats.workers_json();
         assert!(json.contains("\"jobs\":2"), "{json}");
+        assert!(json.contains("\"wait_secs\":"), "{json}");
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub fn write_snapshot_atomic(path: &Path) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
+    // Fold the current process resource usage into the snapshot so both
+    // the periodic files and the final one carry RSS/CPU/thread gauges.
+    crate::procinfo::sample(metrics::global());
     enld_chaos::fail_point_io("telemetry.snapshot.write")?;
     std::fs::write(&tmp, metrics::global().snapshot_json())?;
     enld_chaos::fail_point_io("telemetry.snapshot.rename")?;

@@ -1,0 +1,431 @@
+//! Chrome trace-event export and in-memory tail sampling.
+//!
+//! Two pieces turn closed-span streams into something a human can load:
+//!
+//! * [`render`] — converts spans into Chrome trace-event JSON (the
+//!   `{"traceEvents":[…]}` format chrome://tracing, Perfetto, and
+//!   speedscope all read). Every span becomes a complete (`ph:"X"`)
+//!   event laid out on its recording thread; parent→child edges that
+//!   cross threads additionally get a flow-event pair (`ph:"s"`/`"f"`)
+//!   so the UI draws an arrow from the submitting span to the adopted
+//!   one.
+//! * [`TraceBuffer`] — a [`Sink`] that groups spans by trace id and
+//!   tail-samples *completed* traces (a trace completes when its root
+//!   span — the one whose id equals the trace id — closes). The buffer
+//!   keeps the slowest traces plus every trace containing an `error`
+//!   field, which is what you want on a live server: the interesting
+//!   traces are the slow and broken ones, and they are only fully known
+//!   at completion. `ObsServer` serves the buffer at `/traces`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::json::{escape_into, JsonObject};
+use crate::level::Level;
+use crate::sink::{Event, Sink, SpanRecord};
+
+/// An owned copy of a closed span, detached from `&'static` names so it
+/// can be buffered, parsed back from JSONL, and shipped across threads.
+#[derive(Debug, Clone)]
+pub struct OwnedSpan {
+    pub id: u64,
+    pub parent: Option<u64>,
+    /// Id of the trace's root span.
+    pub trace: u64,
+    /// Dense telemetry thread id the span ran on.
+    pub tid: u64,
+    pub name: String,
+    /// Microseconds since the process telemetry epoch at entry.
+    pub start_us: u64,
+    pub dur_us: u64,
+    /// Field key → raw JSON token (already escaped/quoted as needed).
+    pub fields: Vec<(String, String)>,
+}
+
+impl OwnedSpan {
+    /// End timestamp (`start_us + dur_us`).
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.dur_us)
+    }
+
+    /// Whether the span carries an `error` field (panicked job, failed
+    /// stage, …) — such traces are always retained by [`TraceBuffer`].
+    pub fn is_error(&self) -> bool {
+        self.fields.iter().any(|(k, _)| k == "error")
+    }
+}
+
+impl From<&SpanRecord> for OwnedSpan {
+    fn from(r: &SpanRecord) -> Self {
+        Self {
+            id: r.id,
+            parent: r.parent,
+            trace: r.trace,
+            tid: r.tid,
+            name: r.name.to_owned(),
+            start_us: r.start_micros,
+            dur_us: r.duration_micros,
+            fields: r.fields.iter().map(|(k, v)| ((*k).to_owned(), v.to_json())).collect(),
+        }
+    }
+}
+
+fn push_event(out: &mut String, event: String) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+    out.push_str(&event);
+}
+
+/// Appends the trace events for `spans` (one logical process `pid`) to
+/// `events`: an `X` slice per span plus `s`/`f` flow pairs for every
+/// parent→child edge whose endpoints ran on different threads.
+fn render_events(events: &mut String, spans: &[OwnedSpan], pid: u64) {
+    let by_id: HashMap<u64, &OwnedSpan> = spans.iter().map(|s| (s.id, s)).collect();
+    for span in spans {
+        let mut args = JsonObject::new();
+        args.u64_field("span", span.id).u64_field("trace", span.trace);
+        if let Some(parent) = span.parent {
+            args.u64_field("parent", parent);
+        }
+        for (k, v) in &span.fields {
+            args.raw_field(k, v);
+        }
+        let mut o = JsonObject::new();
+        o.str_field("ph", "X")
+            .str_field("cat", "enld")
+            .str_field("name", &span.name)
+            .u64_field("pid", pid)
+            .u64_field("tid", span.tid)
+            .u64_field("ts", span.start_us)
+            .u64_field("dur", span.dur_us)
+            .raw_field("args", &args.finish());
+        push_event(events, o.finish());
+
+        // Cross-thread edge: draw a flow arrow submitter → adopted span.
+        let Some(parent) = span.parent.and_then(|p| by_id.get(&p)) else { continue };
+        if parent.tid == span.tid {
+            continue;
+        }
+        // The flow start must bind to the parent slice: clamp the child's
+        // start into the parent's lifetime on the parent's thread.
+        let ts = span.start_us.clamp(parent.start_us, parent.end_us());
+        let mut s = JsonObject::new();
+        s.str_field("ph", "s")
+            .str_field("cat", "flow")
+            .str_field("name", "spawn")
+            .u64_field("id", span.id)
+            .u64_field("pid", pid)
+            .u64_field("tid", parent.tid)
+            .u64_field("ts", ts);
+        push_event(events, s.finish());
+        let mut f = JsonObject::new();
+        f.str_field("ph", "f")
+            .str_field("bp", "e")
+            .str_field("cat", "flow")
+            .str_field("name", "spawn")
+            .u64_field("id", span.id)
+            .u64_field("pid", pid)
+            .u64_field("tid", span.tid)
+            .u64_field("ts", span.start_us);
+        push_event(events, f.finish());
+    }
+}
+
+fn process_name_event(events: &mut String, pid: u64, name: &str) {
+    let mut args = JsonObject::new();
+    args.str_field("name", name);
+    let mut o = JsonObject::new();
+    o.str_field("ph", "M")
+        .str_field("name", "process_name")
+        .u64_field("pid", pid)
+        .raw_field("args", &args.finish());
+    push_event(events, o.finish());
+}
+
+/// Renders `spans` as a Chrome trace-event JSON document
+/// (`{"traceEvents":[…]}`), all under one logical process. Load the
+/// result in Perfetto (<https://ui.perfetto.dev>) or chrome://tracing.
+pub fn render(spans: &[OwnedSpan]) -> String {
+    let mut events = String::new();
+    process_name_event(&mut events, 1, "enld");
+    render_events(&mut events, spans, 1);
+    format!("{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\"}}")
+}
+
+/// A trace retained by [`TraceBuffer`]: the root span closed, so the
+/// full tree and total duration are known.
+#[derive(Debug, Clone)]
+pub struct CompletedTrace {
+    pub trace_id: u64,
+    pub root_name: String,
+    /// Root span duration — the trace's wall-clock.
+    pub dur_us: u64,
+    /// Whether any span in the trace carried an `error` field.
+    pub error: bool,
+    pub spans: Vec<OwnedSpan>,
+}
+
+#[derive(Default)]
+struct BufferInner {
+    /// Open traces, keyed by trace id, accumulating until the root closes.
+    pending: HashMap<u64, Vec<OwnedSpan>>,
+    completed: Vec<CompletedTrace>,
+    dropped_spans: u64,
+}
+
+/// Tail-sampling ring buffer of completed traces, installable as a
+/// [`Sink`]. Retention policy (applied when the buffer is full): error
+/// traces always win a slot; otherwise the new trace replaces the
+/// fastest retained non-error trace only if it is slower. Bounded in
+/// every dimension — completed traces, spans per trace, and simultaneous
+/// pending traces — so a long-lived server cannot grow it without limit.
+pub struct TraceBuffer {
+    level: Level,
+    capacity: usize,
+    max_spans_per_trace: usize,
+    max_pending: usize,
+    inner: Mutex<BufferInner>,
+}
+
+impl TraceBuffer {
+    /// Buffer retaining up to `capacity` completed traces, capturing
+    /// spans at every level (`Level::Trace` threshold).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            level: Level::Trace,
+            capacity: capacity.max(1),
+            max_spans_per_trace: 4096,
+            max_pending: 64,
+            inner: Mutex::new(BufferInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufferInner> {
+        self.inner.lock().expect("trace buffer poisoned")
+    }
+
+    /// Completed traces currently retained (unordered).
+    pub fn traces(&self) -> Vec<CompletedTrace> {
+        self.lock().completed.clone()
+    }
+
+    /// The slowest retained trace, if any.
+    pub fn slowest(&self) -> Option<CompletedTrace> {
+        self.lock().completed.iter().max_by_key(|t| t.dur_us).cloned()
+    }
+
+    /// All retained traces as one Chrome trace-event document: each
+    /// trace gets its own logical process (pid), named after its root
+    /// span and duration, so Perfetto groups them visually.
+    pub fn chrome_json(&self) -> String {
+        let inner = self.lock();
+        let mut ordered: Vec<&CompletedTrace> = inner.completed.iter().collect();
+        ordered.sort_by(|a, b| b.dur_us.cmp(&a.dur_us));
+        let mut events = String::new();
+        for (i, trace) in ordered.iter().enumerate() {
+            let pid = i as u64 + 1;
+            let flag = if trace.error { " [error]" } else { "" };
+            let label = format!(
+                "{} trace={} ({:.2}ms){flag}",
+                trace.root_name,
+                trace.trace_id,
+                trace.dur_us as f64 / 1000.0
+            );
+            process_name_event(&mut events, pid, &label);
+            render_events(&mut events, &trace.spans, pid);
+        }
+        let mut meta = JsonObject::new();
+        meta.u64_field("traces", ordered.len() as u64)
+            .u64_field("dropped_spans", inner.dropped_spans);
+        format!(
+            "{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\",\"otherData\":{}}}",
+            meta.finish()
+        )
+    }
+
+    fn complete(inner: &mut BufferInner, capacity: usize, trace_id: u64, spans: Vec<OwnedSpan>) {
+        let Some(root) = spans.iter().find(|s| s.id == trace_id) else { return };
+        let trace = CompletedTrace {
+            trace_id,
+            root_name: root.name.clone(),
+            dur_us: root.dur_us,
+            error: spans.iter().any(OwnedSpan::is_error),
+            spans,
+        };
+        if inner.completed.len() < capacity {
+            inner.completed.push(trace);
+            return;
+        }
+        // Full: evict the fastest non-error trace if the newcomer beats
+        // it (error newcomers always qualify); otherwise drop the
+        // newcomer. Error traces are only evicted by other error traces.
+        let victim = inner
+            .completed
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.error)
+            .min_by_key(|(_, t)| t.dur_us)
+            .map(|(i, _)| i)
+            .or_else(|| {
+                if trace.error {
+                    inner.completed.iter().enumerate().min_by_key(|(_, t)| t.dur_us).map(|(i, _)| i)
+                } else {
+                    None
+                }
+            });
+        match victim {
+            Some(i) if trace.error || trace.dur_us > inner.completed[i].dur_us => {
+                inner.completed[i] = trace;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Sink for TraceBuffer {
+    fn level(&self) -> Level {
+        self.level
+    }
+
+    fn on_event(&self, _event: &Event) {}
+
+    fn on_span(&self, span: &SpanRecord) {
+        let mut inner = self.lock();
+        let pending = inner.pending.entry(span.trace).or_default();
+        if pending.len() >= self.max_spans_per_trace {
+            inner.dropped_spans += 1;
+        } else {
+            pending.push(OwnedSpan::from(span));
+        }
+        if span.id == span.trace {
+            // Root closed: the trace is complete.
+            let spans = inner.pending.remove(&span.trace).unwrap_or_default();
+            Self::complete(&mut inner, self.capacity, span.trace, spans);
+        } else if inner.pending.len() > self.max_pending {
+            // A root was filtered out or leaked; shed the stalest open
+            // trace so pending accumulation stays bounded.
+            let stalest = inner
+                .pending
+                .iter()
+                .min_by_key(|(_, spans)| spans.iter().map(OwnedSpan::end_us).max().unwrap_or(0))
+                .map(|(&id, _)| id);
+            if let Some(id) = stalest {
+                let dropped = inner.pending.remove(&id).map(|s| s.len()).unwrap_or(0);
+                inner.dropped_spans += dropped as u64;
+            }
+        }
+    }
+}
+
+/// Escapes `s` as a quoted JSON string token.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, trace: u64, tid: u64, start: u64, dur: u64) -> OwnedSpan {
+        OwnedSpan {
+            id,
+            parent,
+            trace,
+            tid,
+            name: format!("s{id}"),
+            start_us: start,
+            dur_us: dur,
+            fields: Vec::new(),
+        }
+    }
+
+    fn record(id: u64, parent: Option<u64>, trace: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            trace,
+            tid: 1,
+            depth: 0,
+            name: "t",
+            level: Level::Info,
+            start_micros: 0,
+            duration_micros: dur,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_emits_complete_events_and_cross_thread_flows() {
+        let spans = vec![
+            span(1, None, 1, 1, 0, 100),
+            span(2, Some(1), 1, 2, 10, 50),
+            span(3, Some(1), 1, 1, 60, 20),
+        ];
+        let json = render(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Span 2 crosses threads (tid 1 → 2): one s/f flow pair.
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert_eq!(json.matches("\"cat\":\"flow\"").count(), 2, "only the cross-thread edge flows");
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn buffer_completes_on_root_close_and_keeps_slowest() {
+        let buf = TraceBuffer::new(2);
+        // Three traces, durations 10/30/20; capacity 2 keeps the slowest two.
+        for (trace, dur) in [(1u64, 10u64), (2, 30), (3, 20)] {
+            buf.on_span(&record(trace + 100, Some(trace), trace, 5));
+            buf.on_span(&record(trace, None, trace, dur));
+        }
+        let mut durs: Vec<u64> = buf.traces().iter().map(|t| t.dur_us).collect();
+        durs.sort_unstable();
+        assert_eq!(durs, vec![20, 30]);
+        assert_eq!(buf.slowest().expect("slowest").dur_us, 30);
+    }
+
+    #[test]
+    fn buffer_always_retains_error_traces() {
+        let buf = TraceBuffer::new(2);
+        for (trace, dur) in [(1u64, 100u64), (2, 90)] {
+            buf.on_span(&record(trace, None, trace, dur));
+        }
+        // A fast trace with an error field must displace a slow clean one.
+        let mut err = record(3, None, 3, 1);
+        err.fields.push(("error", crate::span::FieldValue::Str("boom".into())));
+        buf.on_span(&err);
+        let traces = buf.traces();
+        assert!(traces.iter().any(|t| t.error && t.trace_id == 3));
+        assert_eq!(traces.len(), 2);
+        // And a faster clean trace must NOT displace anything.
+        buf.on_span(&record(4, None, 4, 2));
+        assert!(!buf.traces().iter().any(|t| t.trace_id == 4));
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed_and_labels_processes() {
+        let buf = TraceBuffer::new(4);
+        buf.on_span(&record(7, None, 7, 1234));
+        let json = buf.chrome_json();
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("process_name"));
+        assert!(json.contains("\"otherData\":{\"traces\":1"));
+    }
+
+    #[test]
+    fn pending_traces_are_bounded() {
+        let buf = TraceBuffer::new(2);
+        // Open many traces without ever closing a root.
+        for trace in 1..=200u64 {
+            buf.on_span(&record(trace + 1000, Some(trace), trace, 1));
+        }
+        let pending = buf.lock().pending.len();
+        assert!(pending <= 65, "pending stayed bounded, got {pending}");
+    }
+}

@@ -1,13 +1,17 @@
 //! Std-only HTTP observability server.
 //!
-//! [`ObsServer`] binds a `TcpListener` and answers four read-only GET
+//! [`ObsServer`] binds a `TcpListener` and answers five read-only GET
 //! endpoints from a small thread-per-connection loop:
 //!
 //! * `/metrics` — Prometheus text exposition of a [`MetricsRegistry`]
+//!   (process resource gauges are refreshed from procfs per scrape)
 //! * `/metrics.json` — the registry's `snapshot_json`
 //! * `/healthz` — liveness/queue JSON from an [`ObsStatus`] provider
-//!   (HTTP 503 when the provider reports unhealthy)
+//!   (HTTP 503 when the provider reports unhealthy), stamped with the
+//!   crate `version` and `build` profile of the running binary
 //! * `/workers` — per-worker JSON from the same provider
+//! * `/traces` — tail-sampled Chrome trace-event JSON from an optional
+//!   [`TraceBuffer`] (404 when none is attached)
 //!
 //! There is deliberately no HTTP library: requests are `GET <path>`,
 //! responses are `Connection: close` with an explicit `Content-Length`,
@@ -20,8 +24,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::chrome_trace::TraceBuffer;
 use crate::json::JsonObject;
 use crate::metrics::MetricsRegistry;
+use crate::procinfo;
 use crate::prometheus;
 
 /// Live status provider backing `/healthz` and `/workers`. Implemented
@@ -85,6 +91,21 @@ impl ObsServer {
         registry: &'static MetricsRegistry,
         status: Arc<dyn ObsStatus>,
     ) -> io::Result<Self> {
+        Self::bind_with_traces(addr, registry, status, None)
+    }
+
+    /// Like [`ObsServer::bind`], additionally serving `traces` (the
+    /// tail-sampling span buffer, typically also installed as a sink) at
+    /// `/traces` as Chrome trace-event JSON.
+    ///
+    /// # Errors
+    /// Fails when the address cannot be bound.
+    pub fn bind_with_traces(
+        addr: &str,
+        registry: &'static MetricsRegistry,
+        status: Arc<dyn ObsStatus>,
+        traces: Option<Arc<TraceBuffer>>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -97,12 +118,13 @@ impl ObsServer {
                     }
                     let Ok(stream) = conn else { continue };
                     let status = status.clone();
+                    let traces = traces.clone();
                     // Detached per-connection thread: scrapes are rare and
                     // short-lived, and concurrent scrapers must not serialise
                     // behind each other.
-                    let _ = std::thread::Builder::new()
-                        .name("enld-obs-conn".to_owned())
-                        .spawn(move || handle_connection(stream, registry, &*status));
+                    let _ = std::thread::Builder::new().name("enld-obs-conn".to_owned()).spawn(
+                        move || handle_connection(stream, registry, &*status, traces.as_deref()),
+                    );
                 }
             })?;
         Ok(Self { addr: local, stop, accept_loop: Some(accept_loop) })
@@ -133,7 +155,28 @@ impl Drop for ObsServer {
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &MetricsRegistry, status: &dyn ObsStatus) {
+/// `"debug"` or `"release"`, so dashboards can spot an accidentally
+/// deployed debug binary.
+const BUILD_PROFILE: &str = if cfg!(debug_assertions) { "debug" } else { "release" };
+
+/// Splices `"version"` and `"build"` fields into a provider's `/healthz`
+/// JSON object so every health response identifies the running binary.
+/// Non-object bodies pass through untouched.
+fn with_build_info(body: &str) -> String {
+    let Some(stripped) = body.strip_suffix('}') else { return body.to_owned() };
+    let sep = if stripped.trim_end().ends_with('{') { "" } else { "," };
+    format!(
+        "{stripped}{sep}\"version\":\"{}\",\"build\":\"{BUILD_PROFILE}\"}}",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &MetricsRegistry,
+    status: &dyn ObsStatus,
+    traces: Option<&TraceBuffer>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let mut reader = BufReader::new(stream);
@@ -168,20 +211,31 @@ fn handle_connection(stream: TcpStream, registry: &MetricsRegistry, status: &dyn
     let path = path.split('?').next().unwrap_or(path);
     match path {
         "/metrics" => {
+            procinfo::sample(registry);
             let body = prometheus::render(registry);
             respond(&mut stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body);
         }
         "/metrics.json" => {
+            procinfo::sample(registry);
             respond(&mut stream, "200 OK", "application/json", &registry.snapshot_json());
         }
         "/healthz" => {
             let (healthy, body) = status.healthz();
             let code = if healthy { "200 OK" } else { "503 Service Unavailable" };
-            respond(&mut stream, code, "application/json", &body);
+            respond(&mut stream, code, "application/json", &with_build_info(&body));
         }
         "/workers" => {
             respond(&mut stream, "200 OK", "application/json", &status.workers_json());
         }
+        "/traces" => match traces {
+            Some(buf) => respond(&mut stream, "200 OK", "application/json", &buf.chrome_json()),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"trace buffer not enabled\"}",
+            ),
+        },
         _ => {
             respond(&mut stream, "404 Not Found", "application/json", "{\"error\":\"not found\"}");
         }
@@ -239,10 +293,16 @@ mod tests {
         let (code, _, body) = get(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(code, 200);
         assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))));
+        assert!(body.contains("\"build\":\""));
 
         let (code, _, body) = get(addr, "GET /workers HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(code, 200);
         assert!(body.contains("\"workers\""));
+
+        let (code, _, body) = get(addr, "GET /traces HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 404, "no trace buffer attached via plain bind");
+        assert!(body.contains("trace buffer"));
 
         let (code, _, _) = get(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(code, 404);
@@ -250,6 +310,49 @@ mod tests {
         assert_eq!(code, 405);
 
         server.shutdown();
+    }
+
+    #[test]
+    fn traces_endpoint_serves_the_buffer() {
+        use crate::sink::{Sink as _, SpanRecord};
+
+        let buf = Arc::new(TraceBuffer::new(4));
+        buf.on_span(&SpanRecord {
+            id: 11,
+            parent: None,
+            trace: 11,
+            tid: 1,
+            depth: 0,
+            name: "job",
+            level: crate::Level::Info,
+            start_micros: 0,
+            duration_micros: 500,
+            fields: Vec::new(),
+        });
+        let server = ObsServer::bind_with_traces(
+            "127.0.0.1:0",
+            metrics::global(),
+            Arc::new(NullStatus::new()),
+            Some(buf),
+        )
+        .expect("bind");
+        let (code, ctype, body) =
+            get(server.local_addr(), "GET /traces HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(code, 200);
+        assert_eq!(ctype, "application/json");
+        assert!(body.starts_with("{\"traceEvents\":["));
+        assert!(body.contains("\"name\":\"job\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn build_info_splices_into_any_object() {
+        let stamped = with_build_info("{\"status\":\"ok\"}");
+        assert!(stamped.starts_with("{\"status\":\"ok\",\"version\":\""));
+        assert!(stamped.ends_with("\"}"));
+        let empty = with_build_info("{}");
+        assert!(empty.starts_with("{\"version\":\""), "{empty}");
+        assert_eq!(with_build_info("not json"), "not json");
     }
 
     #[test]

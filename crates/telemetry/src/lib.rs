@@ -40,20 +40,27 @@
 //! ```
 
 pub mod bootstrap;
+pub mod chrome_trace;
 pub mod http;
 pub mod json;
 pub mod level;
 pub mod metrics;
+pub mod procinfo;
+pub mod profile;
 pub mod prometheus;
 pub mod sink;
 pub mod span;
 pub mod timer;
 
 pub use bootstrap::{Telemetry, TelemetryConfig};
+pub use chrome_trace::{CompletedTrace, OwnedSpan, TraceBuffer};
 pub use http::{NullStatus, ObsServer, ObsStatus};
 pub use level::Level;
 pub use sink::{enabled, flush, install, Event, JsonlSink, Sink, SpanRecord, StderrSink};
-pub use span::{debug_span, span, trace_span, FieldValue, SpanBuilder, SpanGuard};
+pub use span::{
+    adopt, current_context, current_span, current_tid, debug_span, span, trace_span, with_parent,
+    AdoptGuard, FieldValue, SpanBuilder, SpanGuard, TraceContext,
+};
 pub use timer::ScopedTimer;
 
 /// Removes every installed sink (primarily for tests and benchmarks).

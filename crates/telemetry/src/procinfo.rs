@@ -1,0 +1,122 @@
+//! Process resource gauges sourced from `/proc/self`.
+//!
+//! [`sample`] refreshes four gauges — `process.rss_bytes`,
+//! `process.cpu.user_secs`, `process.cpu.sys_secs`, `process.threads` —
+//! in a [`MetricsRegistry`], so metrics snapshots and the `/metrics`
+//! exposition carry memory and CPU alongside pipeline metrics. Reading
+//! `/proc` keeps the crate dependency-free; on platforms without procfs
+//! the sampler is a graceful no-op (the gauges simply never appear).
+
+use crate::metrics::MetricsRegistry;
+
+/// A point-in-time reading of the current process's resource usage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcStats {
+    /// Resident set size in bytes.
+    pub rss_bytes: u64,
+    /// CPU seconds spent in user mode since process start.
+    pub user_secs: f64,
+    /// CPU seconds spent in kernel mode since process start.
+    pub sys_secs: f64,
+    /// Current thread count.
+    pub threads: u64,
+}
+
+/// Reads `/proc/self/{statm,stat}`. `None` when procfs is unavailable
+/// (non-Linux) or unparsable.
+#[cfg(target_os = "linux")]
+pub fn read() -> Option<ProcStats> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    parse(&statm, &stat)
+}
+
+/// Non-Linux stub: procfs is unavailable, so resource gauges are skipped.
+#[cfg(not(target_os = "linux"))]
+pub fn read() -> Option<ProcStats> {
+    None
+}
+
+/// Parses the two procfs payloads. `statm` field 2 is RSS in pages;
+/// `stat` fields 14/15/20 (1-origin) are utime/stime (USER_HZ ticks) and
+/// the thread count. The comm field can contain spaces and parentheses,
+/// so `stat` is split after its *last* `)`.
+#[allow(dead_code)] // the non-Linux build keeps the parser for tests
+fn parse(statm: &str, stat: &str) -> Option<ProcStats> {
+    // Kernels report statm in pages; ENLD targets 4 KiB-page platforms
+    // and std exposes no sysconf, so the page size is fixed here.
+    const PAGE_BYTES: u64 = 4096;
+    // USER_HZ has been 100 on every Linux port for decades.
+    const TICKS_PER_SEC: f64 = 100.0;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    let rest = &stat[stat.rfind(')')? + 1..];
+    // `rest` starts at field 3 ("state"); utime/stime/num_threads are
+    // fields 14/15/20 → indices 11/12/17 here.
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    let threads: u64 = fields.get(17)?.parse().ok()?;
+    Some(ProcStats {
+        rss_bytes: resident_pages * PAGE_BYTES,
+        user_secs: utime as f64 / TICKS_PER_SEC,
+        sys_secs: stime as f64 / TICKS_PER_SEC,
+        threads,
+    })
+}
+
+/// Refreshes the `process.*` gauges in `registry` from procfs; no-op
+/// where [`read`] returns `None`.
+pub fn sample(registry: &MetricsRegistry) {
+    let Some(stats) = read() else { return };
+    registry.gauge("process.rss_bytes").set(stats.rss_bytes as f64);
+    registry.gauge("process.cpu.user_secs").set(stats.user_secs);
+    registry.gauge("process.cpu.sys_secs").set(stats.sys_secs);
+    registry.gauge("process.threads").set(stats.threads as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_proc_payloads() {
+        let statm = "12345 678 90 12 0 345 0\n";
+        // comm with spaces and a parenthesis, the documented worst case.
+        let stat = "4242 (enld (w) x) S 1 4242 4242 0 -1 4194304 500 0 0 0 \
+                    250 75 0 0 20 0 7 0 100 104857600 678 18446744073709551615 \
+                    1 1 0 0 0 0 0 0 0 0 0 0 17 3 0 0 0 0 0\n";
+        let s = parse(statm, stat).expect("parses");
+        assert_eq!(s.rss_bytes, 678 * 4096);
+        assert_eq!(s.user_secs, 2.5);
+        assert_eq!(s.sys_secs, 0.75);
+        assert_eq!(s.threads, 7);
+    }
+
+    #[test]
+    fn malformed_payloads_yield_none() {
+        assert!(parse("", "").is_none());
+        assert!(parse("1 2", "no paren here").is_none());
+        assert!(parse("not a number", "1 (c) S 1").is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_read_reports_plausible_values() {
+        let s = read().expect("/proc/self readable on Linux");
+        assert!(s.rss_bytes > 0);
+        assert!(s.threads >= 1);
+        assert!(s.user_secs >= 0.0 && s.sys_secs >= 0.0);
+    }
+
+    #[test]
+    fn sample_sets_gauges() {
+        let reg = MetricsRegistry::new();
+        sample(&reg);
+        if read().is_some() {
+            assert!(reg.gauge("process.rss_bytes").get() > 0.0);
+            assert!(reg.gauge("process.threads").get() >= 1.0);
+        } else {
+            assert!(reg.gauges().is_empty(), "no gauges registered off-Linux");
+        }
+    }
+}

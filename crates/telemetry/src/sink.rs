@@ -49,6 +49,10 @@ impl Event {
 pub struct SpanRecord {
     pub id: u64,
     pub parent: Option<u64>,
+    /// Id of the trace's root span (== `id` for a root span).
+    pub trace: u64,
+    /// Dense telemetry thread id of the thread the span ran on.
+    pub tid: u64,
     /// Nesting depth at entry (0 = root).
     pub depth: usize,
     pub name: &'static str,
@@ -65,6 +69,8 @@ impl SpanRecord {
         let mut o = JsonObject::new();
         o.str_field("type", "span")
             .u64_field("id", self.id)
+            .u64_field("trace", self.trace)
+            .u64_field("tid", self.tid)
             .str_field("name", self.name)
             .str_field("level", self.level.as_str())
             .u64_field("start_us", self.start_micros)
@@ -258,6 +264,8 @@ pub(crate) mod test_support {
         pub name: &'static str,
         pub id: u64,
         pub parent: Option<u64>,
+        pub trace: u64,
+        pub tid: u64,
         pub depth: usize,
         pub json: String,
     }
@@ -282,6 +290,8 @@ pub(crate) mod test_support {
                 name: span.name,
                 id: span.id,
                 parent: span.parent,
+                trace: span.trace,
+                tid: span.tid,
                 depth: span.depth,
                 json: span.to_json(),
             });
@@ -345,6 +355,8 @@ mod tests {
         let r = SpanRecord {
             id: 3,
             parent: Some(2),
+            trace: 1,
+            tid: 4,
             depth: 1,
             name: "stage",
             level: Level::Debug,
@@ -356,6 +368,8 @@ mod tests {
         assert!(json.contains("\"type\":\"span\""));
         assert!(json.contains("\"name\":\"stage\""));
         assert!(json.contains("\"parent\":2"));
+        assert!(json.contains("\"trace\":1"));
+        assert!(json.contains("\"tid\":4"));
         assert!(json.contains("\"fields\":{\"k\":9,\"s\":\"v\"}"));
     }
 

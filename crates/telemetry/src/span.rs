@@ -1,4 +1,4 @@
-//! Hierarchical timed spans.
+//! Hierarchical timed spans with cross-thread causal context.
 //!
 //! A span is opened with [`span`]/[`debug_span`]/[`trace_span`], entered
 //! with [`SpanBuilder::entered`], and emitted to the installed sinks when
@@ -6,8 +6,16 @@
 //! entered while another is live becomes its child. When no installed
 //! sink listens at the span's level, entering costs a single relaxed
 //! atomic load and emits nothing.
+//!
+//! Work that hops threads stays causally connected through a
+//! [`TraceContext`]: capture it on the submitting thread with
+//! [`current_context`], then either enter the remote span with
+//! [`SpanBuilder::follows`] or run a closure under the captured parent
+//! with [`with_parent`]. Every span carries the `trace_id` of its root
+//! (a root span's trace id is its own id), so one detection job remains
+//! one connected tree no matter how many pool workers run pieces of it.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -104,9 +112,19 @@ impl From<String> for FieldValue {
 }
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// One live frame on a thread's span stack: either a span entered on this
+/// thread or a parent adopted from another thread via [`with_parent`].
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    span_id: u64,
+    trace_id: u64,
+}
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static TID: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Microseconds since the process-wide telemetry epoch (first use).
@@ -115,14 +133,85 @@ pub(crate) fn micros_now() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
+/// Small dense id for the calling thread (1, 2, … in first-use order).
+/// Stable for the thread's lifetime; used to lay spans out per thread in
+/// trace exports without leaking OS thread ids.
+pub fn current_tid() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
 /// Id of the innermost live span on this thread, if any.
 pub fn current_span() -> Option<u64> {
-    SPAN_STACK.with(|s| s.borrow().last().copied())
+    SPAN_STACK.with(|s| s.borrow().last().map(|f| f.span_id))
+}
+
+/// Causal handle linking work scheduled on another thread back to the
+/// span that submitted it. Capture with [`current_context`] on the
+/// submitting thread; adopt on the running thread with
+/// [`SpanBuilder::follows`] or [`with_parent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Id of the root span of the enclosing trace.
+    pub trace_id: u64,
+    /// Span the adopted work should report as its parent.
+    pub parent_span_id: u64,
+}
+
+/// Context of the innermost live span on this thread, if any.
+pub fn current_context() -> Option<TraceContext> {
+    SPAN_STACK.with(|s| {
+        s.borrow().last().map(|f| TraceContext { trace_id: f.trace_id, parent_span_id: f.span_id })
+    })
+}
+
+/// Guard returned by [`adopt`]; pops the adopted frame on drop.
+#[derive(Debug)]
+pub struct AdoptGuard {
+    span_id: Option<u64>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.span_id.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|f| f.span_id == id) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Pushes `ctx` as the innermost parent frame on this thread until the
+/// returned guard drops: spans entered meanwhile become children of
+/// `ctx.parent_span_id` inside `ctx.trace_id`. `None` is a no-op guard.
+pub fn adopt(ctx: impl Into<Option<TraceContext>>) -> AdoptGuard {
+    let Some(ctx) = ctx.into() else { return AdoptGuard { span_id: None } };
+    SPAN_STACK.with(|s| {
+        s.borrow_mut().push(Frame { span_id: ctx.parent_span_id, trace_id: ctx.trace_id });
+    });
+    AdoptGuard { span_id: Some(ctx.parent_span_id) }
+}
+
+/// Runs `f` with `ctx` adopted as this thread's innermost parent, so
+/// spans `f` enters join the submitting thread's trace. `None` runs `f`
+/// unchanged.
+pub fn with_parent<T>(ctx: impl Into<Option<TraceContext>>, f: impl FnOnce() -> T) -> T {
+    let _guard = adopt(ctx);
+    f()
 }
 
 /// Opens an [`Level::Info`] span builder.
 pub fn span(name: &'static str) -> SpanBuilder {
-    SpanBuilder { name, level: Level::Info, fields: Vec::new() }
+    SpanBuilder { name, level: Level::Info, fields: Vec::new(), follows: None }
 }
 
 /// Opens a [`Level::Debug`] span builder.
@@ -142,6 +231,7 @@ pub struct SpanBuilder {
     name: &'static str,
     level: Level,
     fields: Vec<(&'static str, FieldValue)>,
+    follows: Option<TraceContext>,
 }
 
 impl SpanBuilder {
@@ -155,6 +245,14 @@ impl SpanBuilder {
         self
     }
 
+    /// Parents the span to `ctx` (typically captured on another thread
+    /// with [`current_context`]) instead of this thread's innermost live
+    /// span. `None` leaves the default thread-local parentage.
+    pub fn follows(mut self, ctx: impl Into<Option<TraceContext>>) -> Self {
+        self.follows = ctx.into();
+        self
+    }
+
     /// Starts the span. The returned guard emits a [`SpanRecord`] to the
     /// installed sinks when dropped; hold it for the region's lifetime
     /// (`let _guard = …`, not `let _ = …`, which drops immediately).
@@ -163,17 +261,25 @@ impl SpanBuilder {
             return SpanGuard { active: None };
         }
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-        let (parent, depth) = SPAN_STACK.with(|s| {
+        let (parent, trace, depth) = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let parent = stack.last().copied();
+            let (parent, trace) = match self.follows {
+                Some(ctx) => (Some(ctx.parent_span_id), ctx.trace_id),
+                None => match stack.last() {
+                    Some(top) => (Some(top.span_id), top.trace_id),
+                    // New root: the trace is named after its root span.
+                    None => (None, id),
+                },
+            };
             let depth = stack.len();
-            stack.push(id);
-            (parent, depth)
+            stack.push(Frame { span_id: id, trace_id: trace });
+            (parent, trace, depth)
         });
         SpanGuard {
             active: Some(ActiveSpan {
                 id,
                 parent,
+                trace,
                 depth,
                 name: self.name,
                 level: self.level,
@@ -189,6 +295,7 @@ impl SpanBuilder {
 struct ActiveSpan {
     id: u64,
     parent: Option<u64>,
+    trace: u64,
     depth: usize,
     name: &'static str,
     level: Level,
@@ -209,6 +316,21 @@ impl SpanGuard {
         self.active.is_some()
     }
 
+    /// The span's id, when enabled.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// The id of the trace this span belongs to, when enabled.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.trace)
+    }
+
+    /// A context parenting remote work to *this* span, when enabled.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.active.as_ref().map(|a| TraceContext { trace_id: a.trace, parent_span_id: a.id })
+    }
+
     /// Attaches a field after entry (e.g. a result computed inside the
     /// span). No-op when the span is disabled.
     pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
@@ -224,13 +346,15 @@ impl Drop for SpanGuard {
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Guards normally drop innermost-first; tolerate stray order.
-            if let Some(pos) = stack.iter().rposition(|&id| id == a.id) {
+            if let Some(pos) = stack.iter().rposition(|f| f.span_id == a.id) {
                 stack.remove(pos);
             }
         });
         let record = SpanRecord {
             id: a.id,
             parent: a.parent,
+            trace: a.trace,
+            tid: current_tid(),
             depth: a.depth,
             name: a.name,
             level: a.level,
@@ -263,16 +387,19 @@ mod tests {
         with_capture(None, |_| {
             let mut g = span("nothing").entered();
             assert!(!g.is_enabled());
+            assert!(g.context().is_none());
             g.record("k", 1u64);
             assert!(current_span().is_none());
+            assert!(current_context().is_none());
         });
     }
 
     #[test]
-    fn nesting_links_parents_and_depth() {
+    fn nesting_links_parents_depth_and_trace() {
         let records = with_capture(Some(Level::Trace), |_| {
             let outer = span("outer").field("n", 1u64).entered();
             assert!(outer.is_enabled());
+            assert_eq!(outer.trace_id(), outer.id());
             {
                 let _inner = debug_span("inner").entered();
                 let _leaf = trace_span("leaf").entered();
@@ -286,10 +413,13 @@ mod tests {
         assert_eq!(outer.name, "outer");
         assert_eq!(outer.parent, None);
         assert_eq!(outer.depth, 0);
+        assert_eq!(outer.trace, outer.id, "root span names its trace");
         assert_eq!(inner.parent, Some(outer.id));
         assert_eq!(inner.depth, 1);
+        assert_eq!(inner.trace, outer.id);
         assert_eq!(leaf.parent, Some(inner.id));
         assert_eq!(leaf.depth, 2);
+        assert_eq!(leaf.trace, outer.id);
         assert!(outer.json.contains("\"n\":1"));
     }
 
@@ -310,5 +440,69 @@ mod tests {
             g.record("late", 42u64);
         });
         assert!(records[0].json.contains("\"late\":42"));
+    }
+
+    #[test]
+    fn follows_reparents_across_threads() {
+        let records = with_capture(Some(Level::Info), |_| {
+            let root = span("root").entered();
+            let ctx = current_context().expect("context under root");
+            assert_eq!(ctx.parent_span_id, root.id().unwrap());
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let remote = span("remote").follows(ctx).entered();
+                    assert_eq!(remote.trace_id(), Some(ctx.trace_id));
+                });
+            });
+            drop(root);
+        });
+        assert_eq!(records.len(), 2);
+        let (remote, root) = (&records[0], &records[1]);
+        assert_eq!(remote.name, "remote");
+        assert_eq!(remote.parent, Some(root.id), "remote span parents to submitter");
+        assert_eq!(remote.trace, root.id, "remote span joins the submitter's trace");
+        assert_ne!(remote.tid, root.tid, "spans record the thread they ran on");
+    }
+
+    #[test]
+    fn with_parent_adopts_context_for_nested_spans() {
+        let records = with_capture(Some(Level::Info), |_| {
+            let root = span("root").entered();
+            let ctx = root.context();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    with_parent(ctx, || {
+                        let _task = span("task").entered();
+                        let _child = span("task.child").entered();
+                    });
+                    assert!(current_span().is_none(), "adopted frame popped");
+                });
+            });
+            drop(root);
+        });
+        assert_eq!(records.len(), 3);
+        let (child, task, root) = (&records[0], &records[1], &records[2]);
+        assert_eq!(task.parent, Some(root.id));
+        assert_eq!(child.parent, Some(task.id));
+        assert_eq!(child.trace, root.id);
+    }
+
+    #[test]
+    fn with_parent_none_is_a_noop() {
+        let records = with_capture(Some(Level::Info), |_| {
+            with_parent(None, || {
+                let _s = span("free").entered();
+            });
+        });
+        assert_eq!(records[0].parent, None);
+        assert_eq!(records[0].trace, records[0].id);
+    }
+
+    #[test]
+    fn tids_are_stable_and_distinct() {
+        let mine = current_tid();
+        assert_eq!(mine, current_tid(), "tid stable on one thread");
+        let other = std::thread::spawn(current_tid).join().expect("tid thread");
+        assert_ne!(mine, other, "each thread gets its own tid");
     }
 }

@@ -36,4 +36,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> observability smoke test (enld serve --obs-addr)"
 bash scripts/obs_smoke.sh
 
+echo "==> trace + profile smoke (enld detect --trace-out | enld profile)"
+bash scripts/profile_smoke.sh
+
 echo "All checks passed."

@@ -80,7 +80,8 @@ fi
 HEALTHY=""
 for _ in $(seq 1 60); do
   server_alive_or_die
-  if curl -fsS "http://$ADDR/healthz" | grep -q '"status"'; then
+  HEALTHZ=$(curl -fsS "http://$ADDR/healthz" || true)
+  if printf '%s' "$HEALTHZ" | grep -q '"status"'; then
     HEALTHY=1
     break
   fi
@@ -89,6 +90,51 @@ done
 if [ -z "$HEALTHY" ]; then
   echo "/healthz never answered with a status payload"
   exit 1
+fi
+for field in version build; do
+  if ! printf '%s' "$HEALTHZ" | grep -q "\"$field\""; then
+    echo "/healthz is missing the \"$field\" field: $HEALTHZ"
+    exit 1
+  fi
+done
+
+# Process resource gauges ride the same snapshot (Linux procfs; no-op
+# elsewhere, so only assert where /proc exists).
+if [ -r /proc/self/statm ]; then
+  if ! printf '%s\n' "$METRICS" | grep -q '^process_rss_bytes '; then
+    echo "process_rss_bytes gauge missing from /metrics on Linux:"
+    printf '%s\n' "$METRICS" | head -n 40
+    exit 1
+  fi
+fi
+
+# /traces serves the tail-sampled spans as Chrome trace-event JSON.
+TRACES=$(curl -fsS "http://$ADDR/traces" || true)
+if ! printf '%s' "$TRACES" | grep -q '"traceEvents"'; then
+  echo "/traces did not return Chrome trace JSON: $(printf '%s' "$TRACES" | head -c 400)"
+  exit 1
+fi
+printf '%s' "$TRACES" > "$SMOKE_DIR/traces.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/traces.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list), "traceEvents must be a list"
+phases = {e.get("ph") for e in events}
+assert phases <= {"X", "M", "s", "f"}, f"unexpected phases {phases}"
+for e in events:
+    if e.get("ph") == "X":
+        assert {"name", "pid", "tid", "ts", "dur"} <= e.keys(), e
+print(f"traces OK: {len(events)} event(s)")
+PY
+fi
+
+# Keep the artifacts CI uploads out of the tempdir cleanup.
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  cp "$SMOKE_DIR/traces.json" "$SMOKE_ARTIFACT_DIR/traces.json" 2>/dev/null || true
 fi
 if [ ! -s "$SMOKE_DIR/ledger.jsonl" ]; then
   echo "audit ledger is empty"
