@@ -1,0 +1,201 @@
+//! Minimal length-prefixed binary codec for index persistence.
+//!
+//! Mirrors the checkpoint codec in `enld-core` (little-endian scalars,
+//! `u64` length prefixes, FNV-1a payload checksum) but stays private to
+//! this crate: the checkpoint embeds the index as one opaque, internally
+//! checksummed byte blob, so the two formats can evolve independently.
+
+/// FNV-1a over `bytes` (the same checksum the checkpoint layer uses).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn f32_slice(&mut self, v: &[f32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    pub fn u8_slice(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn u32_slice(&mut self, v: &[u32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    pub fn usize_slice(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+
+    pub fn bool_slice(&mut self, v: &[bool]) {
+        self.usize(v.len());
+        self.buf.extend(v.iter().map(|&b| b as u8));
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated index blob: wanted {n} bytes, {} left",
+                self.remaining()
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "length overflows usize".to_string())
+    }
+
+    /// Guards slice lengths against adversarial/corrupt prefixes before any
+    /// allocation: a claimed length may never exceed the bytes remaining.
+    fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, String> {
+        let n = self.usize()?;
+        if n.saturating_mul(elem_bytes) > self.remaining() {
+            return Err(format!("corrupt length prefix {n}"));
+        }
+        Ok(n)
+    }
+
+    pub fn f32_slice(&mut self) -> Result<Vec<f32>, String> {
+        let n = self.len_prefix(4)?;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    pub fn u8_slice(&mut self) -> Result<Vec<u8>, String> {
+        let n = self.len_prefix(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn u32_slice(&mut self) -> Result<Vec<u32>, String> {
+        let n = self.len_prefix(4)?;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    pub fn usize_slice(&mut self) -> Result<Vec<usize>, String> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    pub fn bool_slice(&mut self) -> Result<Vec<bool>, String> {
+        let n = self.len_prefix(1)?;
+        Ok(self.take(n)?.iter().map(|&b| b != 0).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut enc = Enc::new();
+        enc.u32(0xDEAD_BEEF);
+        enc.u64(u64::MAX - 1);
+        enc.f32_slice(&[1.5, -2.25]);
+        enc.u32_slice(&[1, 2, 3]);
+        enc.usize_slice(&[9, 8]);
+        enc.bool_slice(&[true, false, true]);
+        enc.u8_slice(&[0xAA, 0xBB]);
+        let bytes = enc.finish();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.f32_slice().unwrap(), vec![1.5, -2.25]);
+        assert_eq!(dec.u32_slice().unwrap(), vec![1, 2, 3]);
+        assert_eq!(dec.usize_slice().unwrap(), vec![9, 8]);
+        assert_eq!(dec.bool_slice().unwrap(), vec![true, false, true]);
+        assert_eq!(dec.u8_slice().unwrap(), vec![0xAA, 0xBB]);
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_and_bad_lengths_are_rejected() {
+        let mut dec = Dec::new(&[1, 2]);
+        assert!(dec.u32().is_err());
+        // A length prefix claiming more elements than bytes remain.
+        let mut enc = Enc::new();
+        enc.u64(1 << 40);
+        let bytes = enc.finish();
+        assert!(Dec::new(&bytes).f32_slice().is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") from the reference implementation.
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

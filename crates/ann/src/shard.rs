@@ -1,0 +1,703 @@
+//! One HNSW proximity graph over the samples of a single class.
+//!
+//! The shard is the unit of ownership in the sharded index layout: every
+//! mutation of a shard happens on exactly one thread (builds and batched
+//! updates parallelise *across* shards, never within one), which is what
+//! keeps the graph — and therefore every query answered from it —
+//! bit-identical at any thread count.
+//!
+//! Determinism inside a shard comes from two rules:
+//!
+//! 1. node levels derive from a counter: the `n`-th insertion into a shard
+//!    always lands on the same level, because the level RNG is
+//!    `splitmix64(shard_seed ^ n·GOLDEN)` — no global RNG, no state to
+//!    checkpoint;
+//! 2. every ordering decision (beam heaps, neighbour pruning, greedy
+//!    descent) breaks distance ties by node id via [`f32::total_cmp`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use enld_knn::index::AnnParams;
+use enld_knn::Neighbor;
+
+/// Levels fit in a `u8`; with `m ≥ 2` the geometric distribution makes
+/// level 16 a once-per-4-billion-inserts event, so the clamp is inert.
+const MAX_LEVEL: usize = 15;
+
+/// Same golden-ratio constant the detector uses for seed derivation.
+pub(crate) const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Search-frontier entry with a total, deterministic order:
+/// distance first ([`f32::total_cmp`]), node id as the tie-break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Cand {
+    pub dist: f32,
+    pub node: u32,
+}
+
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+/// Per-search cost accounting, surfaced as `enld.ann.*` counters by the
+/// class-level index (the shard itself stays telemetry-free so unit tests
+/// and benches don't touch the global registry).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SearchStats {
+    /// Nodes whose distance to the query was evaluated (graph hops).
+    pub hops: u64,
+}
+
+/// HNSW graph over the feature vectors of one class.
+#[derive(Debug, Clone)]
+pub struct HnswShard {
+    dim: usize,
+    params: AnnParams,
+    /// Shard-level seed (folds the class label into level assignment).
+    seed: u64,
+    /// Flat row-major point buffer; tombstoned rows are retained.
+    points: Vec<f32>,
+    /// Global sample index behind each node.
+    globals: Vec<usize>,
+    /// Top layer of each node.
+    levels: Vec<u8>,
+    /// `links[node][layer]` — adjacency lists, symmetric by construction.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Tombstone flags. Dead nodes are fully unlinked, so traversal never
+    /// reaches them; the flag guards double-removal and live counting.
+    dead: Vec<bool>,
+    live: usize,
+    /// Highest-level live node, the search entry point.
+    entry: Option<u32>,
+    /// Monotone insertion counter driving the level RNG. Never decreases,
+    /// so a shard rebuilt by replaying its history reproduces itself.
+    inserted: u64,
+}
+
+impl HnswShard {
+    pub fn new(dim: usize, params: AnnParams, seed: u64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        Self {
+            dim,
+            params,
+            seed,
+            points: Vec::new(),
+            globals: Vec::new(),
+            levels: Vec::new(),
+            links: Vec::new(),
+            dead: Vec::new(),
+            live: 0,
+            entry: None,
+            inserted: 0,
+        }
+    }
+
+    /// Live (non-tombstoned) node count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn params(&self) -> AnnParams {
+        self.params
+    }
+
+    /// Global sample indices of the live nodes, in insertion order.
+    pub fn live_globals(&self) -> impl Iterator<Item = usize> + '_ {
+        self.globals.iter().copied().zip(&self.dead).filter(|(_, &d)| !d).map(|(g, _)| g)
+    }
+
+    /// The stored point behind live global index `global`, if indexed.
+    pub fn point_of(&self, global: usize) -> Option<&[f32]> {
+        self.globals
+            .iter()
+            .position(|&g| g == global)
+            .filter(|&i| !self.dead[i])
+            .map(|i| &self.points[i * self.dim..(i + 1) * self.dim])
+    }
+
+    #[inline]
+    fn point(&self, node: u32) -> &[f32] {
+        let i = node as usize;
+        &self.points[i * self.dim..(i + 1) * self.dim]
+    }
+
+    #[inline]
+    fn dist(&self, node: u32, query: &[f32]) -> f32 {
+        self.point(node).iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+
+    /// Max list length at `layer`: `2m` on the base layer, `m` above.
+    fn layer_cap(&self, layer: usize) -> usize {
+        let m = self.params.m.max(1);
+        if layer == 0 {
+            m * 2
+        } else {
+            m
+        }
+    }
+
+    /// Deterministic geometric level for the `counter`-th insertion.
+    fn level_for(&self, counter: u64) -> usize {
+        let r = splitmix64(self.seed ^ counter.wrapping_mul(GOLDEN));
+        // Map the top 53 bits to (0, 1] so ln() is always finite.
+        let u = ((r >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        let mult = 1.0 / (self.params.m.max(2) as f64).ln();
+        ((-u.ln() * mult) as usize).min(MAX_LEVEL)
+    }
+
+    /// Inserts a point, returning its node id and the search cost.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch (and at the `ann.insert`
+    /// failpoint when armed).
+    pub fn insert(&mut self, global: usize, point: &[f32]) -> (u32, SearchStats) {
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        enld_chaos::fail_point("ann.insert");
+        let id = self.levels.len() as u32;
+        let level = self.level_for(self.inserted);
+        self.inserted += 1;
+        self.points.extend_from_slice(point);
+        self.globals.push(global);
+        self.levels.push(level as u8);
+        self.links.push(vec![Vec::new(); level + 1]);
+        self.dead.push(false);
+        self.live += 1;
+
+        let mut stats = SearchStats::default();
+        let Some(entry) = self.entry else {
+            self.entry = Some(id);
+            return (id, stats);
+        };
+        let entry_level = self.levels[entry as usize] as usize;
+        let mut cur = Cand { dist: self.dist(entry, point), node: entry };
+        stats.hops += 1;
+        for layer in (level + 1..=entry_level).rev() {
+            cur = self.greedy_step(point, cur, layer, &mut stats);
+        }
+        let mut eps = vec![cur];
+        for layer in (0..=level.min(entry_level)).rev() {
+            let found = self.search_layer(
+                point,
+                &eps,
+                self.params.ef_construction.max(1),
+                layer,
+                &mut stats,
+            );
+            let m = self.params.m.max(1);
+            for c in found.iter().take(m) {
+                self.link(id, c.node, layer);
+            }
+            eps = found;
+        }
+        if level > entry_level {
+            self.entry = Some(id);
+        }
+        (id, stats)
+    }
+
+    /// Tombstones the node holding `global` and repairs the graph around
+    /// it: the node is unlinked everywhere and its former neighbours are
+    /// bridged pairwise (then re-pruned) so the layer stays navigable.
+    /// Returns `false` when `global` is not live in this shard.
+    pub fn remove(&mut self, global: usize) -> bool {
+        let Some(id) = self.globals.iter().position(|&g| g == global).filter(|&i| !self.dead[i])
+        else {
+            return false;
+        };
+        enld_chaos::fail_point("ann.repair");
+        self.dead[id] = true;
+        self.live -= 1;
+        let node = id as u32;
+        let node_links = std::mem::take(&mut self.links[id]);
+        for (layer, neighbors) in node_links.iter().enumerate() {
+            for &nb in neighbors {
+                self.links[nb as usize][layer].retain(|&x| x != node);
+            }
+            for i in 0..neighbors.len() {
+                for j in i + 1..neighbors.len() {
+                    self.link(neighbors[i], neighbors[j], layer);
+                }
+            }
+        }
+        // Clearing the taken links is implicit; restore an empty per-layer
+        // shape so serialization and invariants stay uniform.
+        self.links[id] = Vec::new();
+        if self.entry == Some(node) {
+            self.entry = self.pick_entry();
+        }
+        true
+    }
+
+    /// Highest-level live node (smallest id on ties), or `None`.
+    fn pick_entry(&self) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for i in 0..self.levels.len() {
+            if self.dead[i] {
+                continue;
+            }
+            match best {
+                None => best = Some(i as u32),
+                Some(b) if self.levels[i] > self.levels[b as usize] => best = Some(i as u32),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Adds the symmetric edge `a — b` at `layer`, then prunes both
+    /// endpoints back under the layer cap (dropping an edge removes it
+    /// from *both* adjacency lists, preserving symmetry).
+    fn link(&mut self, a: u32, b: u32, layer: usize) {
+        if a == b {
+            return;
+        }
+        if !self.links[a as usize][layer].contains(&b) {
+            self.links[a as usize][layer].push(b);
+        }
+        if !self.links[b as usize][layer].contains(&a) {
+            self.links[b as usize][layer].push(a);
+        }
+        self.prune(a, layer);
+        self.prune(b, layer);
+    }
+
+    fn prune(&mut self, node: u32, layer: usize) {
+        let cap = self.layer_cap(layer);
+        if self.links[node as usize][layer].len() <= cap {
+            return;
+        }
+        let origin = self.point(node).to_vec();
+        let mut ranked: Vec<Cand> = self.links[node as usize][layer]
+            .iter()
+            .map(|&nb| Cand { dist: self.dist(nb, &origin), node: nb })
+            .collect();
+        ranked.sort_unstable();
+        let (keep, drop) = ranked.split_at(cap);
+        self.links[node as usize][layer] = keep.iter().map(|c| c.node).collect();
+        for d in drop {
+            self.links[d.node as usize][layer].retain(|&x| x != node);
+        }
+    }
+
+    /// One greedy hill-climb at `layer`: repeatedly move to the closest
+    /// neighbour until no neighbour improves on the current node.
+    fn greedy_step(
+        &self,
+        query: &[f32],
+        mut cur: Cand,
+        layer: usize,
+        stats: &mut SearchStats,
+    ) -> Cand {
+        loop {
+            let mut best = cur;
+            for &nb in &self.links[cur.node as usize][layer] {
+                stats.hops += 1;
+                let cand = Cand { dist: self.dist(nb, query), node: nb };
+                if cand < best {
+                    best = cand;
+                }
+            }
+            if best.node == cur.node {
+                return cur;
+            }
+            cur = best;
+        }
+    }
+
+    /// ef-bounded best-first beam over `layer`, seeded at `eps`. Returns
+    /// up to `ef` candidates sorted ascending by `(dist, node)`.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        eps: &[Cand],
+        ef: usize,
+        layer: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Cand> {
+        let mut visited = vec![false; self.levels.len()];
+        // Frontier: min-heap by distance. Results: max-heap, bounded to ef.
+        let mut frontier: BinaryHeap<std::cmp::Reverse<Cand>> = BinaryHeap::new();
+        let mut results: BinaryHeap<Cand> = BinaryHeap::with_capacity(ef + 1);
+        for &ep in eps {
+            if !visited[ep.node as usize] {
+                visited[ep.node as usize] = true;
+                frontier.push(std::cmp::Reverse(ep));
+                results.push(ep);
+            }
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(std::cmp::Reverse(c)) = frontier.pop() {
+            if results.len() >= ef && c > *results.peek().expect("results non-empty") {
+                break;
+            }
+            for &nb in &self.links[c.node as usize][layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                stats.hops += 1;
+                let cand = Cand { dist: self.dist(nb, query), node: nb };
+                if results.len() < ef {
+                    results.push(cand);
+                    frontier.push(std::cmp::Reverse(cand));
+                } else if cand < *results.peek().expect("results full") {
+                    results.pop();
+                    results.push(cand);
+                    frontier.push(std::cmp::Reverse(cand));
+                }
+            }
+        }
+        results.into_sorted_vec()
+    }
+
+    /// The `k` nearest live points to `query` with an explicit beam width,
+    /// as [`Neighbor`]s carrying global indices, sorted ascending by
+    /// `(dist_sq, index)` like the exact backend.
+    pub fn k_nearest_with_ef(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let mut stats = SearchStats::default();
+        let Some(entry) = self.entry else {
+            return (Vec::new(), stats);
+        };
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        let entry_level = self.levels[entry as usize] as usize;
+        let mut cur = Cand { dist: self.dist(entry, query), node: entry };
+        stats.hops += 1;
+        for layer in (1..=entry_level).rev() {
+            cur = self.greedy_step(query, cur, layer, &mut stats);
+        }
+        let found = self.search_layer(query, &[cur], ef.max(k), 0, &mut stats);
+        let mut out: Vec<Neighbor> = found
+            .into_iter()
+            .take(k)
+            .map(|c| Neighbor { index: self.globals[c.node as usize], dist_sq: c.dist })
+            .collect();
+        out.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then_with(|| a.index.cmp(&b.index)));
+        (out, stats)
+    }
+
+    /// [`HnswShard::k_nearest_with_ef`] at the configured `ef_search`.
+    pub fn k_nearest(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, SearchStats) {
+        self.k_nearest_with_ef(query, k, self.params.ef_search)
+    }
+
+    /// Cheap `O(edges)` structural validation: array shapes, tombstone
+    /// bookkeeping, layer caps, link targets in range / live / deep
+    /// enough (layer monotonicity), and a live entry point. This is what
+    /// `HnswShard::decode` runs on every restored shard.
+    pub fn validate_shapes(&self) -> Result<(), String> {
+        let n = self.levels.len();
+        if self.points.len() != n * self.dim || self.globals.len() != n || self.links.len() != n {
+            return Err("parallel array shape mismatch".into());
+        }
+        if self.dead.len() != n {
+            return Err("tombstone array shape mismatch".into());
+        }
+        if self.live != self.dead.iter().filter(|&&d| !d).count() {
+            return Err("live count out of sync with tombstones".into());
+        }
+        for i in 0..n {
+            if self.dead[i] {
+                if !self.links[i].is_empty() {
+                    return Err(format!("dead node {i} still has links"));
+                }
+                continue;
+            }
+            if self.links[i].len() != self.levels[i] as usize + 1 {
+                return Err(format!("node {i} layer count != level+1"));
+            }
+            for (layer, list) in self.links[i].iter().enumerate() {
+                if list.len() > self.layer_cap(layer) {
+                    return Err(format!("node {i} layer {layer} exceeds cap"));
+                }
+                for &nb in list {
+                    let j = nb as usize;
+                    if j >= n || self.dead[j] {
+                        return Err(format!("node {i} links dead/absent node {j}"));
+                    }
+                    // Layer monotonicity: a layer-l edge requires level ≥ l.
+                    if (self.levels[j] as usize) < layer {
+                        return Err(format!("node {j} linked above its level"));
+                    }
+                }
+            }
+        }
+        if let Some(e) = self.entry {
+            if e as usize >= n || self.dead[e as usize] {
+                return Err("entry point is tombstoned or out of range".into());
+            }
+        } else if self.live != 0 {
+            return Err("live nodes but no entry point".into());
+        }
+        Ok(())
+    }
+
+    /// Full invariant check for tests and property suites: everything in
+    /// [`HnswShard::validate_shapes`] plus link symmetry (`a→b ⇒ b→a` at
+    /// the same layer, which insert/delete/repair all preserve).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.validate_shapes()?;
+        for (i, layers) in self.links.iter().enumerate() {
+            for (layer, list) in layers.iter().enumerate() {
+                for &nb in list {
+                    if !self.links[nb as usize][layer].contains(&(i as u32)) {
+                        return Err(format!("edge {i}→{} at layer {layer} not symmetric", nb));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Size of the largest connected component of the live base layer,
+    /// computed with the same union-find the Topofilter graph machinery
+    /// uses. Navigability diagnostics for tests and the recall probe; the
+    /// graph is *usually* fully connected but pruning gives no hard
+    /// guarantee, so this is not part of [`HnswShard::validate_shapes`].
+    pub fn base_component_size(&self) -> usize {
+        let n = self.levels.len();
+        if self.live == 0 {
+            return 0;
+        }
+        let mut uf = enld_knn::graph::UnionFind::new(n);
+        for i in 0..n {
+            if self.dead[i] {
+                continue;
+            }
+            for &nb in &self.links[i][0] {
+                uf.union(i, nb as usize);
+            }
+        }
+        (0..n).filter(|&i| !self.dead[i]).map(|i| uf.set_size(i)).max().unwrap_or(0)
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    pub(crate) fn encode(&self, enc: &mut crate::codec::Enc) {
+        enc.usize(self.dim);
+        enc.usize(self.params.m);
+        enc.usize(self.params.ef_construction);
+        enc.usize(self.params.ef_search);
+        enc.u64(self.params.seed);
+        enc.u64(self.seed);
+        enc.u64(self.inserted);
+        enc.usize(self.live);
+        enc.u32(self.entry.map_or(u32::MAX, |e| e));
+        enc.f32_slice(&self.points);
+        enc.usize_slice(&self.globals);
+        enc.u8_slice(&self.levels);
+        enc.bool_slice(&self.dead);
+        enc.usize(self.links.len());
+        for layers in &self.links {
+            enc.usize(layers.len());
+            for list in layers {
+                enc.u32_slice(list);
+            }
+        }
+    }
+
+    pub(crate) fn decode(dec: &mut crate::codec::Dec<'_>) -> Result<Self, String> {
+        let dim = dec.usize()?;
+        if dim == 0 {
+            return Err("shard dim must be positive".into());
+        }
+        let params = AnnParams {
+            m: dec.usize()?,
+            ef_construction: dec.usize()?,
+            ef_search: dec.usize()?,
+            seed: dec.u64()?,
+        };
+        let seed = dec.u64()?;
+        let inserted = dec.u64()?;
+        let live = dec.usize()?;
+        let entry = match dec.u32()? {
+            u32::MAX => None,
+            e => Some(e),
+        };
+        let points = dec.f32_slice()?;
+        let globals = dec.usize_slice()?;
+        let levels = dec.u8_slice()?;
+        let dead = dec.bool_slice()?;
+        let n = dec.usize()?;
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let layer_count = dec.usize()?;
+            let mut layers = Vec::with_capacity(layer_count);
+            for _ in 0..layer_count {
+                layers.push(dec.u32_slice()?);
+            }
+            links.push(layers);
+        }
+        let shard =
+            Self { dim, params, seed, points, globals, levels, links, dead, live, entry, inserted };
+        shard.validate_shapes()?;
+        Ok(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enld_knn::brute::brute_k_nearest;
+
+    use crate::testutil::random_points;
+
+    fn build_shard(pts: &[f32], dim: usize, params: AnnParams) -> HnswShard {
+        let mut shard = HnswShard::new(dim, params, 42);
+        for (i, row) in pts.chunks(dim).enumerate() {
+            shard.insert(i, row);
+        }
+        shard
+    }
+
+    #[test]
+    fn exhaustive_beam_is_exact() {
+        // With ef ≥ n the beam explores the whole connected base layer,
+        // so results must equal brute force.
+        let dim = 8;
+        let pts = random_points(120, dim, 3);
+        let params =
+            AnnParams { m: 8, ef_construction: 64, ef_search: 200, ..AnnParams::default() };
+        let shard = build_shard(&pts, dim, params);
+        shard.check_invariants().unwrap();
+        for t in 0..20u64 {
+            let q: Vec<f32> = random_points(1, dim, 900 + t).iter().map(|x| x * 1.2).collect();
+            let (hits, stats) = shard.k_nearest_with_ef(&q, 5, 200);
+            let brute = brute_k_nearest(&pts, dim, &q, 5);
+            let hd: Vec<f32> = hits.iter().map(|h| h.dist_sq).collect();
+            let bd: Vec<f32> = brute.iter().map(|h| h.dist_sq).collect();
+            assert_eq!(hd, bd);
+            assert!(stats.hops > 0);
+        }
+    }
+
+    #[test]
+    fn recall_at_default_ef_is_high() {
+        let dim = 16;
+        let n = 800;
+        let pts = random_points(n, dim, 11);
+        let shard = build_shard(&pts, dim, AnnParams::default());
+        let mut found = 0usize;
+        let mut total = 0usize;
+        for t in 0..50u64 {
+            let q = random_points(1, dim, 7000 + t);
+            let (hits, _) = shard.k_nearest(&q, 5);
+            let brute = brute_k_nearest(&pts, dim, &q, 5);
+            let truth: std::collections::HashSet<usize> = brute.iter().map(|h| h.index).collect();
+            found += hits.iter().filter(|h| truth.contains(&h.index)).count();
+            total += truth.len();
+        }
+        let recall = found as f64 / total as f64;
+        assert!(recall >= 0.95, "recall {recall} below 0.95");
+    }
+
+    #[test]
+    fn delete_repairs_and_excludes() {
+        let dim = 4;
+        let pts = random_points(60, dim, 5);
+        let params =
+            AnnParams { m: 6, ef_construction: 48, ef_search: 120, ..AnnParams::default() };
+        let mut shard = build_shard(&pts, dim, params);
+        for victim in [0usize, 17, 33, 59] {
+            assert!(shard.remove(victim));
+            assert!(!shard.remove(victim), "double remove");
+        }
+        shard.check_invariants().unwrap();
+        assert_eq!(shard.len(), 56);
+        assert_eq!(shard.base_component_size(), 56, "repair kept the base layer connected");
+        let (hits, _) = shard.k_nearest_with_ef(&pts[0..dim], 5, 120);
+        assert!(hits.iter().all(|h| ![0usize, 17, 33, 59].contains(&h.index)));
+        // Survivors still match brute force over the live set at high ef.
+        let live: Vec<usize> = shard.live_globals().collect();
+        let live_pts: Vec<f32> =
+            live.iter().flat_map(|&i| pts[i * dim..(i + 1) * dim].to_vec()).collect();
+        let brute = brute_k_nearest(&live_pts, dim, &pts[0..dim], 5);
+        let hd: Vec<f32> = hits.iter().map(|h| h.dist_sq).collect();
+        let bd: Vec<f32> = brute.iter().map(|h| h.dist_sq).collect();
+        assert_eq!(hd, bd);
+    }
+
+    #[test]
+    fn remove_entry_point_and_everything() {
+        let dim = 2;
+        let pts = random_points(10, dim, 8);
+        let mut shard = build_shard(&pts, dim, AnnParams::default());
+        for i in 0..10 {
+            assert!(shard.remove(i), "remove {i}");
+            assert!(shard.check_invariants().is_ok(), "after removing {i}");
+        }
+        assert!(shard.is_empty());
+        let (hits, _) = shard.k_nearest(&[0.0, 0.0], 3);
+        assert!(hits.is_empty());
+        // Inserting into a drained shard revives it.
+        shard.insert(77, &[1.0, 1.0]);
+        let (hits, _) = shard.k_nearest(&[0.0, 0.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 77);
+    }
+
+    #[test]
+    fn levels_are_counter_deterministic() {
+        let params = AnnParams::default();
+        let a = build_shard(&random_points(50, 3, 1), 3, params);
+        let b = build_shard(&random_points(50, 3, 2), 3, params);
+        // Same insertion counters ⇒ same level sequence, independent of
+        // the point values.
+        assert_eq!(a.levels, b.levels);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let dim = 6;
+        let pts = random_points(40, dim, 13);
+        let mut shard = build_shard(&pts, dim, AnnParams::default());
+        shard.remove(7);
+        shard.remove(21);
+        let mut enc = crate::codec::Enc::new();
+        shard.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = crate::codec::Dec::new(&bytes);
+        let back = HnswShard::decode(&mut dec).unwrap();
+        assert_eq!(dec.remaining(), 0);
+        assert_eq!(back.len(), shard.len());
+        let q = &pts[3 * dim..4 * dim];
+        assert_eq!(shard.k_nearest(q, 4).0, back.k_nearest(q, 4).0);
+        // And the restored shard accepts further mutations.
+        let mut back = back;
+        back.insert(999, &pts[0..dim]);
+        back.check_invariants().unwrap();
+    }
+}

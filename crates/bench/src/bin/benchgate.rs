@@ -32,12 +32,14 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use enld_ann::AnnClassIndex;
 use enld_core::config::EnldConfig;
 use enld_core::detector::Enld;
 use enld_core::probability::ConditionalLabelProbability;
 use enld_core::sampling::contrastive_sampling;
 use enld_datagen::presets::DatasetPreset;
 use enld_knn::class_index::ClassIndex;
+use enld_knn::AnnParams;
 use enld_lake::lake::{DataLake, LakeConfig};
 use enld_nn::arch::ArchPreset;
 use enld_nn::data::DataRef;
@@ -97,6 +99,110 @@ fn kdtree_workload() -> Workload {
             let start = Instant::now();
             let index = ClassIndex::build(&pts, DIM, &labels, &keep);
             black_box(index.k_nearest_in_class_batch(&qlabels, &queries, 3));
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// Shape of the ANN workloads: synthetic inventory spread over 64 class
+/// shards, low-dimensional like the detector's feature space. `m`/`ef`
+/// sit below the detector defaults — at gate scale (1M samples) the
+/// smaller graph is what keeps the bulk build tractable per iteration.
+const ANN_DIM: usize = 16;
+const ANN_CLASSES: usize = 64;
+
+/// Inventory sizes: (bulk build/query corpus, pre-indexed base for the
+/// update workloads, arrival batch patched into that base). `--smoke`
+/// shrinks everything so check.sh stays a cheap "still executes" pass;
+/// gate numbers always come from the full 1M shape.
+fn ann_scale(smoke: bool) -> (usize, usize, usize) {
+    if smoke {
+        (50_000, 20_000, 500)
+    } else {
+        (1_000_000, 200_000, 2_000)
+    }
+}
+
+fn ann_params() -> AnnParams {
+    AnnParams { m: 8, ef_construction: 32, ef_search: 48, seed: 0xBE7C }
+}
+
+fn ann_inventory(n: usize, seed: u64) -> (Vec<f32>, Vec<u32>, Vec<usize>) {
+    let pts = uniform(n * ANN_DIM, seed, -5.0, 5.0);
+    let labels: Vec<u32> = (0..n).map(|i| (i % ANN_CLASSES) as u32).collect();
+    let keep: Vec<usize> = (0..n).collect();
+    (pts, labels, keep)
+}
+
+/// HNSW bulk build over the full inventory (shards build in parallel,
+/// one task per class).
+fn ann_bulk_build_workload(n: usize) -> Workload {
+    let (pts, labels, keep) = ann_inventory(n, 11);
+    Workload {
+        name: "ann_bulk_build_1m",
+        run: Box::new(move || {
+            let start = Instant::now();
+            black_box(AnnClassIndex::build(&pts, ANN_DIM, &labels, &keep, ann_params()));
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// One 256-query batch against a prebuilt full-inventory index (the
+/// build is untimed); per-query time is median/256 — the
+/// sub-millisecond p99 target in DESIGN.md §11 refers to these
+/// individual in-batch queries.
+fn ann_query_workload(n: usize) -> Workload {
+    const QUERIES: usize = 256;
+    let (pts, labels, keep) = ann_inventory(n, 11);
+    let index = AnnClassIndex::build(&pts, ANN_DIM, &labels, &keep, ann_params());
+    let queries = uniform(QUERIES * ANN_DIM, 12, -5.0, 5.0);
+    let qlabels: Vec<u32> = (0..QUERIES).map(|i| (i % ANN_CLASSES) as u32).collect();
+    Workload {
+        name: "ann_query_1m_batch256",
+        run: Box::new(move || {
+            let start = Instant::now();
+            black_box(index.k_nearest_in_class_batch(&qlabels, &queries, 3));
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// Update-in-place: patch an `arrival`-sample batch into an existing
+/// `base`-sample index (the clone is untimed; only `insert_batch`
+/// counts).
+fn ann_update_workload(base_n: usize, arrival: usize) -> Workload {
+    let (pts, labels, keep) = ann_inventory(base_n, 13);
+    let base = AnnClassIndex::build(&pts, ANN_DIM, &labels, &keep, ann_params());
+    let add = uniform(arrival * ANN_DIM, 14, -5.0, 5.0);
+    let add_labels: Vec<u32> = (0..arrival).map(|i| (i % ANN_CLASSES) as u32).collect();
+    let add_keep: Vec<usize> = (base_n..base_n + arrival).collect();
+    Workload {
+        name: "ann_update_arrival",
+        run: Box::new(move || {
+            let mut index = base.clone();
+            let start = Instant::now();
+            index.insert_batch(&add, &add_labels, &add_keep);
+            black_box(&index);
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// The rebuild that update replaces: exact per-class KD-trees over the
+/// same base+arrival samples from scratch (the ≥10x comparison partner
+/// of `ann_update_arrival` in the CI summary).
+fn kdtree_rebuild_workload(base_n: usize, arrival: usize) -> Workload {
+    let (mut pts, mut labels, mut keep) = ann_inventory(base_n, 13);
+    let add = uniform(arrival * ANN_DIM, 14, -5.0, 5.0);
+    pts.extend_from_slice(&add);
+    labels.extend((0..arrival).map(|i| (i % ANN_CLASSES) as u32));
+    keep.extend(base_n..base_n + arrival);
+    Workload {
+        name: "kdtree_rebuild_arrival",
+        run: Box::new(move || {
+            let start = Instant::now();
+            black_box(ClassIndex::build(&pts, ANN_DIM, &labels, &keep));
             start.elapsed().as_secs_f64()
         }),
     }
@@ -237,6 +343,8 @@ struct Options {
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
     threshold_pct: f64,
+    /// `--smoke`: one unmeasured-quality iteration at reduced ANN scale.
+    smoke: bool,
 }
 
 fn run(opts: &Options) -> Result<ExitCode, String> {
@@ -257,8 +365,17 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         "benchgate: {} iterations/bench, {} warmup, {} thread(s)",
         opts.iters, opts.warmup, threads
     );
-    let workloads =
-        vec![kdtree_workload(), contrastive_workload(), train_workload(), detection_workload()];
+    let (ann_n, ann_base, ann_arrival) = ann_scale(opts.smoke);
+    let workloads = vec![
+        kdtree_workload(),
+        ann_bulk_build_workload(ann_n),
+        ann_query_workload(ann_n),
+        ann_update_workload(ann_base, ann_arrival),
+        kdtree_rebuild_workload(ann_base, ann_arrival),
+        contrastive_workload(),
+        train_workload(),
+        detection_workload(),
+    ];
     let mut benches = BTreeMap::new();
     for mut w in workloads {
         for _ in 0..opts.warmup {
@@ -353,7 +470,14 @@ fn main() -> ExitCode {
             }
         };
     }
-    let mut opts = Options { iters: 5, warmup: 1, out: None, baseline: None, threshold_pct: 25.0 };
+    let mut opts = Options {
+        iters: 5,
+        warmup: 1,
+        out: None,
+        baseline: None,
+        threshold_pct: 25.0,
+        smoke: false,
+    };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -377,6 +501,7 @@ fn main() -> ExitCode {
                 opts.iters = 1;
                 opts.warmup = 0;
                 opts.baseline = None;
+                opts.smoke = true;
                 Ok(())
             }
             "--help" | "-h" => {

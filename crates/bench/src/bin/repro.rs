@@ -30,7 +30,7 @@ use enld_telemetry::{terror, tinfo, TelemetryConfig};
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment>... [--quick|--exhaustive] [--seed N] [--out DIR] [--threads N]\n             [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]\n             [--metrics-interval SECS]\n       experiments: {} {} all ext",
+        "usage: repro <experiment>... [--quick|--exhaustive] [--index exact|hnsw] [--seed N]\n             [--out DIR] [--threads N]\n             [--log-level quiet|error|warn|info|debug|trace] [--trace-out FILE] [--metrics-out FILE]\n             [--metrics-interval SECS]\n       experiments: {} {} all ext",
         experiments::all_ids().join(" "),
         experiments::extension_ids().join(" ")
     )
@@ -39,6 +39,8 @@ fn usage() -> String {
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = RunScale::full();
+    // Applied after the loop so `--index hnsw --quick` keeps the backend.
+    let mut index_override = None;
     let mut seed = 7u64;
     let mut out_dir = PathBuf::from("results");
     let mut telemetry_cfg = TelemetryConfig::default();
@@ -48,6 +50,13 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => scale = RunScale::quick(),
             "--exhaustive" => scale = RunScale::exhaustive(),
+            "--index" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => index_override = Some(v),
+                None => {
+                    eprintln!("--index requires exact|hnsw\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
                 None => {
@@ -118,6 +127,9 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         ids.push("all".to_owned());
+    }
+    if let Some(index) = index_override {
+        scale.index = index;
     }
     // The handle flushes sinks and writes the final snapshot on every
     // exit path (explicitly below, via Drop if an experiment panics);

@@ -16,14 +16,23 @@
 //!   same detection workload with the ledger detached, detached again
 //!   (run-to-run noise floor), and attached, comparing process-time
 //!   deltas against that noise floor.
+//! * [`ext_ann`] — the `--index hnsw` accuracy/speed trade-off swept
+//!   over graph sizes: per-config recall@k and batched-query speedup
+//!   against the exact KD-trees on a synthetic shard cloud, plus
+//!   end-to-end detection F1 against the exact backend on the same
+//!   trained detector.
 
 use std::io;
 use std::sync::Arc;
+use std::time::Instant;
 
 use enld_telemetry::tinfo;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use enld_ann::AnnClassIndex;
 use enld_baselines::common::NoisyLabelDetector;
 use enld_baselines::default_detector::DefaultDetector;
 use enld_core::detector::Enld;
@@ -31,6 +40,8 @@ use enld_core::ledger::MemoryLedger;
 use enld_core::metrics::{detection_metrics, mean_metrics};
 use enld_datagen::presets::DatasetPreset;
 use enld_datagen::NoiseModel;
+use enld_knn::class_index::ClassIndex;
+use enld_knn::{AnnParams, IndexBackend};
 use enld_lake::lake::{DataLake, LakeConfig};
 use enld_lake::queueing::{simulate_queue, simulate_queue_mgc, SimPolicy};
 
@@ -378,6 +389,170 @@ pub fn ext_obs(ctx: &ExpContext) -> io::Result<()> {
         "[ext-obs] ledger attach delta {delta:+.4}s vs run-to-run noise {noise:.4}s ({} records)",
         records
     );
+    println!();
+    Ok(())
+}
+
+/// One ANN configuration of the recall-vs-speedup sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnSweepRow {
+    pub config: String,
+    pub m: usize,
+    pub ef_construction: usize,
+    pub ef_search: usize,
+    /// Mean fraction of the exact k-nearest set the graph returns.
+    pub recall_at_k: f64,
+    /// Exact batched-query wall clock over this config's.
+    pub query_speedup: f64,
+    /// End-to-end detection F1 with `--index hnsw` at this config.
+    pub f1: f64,
+    /// Relative F1 delta vs the exact backend (negative = worse).
+    pub f1_delta_pct: f64,
+    pub datasets: usize,
+}
+
+/// Index-level recall@k and batched-query speedup of one ANN config
+/// against the exact KD-trees, on a synthetic 64-class cloud shaped
+/// like the detector's feature space.
+fn ann_probe(params: AnnParams, seed: u64) -> (f64, f64) {
+    const DIM: usize = 16;
+    const N: usize = 20_000;
+    const CLASSES: usize = 64;
+    const QUERIES: usize = 512;
+    const K: usize = 5;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<f32> = (0..N * DIM).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let queries: Vec<f32> = (0..QUERIES * DIM).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let labels: Vec<u32> = (0..N).map(|i| (i % CLASSES) as u32).collect();
+    let keep: Vec<usize> = (0..N).collect();
+    let qlabels: Vec<u32> = (0..QUERIES).map(|i| (i % CLASSES) as u32).collect();
+
+    let exact = ClassIndex::build(&pts, DIM, &labels, &keep);
+    let ann = AnnClassIndex::build(&pts, DIM, &labels, &keep, params);
+
+    let t0 = Instant::now();
+    let truth = exact.k_nearest_in_class_batch(&qlabels, &queries, K);
+    let exact_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let approx = ann.k_nearest_in_class_batch(&qlabels, &queries, K);
+    let ann_secs = t1.elapsed().as_secs_f64();
+
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (t, a) in truth.iter().zip(&approx) {
+        total += t.len();
+        hit += t.iter().filter(|g| a.contains(g)).count();
+    }
+    let recall = hit as f64 / total.max(1) as f64;
+    (recall, exact_secs / ann_secs.max(1e-9))
+}
+
+/// `--index hnsw` recall-vs-speedup sweep on CIFAR100-sim: per-config
+/// index recall@k + query speedup (synthetic probe) and end-to-end
+/// detection F1 against the exact backend. One detector is trained and
+/// re-pointed at each backend via `reconfigure`, so every run sees the
+/// same general model and the same arrivals.
+pub fn ext_ann(ctx: &ExpContext) -> io::Result<()> {
+    let preset = ctx.scale.preset(DatasetPreset::cifar100_sim());
+    let mut cfg = ctx.scale.enld_config(&preset, ctx.seed);
+    cfg.index = IndexBackend::Exact;
+    tinfo!("ext-ann", "training the shared general model …");
+    let enld0 = Enld::init(
+        DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: ctx.seed }).inventory(),
+        &cfg,
+    );
+
+    // Detection F1 over the (identically seeded) arrival stream with a
+    // given backend.
+    let detect_f1 = |index: IndexBackend| -> (f64, usize) {
+        let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: ctx.seed });
+        let mut run_cfg = cfg;
+        run_cfg.index = index;
+        let mut enld = enld0.clone();
+        enld.reconfigure(&run_cfg);
+        let n = ctx.scale.cap(lake.pending_requests());
+        let mut metrics = Vec::with_capacity(n);
+        for _ in 0..n {
+            let req = lake.next_request().expect("capped");
+            let truth = req.data.noisy_indices();
+            metrics.push(detection_metrics(&enld.detect(&req.data).noisy, &truth, req.data.len()));
+        }
+        (mean_metrics(&metrics).f1, n)
+    };
+
+    let (exact_f1, datasets) = detect_f1(IndexBackend::Exact);
+    tinfo!("ext-ann", "exact backend F1 {exact_f1:.4} over {datasets} arrivals");
+
+    let configs: [(&str, AnnParams); 4] = [
+        ("tiny", AnnParams { m: 4, ef_construction: 16, ef_search: 16, ..AnnParams::default() }),
+        ("small", AnnParams { m: 8, ef_construction: 32, ef_search: 32, ..AnnParams::default() }),
+        ("default", AnnParams::default()),
+        ("wide", AnnParams { m: 24, ef_construction: 120, ef_search: 96, ..AnnParams::default() }),
+    ];
+    let mut rows = Vec::new();
+    for (name, params) in configs {
+        tinfo!(
+            "ext-ann",
+            "{name} (m={}, efc={}, efs={}) …",
+            params.m,
+            params.ef_construction,
+            params.ef_search
+        );
+        let (recall, speedup) = ann_probe(params, ctx.seed);
+        let (f1, _) = detect_f1(IndexBackend::Hnsw(params));
+        rows.push(AnnSweepRow {
+            config: name.to_owned(),
+            m: params.m,
+            ef_construction: params.ef_construction,
+            ef_search: params.ef_search,
+            recall_at_k: recall,
+            query_speedup: speedup,
+            f1,
+            f1_delta_pct: (f1 / exact_f1.max(1e-9) - 1.0) * 100.0,
+            datasets,
+        });
+    }
+    let mut table = ExperimentOutput::new(
+        "ext-ann",
+        "HNSW recall-vs-speedup sweep vs the exact backend on CIFAR100-sim",
+        &["config", "m", "ef_c", "ef_s", "recall@5", "query speedup", "f1", "Δf1 vs exact"],
+    );
+    table.push_row(vec![
+        "exact".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "1.0000".into(),
+        "1.00x".into(),
+        f4(exact_f1),
+        "+0.0%".into(),
+    ]);
+    for r in &rows {
+        table.push_row(vec![
+            r.config.clone(),
+            r.m.to_string(),
+            r.ef_construction.to_string(),
+            r.ef_search.to_string(),
+            f4(r.recall_at_k),
+            format!("{:.2}x", r.query_speedup),
+            f4(r.f1),
+            format!("{:+.1}%", r.f1_delta_pct),
+        ]);
+    }
+    table.emit(&ctx.out_dir, &rows)?;
+    // The acceptance headline: a config that keeps ≥0.95 recall while
+    // staying within 1% of the exact backend's F1.
+    let good = rows.iter().find(|r| r.recall_at_k >= 0.95 && r.f1_delta_pct.abs() <= 1.0);
+    match good {
+        Some(r) => println!(
+            "[ext-ann] '{}' holds recall {:.3} at {:.1}x query speedup with F1 within {:.2}% of exact",
+            r.config,
+            r.recall_at_k,
+            r.query_speedup,
+            r.f1_delta_pct.abs()
+        ),
+        None => println!("[ext-ann] WARNING: no config reached recall >= 0.95 within 1% of exact F1"),
+    }
     println!();
     Ok(())
 }

@@ -39,7 +39,7 @@ pub fn all_ids() -> &'static [&'static str] {
 
 /// Extension experiments beyond the paper (run explicitly, or via `ext`).
 pub fn extension_ids() -> &'static [&'static str] {
-    &["ext-noise", "ext-queue", "ext-pool", "ext-obs"]
+    &["ext-noise", "ext-queue", "ext-pool", "ext-obs", "ext-ann"]
 }
 
 /// Runs one experiment by id.
@@ -68,6 +68,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> io::Result<()> {
         "ext-queue" => extensions::ext_queue(ctx),
         "ext-pool" => extensions::ext_pool(ctx),
         "ext-obs" => extensions::ext_obs(ctx),
+        "ext-ann" => extensions::ext_ann(ctx),
         "all" => {
             for id in all_ids() {
                 run(id, ctx)?;

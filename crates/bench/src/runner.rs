@@ -232,6 +232,7 @@ mod tests {
             topo_rounds: 2,
             topo_epochs: 3,
             full: false,
+            index: enld_knn::IndexBackend::Exact,
         }
     }
 

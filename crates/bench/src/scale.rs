@@ -3,6 +3,7 @@
 
 use enld_core::config::EnldConfig;
 use enld_datagen::presets::DatasetPreset;
+use enld_knn::IndexBackend;
 
 /// Knobs that trade fidelity for wall-clock time.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +25,8 @@ pub struct RunScale {
     pub topo_epochs: usize,
     /// Whether this is the full paper-shaped run.
     pub full: bool,
+    /// Neighbour-index backend (`repro --index exact|hnsw`).
+    pub index: IndexBackend,
 }
 
 impl RunScale {
@@ -43,6 +46,7 @@ impl RunScale {
             topo_rounds: 5,
             topo_epochs: 12,
             full: true,
+            index: IndexBackend::Exact,
         }
     }
 
@@ -63,6 +67,7 @@ impl RunScale {
             topo_rounds: 2,
             topo_epochs: 5,
             full: false,
+            index: IndexBackend::Exact,
         }
     }
 
@@ -82,6 +87,7 @@ impl RunScale {
         if let Some(t) = self.iterations_override {
             cfg.iterations = t;
         }
+        cfg.index = self.index;
         cfg
     }
 

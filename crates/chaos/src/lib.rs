@@ -63,7 +63,7 @@ impl Trigger {
     fn fires(&self, hit: u64) -> bool {
         match *self {
             Trigger::Nth(n) => hit == n.max(1),
-            Trigger::EveryK(k) => hit % k.max(1) == 0,
+            Trigger::EveryK(k) => hit.is_multiple_of(k.max(1)),
             Trigger::SeededProb { p, seed } => {
                 let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
                 splitmix64(seed ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15)) < threshold

@@ -63,15 +63,13 @@ pub fn explain(
 ) -> Result<Explanation, CliError> {
     let rec = records
         .iter()
-        .filter_map(|r| match r {
-            LedgerRecord::Sample(s) if s.sample == sample => Some(s),
+        .rev()
+        .find_map(|r| match r {
+            LedgerRecord::Sample(s) if s.sample == sample && task.is_none_or(|t| s.task == t) => {
+                Some(s)
+            }
             _ => None,
         })
-        .filter(|s| match task {
-            Some(t) => s.task == t,
-            None => true,
-        })
-        .next_back()
         .ok_or_else(|| match task {
             Some(t) => {
                 CliError::BadInput(format!("no ledger record for sample {sample} in task {t}"))

@@ -33,6 +33,7 @@ use enld_core::ledger::JsonlLedger;
 use enld_core::metrics::{detection_metrics, DetectionMetrics};
 use enld_datagen::presets::DatasetPreset;
 use enld_datagen::Dataset;
+use enld_knn::IndexBackend;
 use enld_lake::lake::{DataLake, LakeConfig};
 use enld_serve::{
     submit_with_retry, JobSpec, PolicyKind, PoolConfig, PoolStats, RetryBackoff, WorkerPool,
@@ -153,6 +154,8 @@ pub struct DetectOverrides {
     pub iterations: Option<usize>,
     pub k: Option<usize>,
     pub seed: Option<u64>,
+    /// Neighbour-index backend (`--index exact|hnsw`).
+    pub index: Option<IndexBackend>,
 }
 
 /// `enld detect`: serves every arrival and returns the verdicts.
@@ -210,8 +213,16 @@ pub fn detect_with_recovery(
         let path = recovery.checkpoint.as_deref().expect("checked above");
         let ckpt = Checkpoint::load(path)
             .map_err(|e| CliError::BadInput(format!("checkpoint {}: {e}", path.display())))?;
-        Enld::resume_from(&file.inventory, &cfg, &ckpt)
-            .map_err(|e| CliError::BadInput(format!("checkpoint {}: {e}", path.display())))?
+        let restored_ann = ckpt.ann.is_some();
+        let enld = Enld::resume_from(&file.inventory, &cfg, &ckpt)
+            .map_err(|e| CliError::BadInput(format!("checkpoint {}: {e}", path.display())))?;
+        if restored_ann {
+            println!(
+                "restored {}-sample ann index from checkpoint (rebuild skipped)",
+                enld.ann_index_len().unwrap_or(0)
+            );
+        }
+        enld
     } else {
         Enld::init(&file.inventory, &cfg)
     };
@@ -512,6 +523,9 @@ fn config_for(file: &LakeFile, overrides: DetectOverrides) -> EnldConfig {
     if let Some(seed) = overrides.seed {
         cfg = cfg.with_seed(seed);
     }
+    if let Some(index) = overrides.index {
+        cfg.index = index;
+    }
     cfg
 }
 
@@ -568,7 +582,8 @@ mod tests {
     #[test]
     fn detect_scores_generated_lakes() {
         let (file, path) = small_lake("detect");
-        let overrides = DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) };
+        let overrides =
+            DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1), index: None };
         let verdicts = detect(&file, overrides, None).expect("detect");
         assert_eq!(verdicts.len(), file.arrivals.len());
         for (v, a) in verdicts.iter().zip(&file.arrivals) {
@@ -583,7 +598,8 @@ mod tests {
     fn detect_with_recovery_checkpoints_and_resumes() {
         let (file, path) = small_lake("ckpt");
         let ckpt = tmp("ckpt_file");
-        let overrides = DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) };
+        let overrides =
+            DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1), index: None };
         let recovery = RecoveryOptions { checkpoint: Some(ckpt.clone()), resume: false };
         let verdicts = detect_with_recovery(&file, overrides, None, recovery).expect("detect");
         assert_eq!(verdicts.len(), file.arrivals.len());
@@ -623,7 +639,12 @@ mod tests {
             workers: 2,
             policy: PolicyKind::Sjf,
             queue_limit: 8,
-            overrides: DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1) },
+            overrides: DetectOverrides {
+                iterations: Some(3),
+                k: Some(2),
+                seed: Some(1),
+                index: None,
+            },
             ..ServeOptions::default()
         };
         let summary = serve(&file, &opts).expect("serve");

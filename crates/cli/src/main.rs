@@ -15,10 +15,11 @@ const USAGE: &str = "\
 usage:
   enld generate --preset <name> [--noise R] [--seed N] --out FILE
   enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N] [--ledger FILE]
-                [--checkpoint FILE [--resume]]
+                [--index exact|hnsw] [--checkpoint FILE [--resume]]
   enld serve    --lake FILE [--workers N] [--policy fifo|sjf|priority|edf]
                 [--queue-limit N] [--out FILE] [--iterations N] [--k N] [--seed N]
-                [--obs-addr HOST:PORT] [--obs-linger SECS] [--ledger FILE]
+                [--index exact|hnsw] [--obs-addr HOST:PORT] [--obs-linger SECS]
+                [--ledger FILE]
   enld audit    --lake FILE [--arrival N] [--workers N]
   enld explain  --ledger FILE --sample N [--task N]
   enld profile  SPANS.jsonl [--chrome FILE] [--folded FILE] [--top N] [--trace ID]
@@ -37,6 +38,10 @@ enld profile reads a --trace-out span file and reports per-site self/total
 time, the slowest trace's critical path, and optional Chrome-trace/folded
 flamegraph exports
 
+--index hnsw swaps the exact per-class KD-trees for incremental HNSW graphs
+(approximate, sub-millisecond batched queries, patched in place as datasets
+arrive, persisted inside checkpoints); the default 'exact' rebuilds per round
+
 --checkpoint FILE persists detector state atomically at iteration boundaries;
 --resume restores it and continues, skipping arrivals already completed
 
@@ -52,7 +57,10 @@ const COMMON_FLAGS: &[&str] =
 /// Per-command accepted flags; anything else is an error, not silence.
 const COMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("generate", &["preset", "noise", "seed", "out"]),
-    ("detect", &["lake", "out", "iterations", "k", "seed", "ledger", "checkpoint", "resume"]),
+    (
+        "detect",
+        &["lake", "out", "iterations", "k", "seed", "index", "ledger", "checkpoint", "resume"],
+    ),
     (
         "serve",
         &[
@@ -64,6 +72,7 @@ const COMMAND_FLAGS: &[(&str, &[&str])] = &[
             "iterations",
             "k",
             "seed",
+            "index",
             "obs-addr",
             "obs-linger",
             "ledger",
@@ -133,6 +142,13 @@ impl Args {
         match self.get(name) {
             None => Ok(None),
             Some(v) => v.parse().map(Some).map_err(|_| format!("--{name}: invalid value '{v}'")),
+        }
+    }
+
+    fn parse_index(&self) -> Result<Option<enld_knn::IndexBackend>, String> {
+        match self.get("index") {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|e| format!("--index: {e}")),
         }
     }
 }
@@ -226,6 +242,7 @@ fn run() -> Result<(), String> {
                 iterations: args.parse_num("iterations")?,
                 k: args.parse_num("k")?,
                 seed: args.parse_num("seed")?,
+                index: args.parse_index()?,
             };
             let ledger = args.get("ledger").map(PathBuf::from);
             let recovery = RecoveryOptions {
@@ -281,6 +298,7 @@ fn run() -> Result<(), String> {
                     iterations: args.parse_num("iterations")?,
                     k: args.parse_num("k")?,
                     seed: args.parse_num("seed")?,
+                    index: args.parse_index()?,
                 },
                 obs: obs_server.is_some().then(|| Arc::clone(&obs_bridge)),
                 ledger: args.get("ledger").map(PathBuf::from),

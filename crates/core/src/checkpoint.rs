@@ -38,7 +38,8 @@ use crate::sampling::{ContrastSample, SampleSource};
 /// File magic, first 8 bytes of every checkpoint.
 pub const MAGIC: [u8; 8] = *b"ENLDCKPT";
 /// Current format version; bump on any encoding change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// v2 added the optional serialized ANN index blob.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written, read, or applied.
 #[derive(Debug)]
@@ -206,6 +207,11 @@ pub struct Checkpoint {
     pub cond: CondState,
     pub model: ModelState,
     pub in_flight: Option<InFlightTask>,
+    /// Serialized HNSW index over the high-quality set (`--index hnsw`
+    /// runs only). Opaque, internally checksummed `enld-ann` blob;
+    /// `None` for the exact backend. Restoring it on `--resume` skips
+    /// the index rebuild entirely.
+    pub ann: Option<Vec<u8>>,
 }
 
 impl Checkpoint {
@@ -313,6 +319,13 @@ impl Checkpoint {
                 encode_in_flight(e, t);
             }
         }
+        match &self.ann {
+            None => e.u8(0),
+            Some(blob) => {
+                e.u8(1);
+                e.u8_slice(blob);
+            }
+        }
     }
 
     fn decode(d: &mut Dec<'_>) -> Result<Self, CheckpointError> {
@@ -338,6 +351,13 @@ impl Checkpoint {
                 return Err(CheckpointError::Format(format!("bad in-flight flag {other}")));
             }
         };
+        let ann = match d.u8()? {
+            0 => None,
+            1 => Some(d.u8_vec()?),
+            other => {
+                return Err(CheckpointError::Format(format!("bad ann-index flag {other}")));
+            }
+        };
         Ok(Self {
             config_fp,
             inventory_fp,
@@ -349,6 +369,7 @@ impl Checkpoint {
             cond,
             model,
             in_flight,
+            ann,
         })
     }
 }
@@ -655,6 +676,11 @@ impl Enc {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    fn u8_slice(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
     fn bool_slice(&mut self, v: &[bool]) {
         self.usize(v.len());
         self.buf.extend(v.iter().map(|&b| b as u8));
@@ -760,6 +786,11 @@ impl Dec<'_> {
             .map_err(|_| CheckpointError::Format("non-UTF-8 string".into()))
     }
 
+    fn u8_vec(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let n = self.len_prefix(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
     fn bool_vec(&mut self) -> Result<Vec<bool>, CheckpointError> {
         let n = self.len_prefix(1)?;
         let bytes = self.take(n)?;
@@ -856,6 +887,7 @@ mod tests {
                     draws: vec![vec![DrawState { round: -1, candidate: 1, neighbors: vec![3, 9] }]],
                 }),
             }),
+            ann: Some(vec![0xEE, 0x00, 0x7F]),
         }
     }
 

@@ -6,6 +6,7 @@
 //! model initialisation.
 
 use enld_datagen::presets::DatasetPreset;
+use enld_knn::IndexBackend;
 use enld_nn::arch::ArchPreset;
 use enld_nn::optimizer::SgdConfig;
 use enld_nn::trainer::TrainConfig;
@@ -36,6 +37,9 @@ pub struct EnldConfig {
     pub policy: SamplingPolicy,
     /// Ablation variant (§V-I; `Origin` is full ENLD).
     pub ablation: AblationVariant,
+    /// Neighbour-index backend for contrastive sampling (exact KD-trees
+    /// or the incremental HNSW graphs from `enld-ann`).
+    pub index: IndexBackend,
     /// Master seed for model init, splits and sampling.
     pub seed: u64,
 }
@@ -63,6 +67,7 @@ impl EnldConfig {
             arch,
             policy: SamplingPolicy::Contrastive,
             ablation: AblationVariant::Origin,
+            index: IndexBackend::Exact,
             seed: 0,
         }
     }
@@ -94,6 +99,7 @@ impl EnldConfig {
             arch: ArchPreset::tiny(),
             policy: SamplingPolicy::Contrastive,
             ablation: AblationVariant::Origin,
+            index: IndexBackend::Exact,
             seed: 0,
         }
     }

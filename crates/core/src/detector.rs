@@ -9,9 +9,11 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use enld_ann::AnnClassIndex;
 use enld_datagen::split::split_half;
 use enld_datagen::Dataset;
 use enld_knn::class_index::ClassIndex;
+use enld_knn::{IndexBackend, NeighborIndex};
 use enld_lake::timing::Stopwatch;
 use enld_nn::data::DataRef;
 use enld_nn::matrix::Matrix;
@@ -64,6 +66,11 @@ pub struct Enld {
     /// In-flight task restored by [`Enld::resume_from`], consumed by the
     /// next [`Enld::detect`] call.
     pending: Option<PendingTask>,
+    /// Persistent approximate index over the general-model features of
+    /// `H` (`IndexBackend::Hnsw` only): reused for the round-0 selection
+    /// of every task and embedded into checkpoints so a resume skips the
+    /// rebuild. `None` for the exact backend.
+    ann: Option<AnnClassIndex>,
 }
 
 impl Clone for Enld {
@@ -87,6 +94,7 @@ impl Clone for Enld {
             inventory_fp: self.inventory_fp,
             checkpoint_path: None,
             pending: None,
+            ann: self.ann.clone(),
         }
     }
 }
@@ -139,7 +147,7 @@ impl Enld {
         setup_span.record("secs", setup_secs);
 
         let sc_accum = vec![false; i_c.len()];
-        Self {
+        let mut this = Self {
             setup_secs,
             config: *config,
             model,
@@ -154,7 +162,41 @@ impl Enld {
             inventory_fp: checkpoint::dataset_fingerprint(inventory),
             checkpoint_path: None,
             pending: None,
+            ann: None,
+        };
+        this.ann = this.build_hq_ann();
+        this
+    }
+
+    /// Builds the persistent HNSW index over the general-model features
+    /// of the current high-quality set `H`, probing its recall so the
+    /// `enld.ann.recall_probe` gauge reflects the fresh graph. Returns
+    /// `None` for the exact backend.
+    fn build_hq_ann(&self) -> Option<AnnClassIndex> {
+        let IndexBackend::Hnsw(params) = self.config.index else { return None };
+        let _t = ScopedTimer::new("enld.ann.build");
+        let ic_view = DataRef::new(self.i_c.xs(), self.i_c.labels(), self.i_c.dim());
+        if self.hq.is_empty() {
+            // Degenerate filter output: probe one row for the feature
+            // width and start from an empty graph (arrivals still patch
+            // in through the usual insert path).
+            let (f, _) = self.model.forward_inference(&ic_view.gather(&[0]));
+            let index = AnnClassIndex::new(f.cols(), params);
+            index.recall_probe(self.config.k.max(2));
+            return Some(index);
         }
+        let batch = ic_view.gather(&self.hq);
+        let (feats, _) = self.model.forward_inference(&batch);
+        let labels: Vec<u32> = self.hq.iter().map(|&i| self.i_c.labels()[i]).collect();
+        let index = AnnClassIndex::build(feats.data(), feats.cols(), &labels, &self.hq, params);
+        index.recall_probe(self.config.k.max(2));
+        Some(index)
+    }
+
+    /// Live samples in the persistent approximate index (`--index hnsw`
+    /// runs only); `None` under the exact backend.
+    pub fn ann_index_len(&self) -> Option<usize> {
+        self.ann.as_ref().map(AnnClassIndex::len)
     }
 
     /// Attaches a detection audit ledger: subsequent [`Enld::detect`] /
@@ -231,7 +273,13 @@ impl Enld {
             config.init_train, self.config.init_train,
             "reconfigure cannot change general-model training"
         );
+        let backend_changed = config.index != self.config.index;
         self.config = *config;
+        if backend_changed {
+            // Switching to hnsw builds the persistent index; switching
+            // away (or changing its parameters) drops/rebuilds it.
+            self.ann = self.build_hq_ann();
+        }
     }
 
     /// Enables crash-recovery checkpoints: detector state is persisted
@@ -295,6 +343,7 @@ impl Enld {
             cond: CondState { classes, joint: joint.to_vec(), cond: cond.to_vec() },
             model: ModelState::capture(&self.model),
             in_flight,
+            ann: self.ann.as_ref().map(AnnClassIndex::to_bytes),
         }
     }
 
@@ -372,7 +421,7 @@ impl Enld {
             t.theta.restore_into(&mut theta);
             PendingTask { d_fp: t.d_fp, cursor: in_flight_to_cursor(t, theta) }
         });
-        Ok(Self {
+        let mut this = Self {
             config: *config,
             model,
             cond,
@@ -387,7 +436,22 @@ impl Enld {
             inventory_fp,
             checkpoint_path: None,
             pending,
-        })
+            ann: None,
+        };
+        this.ann = match &ckpt.ann {
+            // Restore the serialized graph verbatim: no rebuild, and the
+            // probe refreshes the recall gauge for the revived process.
+            Some(blob) => {
+                let index = AnnClassIndex::from_bytes(blob)
+                    .map_err(|e| CheckpointError::Format(format!("ann index blob: {e}")))?;
+                index.recall_probe(config.k.max(2));
+                Some(index)
+            }
+            // Config fingerprints matched, so a missing blob means the
+            // exact backend — but rebuild defensively if hnsw is asked.
+            None => this.build_hq_ann(),
+        };
+        Ok(this)
     }
 
     /// Alg. 2 + Alg. 3: fine-grained noisy-label detection with
@@ -533,6 +597,7 @@ impl Enld {
             let mut sel_rng = sampling_rng(task_seed, iteration as u64 + 1);
             st.contrast = self.select_contrast(
                 &st.theta,
+                false,
                 d,
                 &feats_d,
                 &st.ambiguous,
@@ -698,6 +763,7 @@ impl Enld {
         let mut sel_rng = sampling_rng(task_seed, 0);
         let contrast = self.select_contrast(
             &theta,
+            true,
             d,
             &feats_d,
             &ambiguous,
@@ -800,6 +866,9 @@ impl Enld {
         let candidates: Vec<usize> = (0..self.i_c.len()).collect();
         self.hq = high_quality_filtered(&probs, &preds, self.i_c.labels(), &candidates);
         self.sc_accum = vec![false; self.i_c.len()];
+        // The model, the candidate split, and H all changed: the
+        // persistent approximate index must be rebuilt from scratch.
+        self.ann = self.build_hq_ann();
 
         // Drift gauge: how far the estimated conditional moved across the
         // update — large jumps mean the accumulated clean set looks very
@@ -822,11 +891,15 @@ impl Enld {
     }
 
     /// Builds the fine-tune set according to the configured policy /
-    /// ablation variant.
+    /// ablation variant. `round0` marks the pre-warm-up selection, where
+    /// `θ'` is still a verbatim clone of the general model — the only
+    /// round where the persistent HNSW index (whose vectors are
+    /// general-model features) can serve queries directly.
     #[allow(clippy::too_many_arguments)]
     fn select_contrast(
         &self,
         theta: &Mlp,
+        round0: bool,
         d: &Dataset,
         feats_d: &Matrix,
         ambiguous: &[usize],
@@ -842,6 +915,7 @@ impl Enld {
         let sw = Stopwatch::start();
         let out = self.select_contrast_inner(
             theta,
+            round0,
             d,
             feats_d,
             ambiguous,
@@ -860,6 +934,7 @@ impl Enld {
     fn select_contrast_inner(
         &self,
         theta: &Mlp,
+        round0: bool,
         d: &Dataset,
         feats_d: &Matrix,
         ambiguous: &[usize],
@@ -884,22 +959,61 @@ impl Enld {
                     // uniform draws from I' so fine-tuning can still proceed.
                     return random_subset(i_prime, want, self.i_c.labels(), rng);
                 }
+                let amb_labels: Vec<u32> = ambiguous.iter().map(|&i| d.labels()[i]).collect();
+                if round0 {
+                    if let Some(ann) = &self.ann {
+                        // The persistent graph holds every sample of `H`
+                        // under general-model features; restricting the
+                        // candidate label set to classes present in D makes
+                        // its answers identical to an index built over
+                        // `H ∩ I'` (each class shard already contains
+                        // exactly those samples, in the same order).
+                        let labels_d: BTreeSet<u32> = d.label_set();
+                        let label_set: Vec<u32> =
+                            ann.classes().filter(|c| labels_d.contains(c)).collect();
+                        return contrastive_sampling(
+                            ambiguous,
+                            &amb_labels,
+                            feats_d,
+                            ann,
+                            &label_set,
+                            self.i_c.labels(),
+                            &self.cond,
+                            self.config.k,
+                            self.config.ablation.identity_label(),
+                            rng,
+                            draws,
+                        );
+                    }
+                }
                 let hq_batch = ic_view.gather(hq_candidates);
                 let (hq_feats, _) = theta.forward_inference(&hq_batch);
                 let hq_labels: Vec<u32> =
                     hq_candidates.iter().map(|&i| self.i_c.labels()[i]).collect();
-                let index =
-                    ClassIndex::build(hq_feats.data(), hq_feats.cols(), &hq_labels, hq_candidates);
+                let index: Box<dyn NeighborIndex> = match self.config.index {
+                    IndexBackend::Exact => Box::new(ClassIndex::build(
+                        hq_feats.data(),
+                        hq_feats.cols(),
+                        &hq_labels,
+                        hq_candidates,
+                    )),
+                    IndexBackend::Hnsw(params) => Box::new(AnnClassIndex::build(
+                        hq_feats.data(),
+                        hq_feats.cols(),
+                        &hq_labels,
+                        hq_candidates,
+                        params,
+                    )),
+                };
                 let label_set: Vec<u32> = {
                     let set: BTreeSet<u32> = hq_labels.iter().copied().collect();
                     set.into_iter().collect()
                 };
-                let amb_labels: Vec<u32> = ambiguous.iter().map(|&i| d.labels()[i]).collect();
                 contrastive_sampling(
                     ambiguous,
                     &amb_labels,
                     feats_d,
-                    &index,
+                    index.as_ref(),
                     &label_set,
                     self.i_c.labels(),
                     &self.cond,
@@ -1545,7 +1659,9 @@ mod tests {
     /// The fields a resumed run must reproduce bit-for-bit. Wall-clock
     /// (`process_secs`) is deliberately excluded: a resumed run only
     /// counts post-resume time.
-    fn canon(r: &DetectionReport) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<(usize, u32)>) {
+    type CanonReport = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<(usize, u32)>);
+
+    fn canon(r: &DetectionReport) -> CanonReport {
         (r.clean.clone(), r.noisy.clone(), r.inventory_clean.clone(), r.pseudo_labels.clone())
     }
 
@@ -1627,7 +1743,7 @@ mod tests {
         let enld = Enld::init(lake.inventory(), &cfg);
         let ckpt = enld.capture_checkpoint();
 
-        let other_cfg = cfg.clone().with_seed(cfg.seed.wrapping_add(1));
+        let other_cfg = cfg.with_seed(cfg.seed.wrapping_add(1));
         assert!(matches!(
             Enld::resume_from(lake.inventory(), &other_cfg, &ckpt),
             Err(CheckpointError::Mismatch(_))
@@ -1637,6 +1753,73 @@ mod tests {
             Enld::resume_from(other_lake.inventory(), &cfg, &ckpt),
             Err(CheckpointError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn hnsw_backend_partitions_and_beats_chance() {
+        let mut lake = small_lake(0.2, 3);
+        let mut cfg = EnldConfig::fast_test();
+        cfg.index = IndexBackend::hnsw();
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        assert_eq!(enld.ann_index_len(), Some(enld.high_quality().len()));
+        let req = lake.next_request().expect("queued");
+        let report = enld.detect(&req.data);
+        let mut seen = vec![false; req.data.len()];
+        for &i in report.clean.iter().chain(&report.noisy) {
+            assert!(!seen[i], "sample {i} in both sets");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let m = detection_metrics(&report.noisy, &req.data.noisy_indices(), req.data.len());
+        assert!(m.f1 > 0.5, "hnsw f1 {} (p {}, r {})", m.f1, m.precision, m.recall);
+    }
+
+    #[test]
+    fn hnsw_checkpoint_embeds_the_index_and_resume_skips_rebuild() {
+        use crate::checkpoint::Checkpoint;
+
+        let mut lake = small_lake(0.2, 31);
+        let mut cfg = EnldConfig::fast_test();
+        cfg.index = IndexBackend::hnsw();
+        let inventory = lake.inventory().clone();
+        let a0 = lake.next_request().expect("queued").data;
+        let a1 = lake.next_request().expect("queued").data;
+
+        let mut primary = Enld::init(&inventory, &cfg);
+        let _ = primary.detect(&a0);
+        let ckpt = primary.capture_checkpoint();
+        assert!(ckpt.ann.is_some(), "hnsw runs must checkpoint the index blob");
+        let ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("codec round-trip");
+        let mut resumed = Enld::resume_from(&inventory, &cfg, &ckpt).expect("resume");
+        assert_eq!(resumed.ann_index_len(), primary.ann_index_len());
+        // The restored graph answers exactly like the original's.
+        let expect = primary.detect(&a1);
+        let got = resumed.detect(&a1);
+        assert_eq!(canon(&got), canon(&expect));
+        assert_eq!(got.history, expect.history);
+    }
+
+    #[test]
+    fn exact_checkpoints_carry_no_index_blob() {
+        let lake = small_lake(0.2, 35);
+        let enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let ckpt = enld.capture_checkpoint();
+        assert!(ckpt.ann.is_none());
+        assert!(enld.ann_index_len().is_none());
+    }
+
+    #[test]
+    fn reconfigure_switches_index_backends() {
+        let lake = small_lake(0.2, 36);
+        let cfg = EnldConfig::fast_test();
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        assert!(enld.ann_index_len().is_none());
+        let mut hnsw_cfg = cfg;
+        hnsw_cfg.index = IndexBackend::hnsw();
+        enld.reconfigure(&hnsw_cfg);
+        assert_eq!(enld.ann_index_len(), Some(enld.high_quality().len()));
+        enld.reconfigure(&cfg);
+        assert!(enld.ann_index_len().is_none());
     }
 
     #[test]

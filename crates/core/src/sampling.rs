@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use enld_knn::class_index::ClassIndex;
 use enld_knn::kdtree::KdTree;
+use enld_knn::NeighborIndex;
 use enld_nn::loss::entropy;
 use enld_nn::matrix::Matrix;
 
@@ -92,8 +93,10 @@ impl SamplingPolicy {
 /// class `j` in feature space. The result is a multiset — duplicates act
 /// as implicit re-weighting (paper §IV-D).
 ///
-/// `index` must map tree hits back to `I_c` indices, and `ic_labels` are
-/// the observed labels of `I_c` (used to label the selected samples).
+/// `index` is any [`NeighborIndex`] backend (exact KD-trees or the
+/// incremental HNSW graphs) whose hits map back to `I_c` indices, and
+/// `ic_labels` are the observed labels of `I_c` (used to label the
+/// selected samples).
 ///
 /// When `trace` is given, one [`ContrastDraw`] per ambiguous sample is
 /// appended to it — the audit ledger's record of which candidate label
@@ -110,7 +113,7 @@ pub fn contrastive_sampling(
     ambiguous: &[usize],
     ambiguous_labels: &[u32],
     query_feats: &Matrix,
-    index: &ClassIndex,
+    index: &dyn NeighborIndex,
     hq_label_set: &[u32],
     ic_labels: &[u32],
     cond: &ConditionalLabelProbability,

@@ -7,7 +7,12 @@
 
 use std::collections::BTreeMap;
 
+use crate::index::NeighborIndex;
 use crate::kdtree::{KdTree, Neighbor};
+
+/// Per-class build input: flat feature rows plus the global sample index
+/// behind each row.
+type ClassBucket = (Vec<f32>, Vec<usize>);
 
 /// One KD-tree per class over feature vectors, remembering the global
 /// sample index behind every tree-local point.
@@ -31,7 +36,7 @@ impl ClassIndex {
         assert!(dim > 0, "dim must be positive");
         assert_eq!(features.len(), labels.len() * dim, "feature/label shape mismatch");
         assert_eq!(labels.len(), keep.len(), "label/keep length mismatch");
-        let mut grouped: BTreeMap<u32, (Vec<f32>, Vec<usize>)> = BTreeMap::new();
+        let mut grouped: BTreeMap<u32, ClassBucket> = BTreeMap::new();
         for (row, (&label, &global)) in labels.iter().zip(keep).enumerate() {
             let entry = grouped.entry(label).or_default();
             entry.0.extend_from_slice(&features[row * dim..(row + 1) * dim]);
@@ -39,7 +44,7 @@ impl ClassIndex {
         }
         // Per-class builds are independent; build the trees in parallel and
         // reassemble in the BTreeMap's (sorted, deterministic) class order.
-        let classes: Vec<(u32, (Vec<f32>, Vec<usize>))> = grouped.into_iter().collect();
+        let classes: Vec<(u32, ClassBucket)> = grouped.into_iter().collect();
         let built = enld_par::par_map(classes.len(), 1, |c| KdTree::build(&classes[c].1 .0, dim));
         let trees = classes
             .into_iter()
@@ -99,6 +104,50 @@ impl ClassIndex {
         enld_par::par_map(labels.len(), QUERY_BATCH, |i| {
             self.k_nearest_in_class(labels[i], &queries[i * self.dim..(i + 1) * self.dim], k)
         })
+    }
+
+    /// Tombstones the sample with global index `global` in class `label`
+    /// (see [`KdTree::remove`]). Returns `false` when it is not indexed or
+    /// was already removed.
+    pub fn remove(&mut self, label: u32, global: usize) -> bool {
+        let Some((tree, globals)) = self.trees.get_mut(&label) else {
+            return false;
+        };
+        match globals.iter().position(|&g| g == global) {
+            Some(local) => tree.remove(local),
+            None => false,
+        }
+    }
+}
+
+impl NeighborIndex for ClassIndex {
+    fn class_labels(&self) -> Vec<u32> {
+        self.classes().collect()
+    }
+
+    fn class_len(&self, label: u32) -> usize {
+        ClassIndex::class_len(self, label)
+    }
+
+    fn len(&self) -> usize {
+        ClassIndex::len(self)
+    }
+
+    fn k_nearest_in_class(&self, label: u32, query: &[f32], k: usize) -> Vec<Neighbor> {
+        ClassIndex::k_nearest_in_class(self, label, query, k)
+    }
+
+    fn k_nearest_in_class_batch(
+        &self,
+        labels: &[u32],
+        queries: &[f32],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        ClassIndex::k_nearest_in_class_batch(self, labels, queries, k)
+    }
+
+    fn remove(&mut self, label: u32, global: usize) -> bool {
+        ClassIndex::remove(self, label, global)
     }
 }
 

@@ -28,9 +28,11 @@
 pub mod brute;
 pub mod class_index;
 pub mod graph;
+pub mod index;
 pub mod kdtree;
 pub mod vptree;
 
 pub use class_index::ClassIndex;
+pub use index::{AnnParams, IndexBackend, NeighborIndex};
 pub use kdtree::{KdTree, Neighbor};
 pub use vptree::VpTree;

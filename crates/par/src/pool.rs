@@ -228,7 +228,7 @@ impl ThreadPool {
     }
 
     /// Opens a scope in which borrowed-data tasks can be spawned; returns
-    /// once every spawned task has finished. See [`scope_shared`].
+    /// once every spawned task has finished. See `scope_shared`.
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
         scope_shared(&self.shared, f)
     }

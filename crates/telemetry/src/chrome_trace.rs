@@ -221,7 +221,7 @@ impl TraceBuffer {
     pub fn chrome_json(&self) -> String {
         let inner = self.lock();
         let mut ordered: Vec<&CompletedTrace> = inner.completed.iter().collect();
-        ordered.sort_by(|a, b| b.dur_us.cmp(&a.dur_us));
+        ordered.sort_by_key(|t| std::cmp::Reverse(t.dur_us));
         let mut events = String::new();
         for (i, trace) in ordered.iter().enumerate() {
             let pid = i as u64 + 1;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Benchmark-regression gate: run the four fixed-seed wall-clock benchmarks
-# (`benchgate`), write BENCH_<date>.json, and fail on a >25% median
+# Benchmark-regression gate: run the fixed-seed wall-clock benchmarks
+# (`benchgate`, incl. the 1M-sample ANN build/query/update workloads),
+# write BENCH_<date>.json, and fail on a >25% median
 # regression against the committed bench/baseline.json. Also measures the
 # parallel speedup (default threads vs ENLD_THREADS=1) and appends it to
 # $GITHUB_STEP_SUMMARY when running in CI.

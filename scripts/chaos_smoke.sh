@@ -62,4 +62,16 @@ if ! "$BIN" explain --ledger "$DIR/ledger.jsonl" --sample "$SAMPLE" >/dev/null; 
   exit 1
 fi
 
+# With the approximate backend active, the detector must surface the
+# enld.ann.* telemetry families in its metrics snapshot.
+"$BIN" detect --lake "$DIR/lake.json" --index hnsw --iterations 2 \
+  --out "$DIR/hnsw.json" --metrics-out "$DIR/hnsw-metrics.json" >/dev/null
+for family in enld.ann.inserts_total enld.ann.queries_total enld.ann.recall_probe; do
+  if ! grep -q "$family" "$DIR/hnsw-metrics.json"; then
+    echo "hnsw metrics snapshot is missing $family:"
+    head -n 40 "$DIR/hnsw-metrics.json"
+    exit 1
+  fi
+done
+
 echo "checkpoint/resume smoke OK"

@@ -27,6 +27,9 @@ cargo test -q --workspace -- --ignored --test-threads=1
 echo "==> checkpoint/resume CLI smoke (injected crash + resume)"
 bash scripts/chaos_smoke.sh
 
+echo "==> ann index CLI smoke (hnsw build + crash mid-persist + rebuild-free resume)"
+bash scripts/ann_smoke.sh
+
 echo "==> bench gate smoke (single iteration, no baseline compare)"
 bash scripts/bench_gate.sh --smoke
 

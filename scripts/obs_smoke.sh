@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Observability smoke test: launch `enld serve --obs-addr 127.0.0.1:0`
-# against a generated lake, scrape /metrics and /healthz over real HTTP,
-# and assert the lake.queue.depth and per-worker service-time families
-# are exposed. Called from check.sh and CI.
+# against a generated lake (with the hnsw index active), scrape /metrics
+# and /healthz over real HTTP, and assert the lake.queue.depth,
+# per-worker service-time, and enld.ann.* families are exposed. Called
+# from check.sh and CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,9 +28,11 @@ trap cleanup EXIT
   --out "$SMOKE_DIR/lake.json" >/dev/null
 
 # --obs-linger keeps the endpoint scrapable after the short run so the
-# polling loop below cannot race the process exit.
+# polling loop below cannot race the process exit. --index hnsw makes
+# the serve path exercise the approximate index, whose enld.ann.*
+# telemetry families are asserted below.
 ./target/release/enld serve --lake "$SMOKE_DIR/lake.json" --workers 2 --iterations 2 \
-  --obs-addr 127.0.0.1:0 --obs-linger 120 --ledger "$SMOKE_DIR/ledger.jsonl" \
+  --index hnsw --obs-addr 127.0.0.1:0 --obs-linger 120 --ledger "$SMOKE_DIR/ledger.jsonl" \
   > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 
@@ -65,14 +68,16 @@ for _ in $(seq 1 240); do
   server_alive_or_die
   METRICS=$(curl -fsS "http://$ADDR/metrics" || true)
   if printf '%s\n' "$METRICS" | grep -q '^lake_queue_depth ' &&
-     printf '%s\n' "$METRICS" | grep -q '^serve_worker_0_service_secs_count '; then
+     printf '%s\n' "$METRICS" | grep -q '^serve_worker_0_service_secs_count ' &&
+     printf '%s\n' "$METRICS" | grep -q '^enld_ann_inserts_total ' &&
+     printf '%s\n' "$METRICS" | grep -q '^enld_ann_recall_probe '; then
     FOUND=1
     break
   fi
   sleep 0.5
 done
 if [ -z "$FOUND" ]; then
-  echo "lake_queue_depth / serve_worker_0_service_secs families never appeared in /metrics:"
+  echo "lake_queue_depth / serve_worker_0_service_secs / enld_ann_* families never appeared in /metrics:"
   printf '%s\n' "$METRICS"
   exit 1
 fi

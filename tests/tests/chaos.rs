@@ -78,11 +78,14 @@ fn canonical_ledger(path: &Path) -> BTreeMap<String, String> {
 }
 
 /// Serves all [`TASKS`] arrivals without interference.
-fn uninterrupted(dir: &Path, tag: &str) -> (Vec<Canon>, BTreeMap<String, String>) {
+fn uninterrupted(
+    cfg: &EnldConfig,
+    dir: &Path,
+    tag: &str,
+) -> (Vec<Canon>, BTreeMap<String, String>) {
     let ledger_path = dir.join(format!("{tag}.jsonl"));
     let mut lake = build_lake();
-    let cfg = EnldConfig::fast_test();
-    let mut enld = Enld::init(lake.inventory(), &cfg);
+    let mut enld = Enld::init(lake.inventory(), cfg);
     let sink = Arc::new(JsonlLedger::create(&ledger_path).expect("create ledger"));
     enld.set_ledger(sink.clone(), "main");
     let mut reports = Vec::new();
@@ -100,18 +103,18 @@ fn uninterrupted(dir: &Path, tag: &str) -> (Vec<Canon>, BTreeMap<String, String>
 ///
 /// Caller must hold the chaos scenario lock.
 fn crashed_then_resumed(
+    cfg: &EnldConfig,
     spec: &str,
     dir: &Path,
     tag: &str,
 ) -> (Vec<Canon>, BTreeMap<String, String>) {
     let ledger_path = dir.join(format!("{tag}.jsonl"));
     let ckpt_path = dir.join(format!("{tag}.ckpt"));
-    let cfg = EnldConfig::fast_test();
 
     // First life: crashes inside task 0 at the armed kill-point.
     {
         let mut lake = build_lake();
-        let mut enld = Enld::init(lake.inventory(), &cfg);
+        let mut enld = Enld::init(lake.inventory(), cfg);
         enld.enable_checkpoints(&ckpt_path);
         let sink = Arc::new(JsonlLedger::create(&ledger_path).expect("create ledger"));
         enld.set_ledger(sink.clone(), "main");
@@ -128,7 +131,7 @@ fn crashed_then_resumed(
     // Second life: reload, resume, and serve everything still pending.
     let mut lake = build_lake();
     let ckpt = Checkpoint::load(&ckpt_path).expect("the crash left a checkpoint behind");
-    let mut enld = Enld::resume_from(lake.inventory(), &cfg, &ckpt).expect("resume");
+    let mut enld = Enld::resume_from(lake.inventory(), cfg, &ckpt).expect("resume");
     enld.enable_checkpoints(&ckpt_path);
     let sink = Arc::new(JsonlLedger::append(&ledger_path).expect("append ledger"));
     enld.set_ledger(sink.clone(), "main");
@@ -163,20 +166,88 @@ fn resume_after_injected_crash_matches_the_uninterrupted_run() {
         ("finalise", "detector.ledger=panic@nth:1"),
         ("ledger-burst", "ledger.record=panic@nth:4"),
     ];
+    let cfg = EnldConfig::fast_test();
     for threads in THREAD_COUNTS {
-        let (expect, expect_ledger) =
-            enld_par::with_threads(threads, || uninterrupted(&dir, &format!("base-{threads}")));
+        let (expect, expect_ledger) = enld_par::with_threads(threads, || {
+            uninterrupted(&cfg, &dir, &format!("base-{threads}"))
+        });
         assert!(!expect_ledger.is_empty(), "baseline must produce ledger records");
         for (name, spec) in KILL_POINTS {
             let tag = format!("{name}-{threads}");
             let (got, got_ledger) =
-                enld_par::with_threads(threads, || crashed_then_resumed(spec, &dir, &tag));
+                enld_par::with_threads(threads, || crashed_then_resumed(&cfg, spec, &dir, &tag));
             assert_eq!(got.len(), TASKS, "{tag}: a mid-task crash re-serves every arrival");
             assert_eq!(got, expect, "{tag}: reports diverge after resume");
             assert_eq!(got_ledger, expect_ledger, "{tag}: ledger records diverge after resume");
         }
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The ANN kill-points of the matrix, run with `--index hnsw`: a crash
+/// mid-insert (while a round index is under construction) or
+/// mid-persist (while the checkpoint writer serializes the graph blob)
+/// must resume from the surviving checkpoint — restoring the persisted
+/// index instead of rebuilding — and reproduce the uninterrupted run's
+/// reports and ledger byte-identically.
+#[test]
+fn hnsw_resume_after_ann_killpoints_matches_the_uninterrupted_run() {
+    use enld_knn::IndexBackend;
+
+    let _guard = enld_chaos::scenario();
+    let dir = tmp_dir("ann-matrix");
+    // nth:2 for the persist site: write 1 (post-warm-up) must land so a
+    // checkpoint with an ANN blob exists before write 2 is killed.
+    const KILL_POINTS: [(&str, &str); 2] =
+        [("ann-insert", "ann.insert=panic@nth:1"), ("ann-persist", "ann.persist=panic@nth:2")];
+    let mut cfg = EnldConfig::fast_test();
+    cfg.index = IndexBackend::hnsw();
+    for threads in THREAD_COUNTS {
+        let (expect, expect_ledger) = enld_par::with_threads(threads, || {
+            uninterrupted(&cfg, &dir, &format!("ann-base-{threads}"))
+        });
+        for (name, spec) in KILL_POINTS {
+            let tag = format!("{name}-{threads}");
+            let (got, got_ledger) =
+                enld_par::with_threads(threads, || crashed_then_resumed(&cfg, spec, &dir, &tag));
+            assert_eq!(got, expect, "{tag}: reports diverge after resume");
+            assert_eq!(got_ledger, expect_ledger, "{tag}: ledger records diverge after resume");
+            let ckpt = Checkpoint::load(&dir.join(format!("{tag}.ckpt"))).expect("final ckpt");
+            assert!(ckpt.ann.is_some(), "{tag}: hnsw checkpoints must embed the index blob");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `ann.repair` failpoint fires *before* the tombstone flips, so a
+/// crash mid-repair leaves the index exactly as it was: same serialized
+/// bytes, same query answers — nothing to recover.
+#[test]
+fn a_crash_mid_repair_leaves_the_ann_index_intact() {
+    use enld_ann::AnnClassIndex;
+    use enld_knn::AnnParams;
+
+    let _guard = enld_chaos::scenario();
+    let features: Vec<f32> = (0..90).map(|i| (i % 17) as f32).collect();
+    let labels: Vec<u32> = (0..30).map(|i| (i % 3) as u32).collect();
+    let keep: Vec<usize> = (0..30).collect();
+    let mut index = AnnClassIndex::build(&features, 3, &labels, &keep, AnnParams::default());
+    let before = index.to_bytes();
+
+    enld_chaos::arm_from_spec("ann.repair=panic").expect("valid failpoint spec");
+    let crashed = catch_unwind(AssertUnwindSafe(|| index.remove(1, 1)));
+    enld_chaos::disarm_all();
+    assert!(crashed.is_err(), "the armed failpoint must kill the repair");
+
+    assert_eq!(index.to_bytes(), before, "a mid-repair crash must not mutate the graph");
+    let restored = AnnClassIndex::from_bytes(&before).expect("blob still decodes");
+    assert_eq!(
+        restored.k_nearest_in_class(1, &[1.0, 2.0, 3.0], 3),
+        index.k_nearest_in_class(1, &[1.0, 2.0, 3.0], 3)
+    );
+    // Disarmed, the repair path completes and the sample is gone.
+    assert!(index.remove(1, 1), "sample 1 was live");
+    assert_eq!(index.class_len(1), 9);
 }
 
 /// A checkpoint write that fails mid-run aborts loudly (silently running on

@@ -9,10 +9,12 @@
 //! arms process-global failpoints, and the lock keeps that window from
 //! overlapping another test's detection run.
 
+use enld_ann::AnnClassIndex;
 use enld_core::{config::EnldConfig, detector::Enld};
 use enld_datagen::presets::DatasetPreset;
 use enld_knn::class_index::ClassIndex;
 use enld_knn::kdtree::Neighbor;
+use enld_knn::{AnnParams, IndexBackend};
 use enld_lake::lake::{DataLake, LakeConfig};
 use enld_nn::matrix::Matrix;
 use rand::rngs::StdRng;
@@ -63,6 +65,67 @@ fn knn_neighbour_sets_are_identical_across_thread_counts() {
         index.k_nearest_in_class_batch(&qlabels, &queries, 4)
     };
     let base: Vec<Vec<Neighbor>> = enld_par::with_threads(1, run);
+    for threads in THREAD_COUNTS {
+        let got = enld_par::with_threads(threads, run);
+        assert_eq!(got, base, "threads={threads}");
+    }
+}
+
+#[test]
+fn ann_build_update_and_queries_are_bit_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
+    const DIM: usize = 12;
+    const N: usize = 800;
+    const ARRIVAL: usize = 120;
+    let feats = uniform((N + ARRIVAL) * DIM, 61);
+    let labels: Vec<u32> = (0..N + ARRIVAL).map(|i| (i % 6) as u32).collect();
+    let keep: Vec<usize> = (0..N + ARRIVAL).collect();
+    let queries = uniform(32 * DIM, 62);
+    let qlabels: Vec<u32> = (0..32).map(|i| (i % 6) as u32).collect();
+
+    // Build, patch an arrival in, tombstone a few, then query: the
+    // serialized blob pins the whole graph (levels, links, tombstones)
+    // bit-for-bit, not just the query answers.
+    let run = || {
+        let mut index = AnnClassIndex::build(
+            &feats[..N * DIM],
+            DIM,
+            &labels[..N],
+            &keep[..N],
+            AnnParams::default(),
+        );
+        index.insert_batch(&feats[N * DIM..], &labels[N..], &keep[N..]);
+        for g in (0..N).step_by(97) {
+            index.remove(labels[g], g);
+        }
+        (index.to_bytes(), index.k_nearest_in_class_batch(&qlabels, &queries, 4))
+    };
+    let base = enld_par::with_threads(1, run);
+    for threads in [4, 8] {
+        let got = enld_par::with_threads(threads, run);
+        assert_eq!(got.0, base.0, "serialized graph diverged at threads={threads}");
+        assert_eq!(got.1, base.1, "query answers diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn hnsw_detection_reports_are_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
+    // Same contract as `detection_reports_are_identical_across_thread_counts`
+    // but with the approximate backend: the HNSW build, the incremental
+    // updates and the batched ambiguity queries all run under the pool.
+    let run = || {
+        let preset = DatasetPreset::test_sim().scaled(0.5);
+        let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: 0.2, seed: 105 });
+        let mut cfg = EnldConfig::fast_test();
+        cfg.iterations = 3;
+        cfg.index = IndexBackend::hnsw();
+        let mut enld = Enld::init(lake.inventory(), &cfg);
+        let req = lake.next_request().expect("queued");
+        let r = enld.detect(&req.data);
+        (r.clean, r.noisy, r.pseudo_labels, r.inventory_clean)
+    };
+    let base = enld_par::with_threads(1, run);
     for threads in THREAD_COUNTS {
         let got = enld_par::with_threads(threads, run);
         assert_eq!(got, base, "threads={threads}");

@@ -1,12 +1,18 @@
 //! Cross-crate property tests: conservation laws of the data-lake
-//! pipeline and structural invariants of detection reports.
+//! pipeline, structural invariants of detection reports, and the HNSW
+//! graph invariants of `enld-ann`.
 
 use proptest::prelude::*;
 
+use enld_ann::{AnnClassIndex, HnswShard};
 use enld_core::{config::EnldConfig, detector::Enld};
 use enld_datagen::noise::{apply_missing_labels, NoiseModel};
 use enld_datagen::presets::DatasetPreset;
+use enld_knn::class_index::ClassIndex;
+use enld_knn::AnnParams;
 use enld_lake::lake::{DataLake, LakeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -104,6 +110,116 @@ proptest! {
         // Inventory votes point into I_c.
         for &i in &report.inventory_clean {
             prop_assert!(i < enld.candidate_set().len());
+        }
+    }
+}
+
+fn points(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any interleaving of inserts and deletes, every HNSW shard
+    /// invariant holds: layer monotonicity (no node is linked above its
+    /// own level), bidirectional links at every layer (insert, delete
+    /// and neighbour repair all preserve symmetry), tombstone
+    /// bookkeeping, and a live entry point.
+    #[test]
+    fn prop_hnsw_invariants_survive_inserts_and_deletes(
+        n in 2usize..48,
+        seed in 0u64..1_000,
+        deletions in prop::collection::vec(0usize..48, 0..16),
+    ) {
+        const DIM: usize = 3;
+        let pts = points(n, DIM, seed);
+        let mut shard = HnswShard::new(
+            DIM,
+            AnnParams { m: 4, ef_construction: 12, ef_search: 12, seed },
+            seed,
+        );
+        for i in 0..n {
+            shard.insert(i, &pts[i * DIM..(i + 1) * DIM]);
+            shard.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        for &g in &deletions {
+            shard.remove(g % n);
+            shard.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        // Re-inserting over the tombstones must also keep the graph sound.
+        for (idx, &g) in deletions.iter().enumerate() {
+            shard.insert(n + idx, &pts[(g % n) * DIM..(g % n + 1) * DIM]);
+            shard.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// With `m`/`ef` at least the shard size the beam search degenerates
+    /// to exhaustive scan, so the graph must return exactly the
+    /// brute-force k-nearest distances — recall can never drop below
+    /// brute force on instances the parameters fully cover.
+    #[test]
+    fn prop_hnsw_matches_brute_force_when_ef_covers_the_shard(
+        n in 1usize..32,
+        k in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        const DIM: usize = 4;
+        let pts = points(n + 1, DIM, seed);
+        let (query, pts) = pts.split_at(DIM);
+        let mut shard = HnswShard::new(
+            DIM,
+            AnnParams { m: n.max(2), ef_construction: n.max(2), ef_search: n.max(2), seed },
+            seed,
+        );
+        for i in 0..n {
+            shard.insert(i, &pts[i * DIM..(i + 1) * DIM]);
+        }
+        let (hits, _) = shard.k_nearest(query, k);
+        let mut brute: Vec<f32> = (0..n)
+            .map(|i| {
+                pts[i * DIM..(i + 1) * DIM]
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum()
+            })
+            .collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        brute.truncate(k);
+        let got: Vec<f32> = hits.iter().map(|h| h.dist_sq).collect();
+        prop_assert_eq!(got, brute);
+    }
+
+    /// The sharded class index agrees with the exact KD-trees whenever
+    /// the beam covers each class shard, for every class in the set.
+    #[test]
+    fn prop_ann_class_index_matches_exact_at_full_beam(
+        per_class in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        const DIM: usize = 3;
+        const CLASSES: usize = 3;
+        let n = per_class * CLASSES;
+        let pts = points(n + 1, DIM, seed);
+        let (query, pts) = pts.split_at(DIM);
+        let labels: Vec<u32> = (0..n).map(|i| (i % CLASSES) as u32).collect();
+        let keep: Vec<usize> = (0..n).map(|i| i * 10).collect();
+        let params = AnnParams {
+            m: per_class.max(2),
+            ef_construction: per_class.max(2),
+            ef_search: per_class.max(2),
+            seed,
+        };
+        let ann = AnnClassIndex::build(pts, DIM, &labels, &keep, params);
+        let exact = ClassIndex::build(pts, DIM, &labels, &keep);
+        for class in 0..CLASSES as u32 {
+            let a = ann.k_nearest_in_class(class, query, 3);
+            let e = exact.k_nearest_in_class(class, query, 3);
+            let a_ids: Vec<usize> = a.iter().map(|h| h.index).collect();
+            let e_ids: Vec<usize> = e.iter().map(|h| h.index).collect();
+            prop_assert_eq!(a_ids, e_ids, "class {} diverged from exact", class);
         }
     }
 }

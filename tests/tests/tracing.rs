@@ -76,7 +76,13 @@ fn par_map_bodies_parent_to_the_submitting_span() {
     let root_id = enld_par::with_threads(4, || {
         let root = enld_telemetry::span("test.root").entered();
         let id = root.id().expect("sink installed, span live");
-        let out = enld_par::par_map(64, 4, |i| i * 2);
+        // Tasks must outlive worker wake-up, or the submitting thread can
+        // drain the whole queue inline and the off-thread assertion below
+        // turns machine-dependent.
+        let out = enld_par::par_map(64, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            i * 2
+        });
         assert_eq!(out[13], 26);
         id
     });
@@ -161,7 +167,7 @@ fn ledger_task_ids_join_to_the_detect_span_across_checkpoint_resume() {
         let ckpt = Checkpoint::load(&ckpt_path).expect("crash left a checkpoint");
         let mut enld = Enld::resume_from(lake.inventory(), &cfg, &ckpt).expect("resume");
         let req = lake.next_request().expect("queued");
-        enld.set_ledger(Arc::clone(&ledger), "main");
+        enld.set_ledger(ledger.clone(), "main");
         let _ = enld.detect(&req.data);
     }
     let spans = finish(&sink);
