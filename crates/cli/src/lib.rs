@@ -42,6 +42,7 @@ use enld_telemetry::json::JsonObject;
 use enld_telemetry::ObsStatus;
 
 pub mod explain;
+pub mod monitor;
 pub mod profile;
 
 /// A dataset bundle on disk: the lake's inventory plus arrivals.
@@ -101,6 +102,22 @@ pub fn generate(
     seed: u64,
     out: &Path,
 ) -> Result<LakeFile, CliError> {
+    generate_with_drift(preset_name, noise, None, seed, out)
+}
+
+/// [`generate`] with optional injected label drift (`enld generate
+/// --drift R`): the second half of the arrival sequence is re-corrupted
+/// from its true labels at rate `drift` instead of `noise`, producing a
+/// stationary-then-shifted stream for exercising the drift alerts. The
+/// re-corruption replaces (not compounds) the original noise, so the
+/// post-drift arrivals have exactly rate-`drift` symmetric noise.
+pub fn generate_with_drift(
+    preset_name: &str,
+    noise: f32,
+    drift: Option<f32>,
+    seed: u64,
+    out: &Path,
+) -> Result<LakeFile, CliError> {
     let preset = DatasetPreset::by_name(preset_name).ok_or_else(|| {
         CliError::BadInput(format!(
             "unknown preset '{preset_name}' (try emnist-sim, cifar100-sim, tiny-imagenet-sim, test-sim)"
@@ -109,11 +126,25 @@ pub fn generate(
     if !(0.0..=1.0).contains(&noise) {
         return Err(CliError::BadInput(format!("noise rate {noise} outside [0, 1]")));
     }
+    if let Some(d) = drift {
+        if !(0.0..=1.0).contains(&d) {
+            return Err(CliError::BadInput(format!("drift rate {d} outside [0, 1]")));
+        }
+    }
     let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: noise, seed });
     let mut arrivals = Vec::with_capacity(lake.pending_requests());
     let inventory = lake.inventory().clone();
     while let Some(req) = lake.next_request() {
         arrivals.push(req.data);
+    }
+    if let Some(eta) = drift {
+        let start = arrivals.len() / 2;
+        let model = enld_datagen::noise::NoiseModel::symmetric(inventory.classes(), eta);
+        for (i, arrival) in arrivals.iter_mut().enumerate().skip(start) {
+            // Distinct per-arrival seeds, decorrelated from the base
+            // noise draw so drifted labels are not a re-roll of it.
+            *arrival = model.corrupt(arrival, seed ^ (0x9E37_79B9 + i as u64));
+        }
     }
     let file = LakeFile { format: FORMAT.to_owned(), inventory, arrivals };
     write_json(out, &file)?;
@@ -230,6 +261,15 @@ pub fn detect_with_recovery(
         enld.enable_checkpoints(path);
     }
     if let Some(path) = ledger {
+        if recovery.resume {
+            // Re-derive the monitor's drift windows and alert state from
+            // the interrupted run's records before appending new ones —
+            // a restarted process starts with an empty in-memory monitor.
+            let fed = monitor::prime_monitor_from_ledger(path)?;
+            if fed > 0 {
+                println!("monitor primed with {fed} drift observation(s) from the ledger");
+            }
+        }
         let sink = if recovery.resume {
             Arc::new(JsonlLedger::append(path)?)
         } else {

@@ -6,22 +6,24 @@ use std::sync::Arc;
 
 use enld_cli::explain::{explain, load_ledger};
 use enld_cli::{
-    audit, detect_with_recovery, generate, load_lake, serve, write_json, DetectOverrides,
-    ObsBridge, RecoveryOptions, ServeOptions,
+    audit, detect_with_recovery, generate_with_drift, load_lake, serve, write_json,
+    DetectOverrides, ObsBridge, RecoveryOptions, ServeOptions,
 };
 use enld_telemetry::{ObsServer, ObsStatus, TelemetryConfig};
 
 const USAGE: &str = "\
 usage:
-  enld generate --preset <name> [--noise R] [--seed N] --out FILE
+  enld generate --preset <name> [--noise R] [--drift R] [--seed N] --out FILE
   enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N] [--ledger FILE]
-                [--index exact|hnsw] [--checkpoint FILE [--resume]]
+                [--index exact|hnsw] [--checkpoint FILE [--resume]] [--alert-rules FILE]
   enld serve    --lake FILE [--workers N] [--policy fifo|sjf|priority|edf]
                 [--queue-limit N] [--out FILE] [--iterations N] [--k N] [--seed N]
                 [--index exact|hnsw] [--obs-addr HOST:PORT] [--obs-linger SECS]
-                [--ledger FILE]
+                [--ledger FILE] [--alert-rules FILE] [--healthz-strict]
   enld audit    --lake FILE [--arrival N] [--workers N]
   enld explain  --ledger FILE --sample N [--task N]
+  enld monitor  --obs-addr HOST:PORT [--poll SECS] [--count N]
+  enld monitor  --ledger FILE [--alert-rules FILE]
   enld profile  SPANS.jsonl [--chrome FILE] [--folded FILE] [--top N] [--trace ID]
 
 every command also accepts:
@@ -32,7 +34,17 @@ every command also accepts:
 cores; 1 = sequential). results are bit-identical for every thread count
 
 the --obs-addr endpoint serves /metrics (Prometheus), /metrics.json, /healthz,
-/workers, and /traces (tail-sampled Chrome trace JSON of the slowest/error jobs)
+/workers, /traces (tail-sampled Chrome trace JSON of the slowest/error jobs),
+/alerts (alert-rule state), and /timeseries (windowed metric rollups)
+
+detect and serve run a streaming monitor: drift metrics feed windowed time
+series and change-point/threshold/burn-rate alert rules (built-in defaults, or
+--alert-rules FILE; see DESIGN.md section 12). firing alerts mark /healthz
+\"degraded\"; --healthz-strict turns that into HTTP 503. `enld monitor` polls a
+live endpoint and renders the state, or replays a --ledger offline
+
+--drift R re-corrupts the second half of generated arrivals at rate R,
+injecting the mid-stream label drift the alert rules are meant to catch
 
 enld profile reads a --trace-out span file and reports per-site self/total
 time, the slowest trace's critical path, and optional Chrome-trace/folded
@@ -56,10 +68,21 @@ const COMMON_FLAGS: &[&str] =
 
 /// Per-command accepted flags; anything else is an error, not silence.
 const COMMAND_FLAGS: &[(&str, &[&str])] = &[
-    ("generate", &["preset", "noise", "seed", "out"]),
+    ("generate", &["preset", "noise", "drift", "seed", "out"]),
     (
         "detect",
-        &["lake", "out", "iterations", "k", "seed", "index", "ledger", "checkpoint", "resume"],
+        &[
+            "lake",
+            "out",
+            "iterations",
+            "k",
+            "seed",
+            "index",
+            "ledger",
+            "checkpoint",
+            "resume",
+            "alert-rules",
+        ],
     ),
     (
         "serve",
@@ -76,15 +99,18 @@ const COMMAND_FLAGS: &[(&str, &[&str])] = &[
             "obs-addr",
             "obs-linger",
             "ledger",
+            "alert-rules",
+            "healthz-strict",
         ],
     ),
     ("audit", &["lake", "arrival", "workers"]),
     ("explain", &["ledger", "sample", "task"]),
+    ("monitor", &["obs-addr", "poll", "count", "ledger", "alert-rules"]),
     ("profile", &["spans", "chrome", "folded", "top", "trace"]),
 ];
 
 /// Flags that take no value; their presence means "true".
-const SWITCH_FLAGS: &[&str] = &["resume"];
+const SWITCH_FLAGS: &[&str] = &["resume", "healthz-strict"];
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -153,6 +179,19 @@ impl Args {
     }
 }
 
+/// The alert rule set for this invocation: `--alert-rules FILE` when
+/// given, the built-in defaults otherwise.
+fn load_alert_rules(args: &Args) -> Result<Vec<enld_telemetry::AlertRule>, String> {
+    match args.get("alert-rules") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--alert-rules {path}: {e}"))?;
+            enld_telemetry::parse_rules(&text).map_err(|e| format!("--alert-rules {path}: {e}"))
+        }
+        None => Ok(enld_telemetry::default_rules()),
+    }
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
@@ -196,6 +235,13 @@ fn run() -> Result<(), String> {
     // *every* exit path, including usage errors below.
     let mut telemetry =
         telemetry_cfg.install().map_err(|e| format!("failed to open trace output: {e}"))?;
+    // Arm the streaming monitor for pipeline commands: the detector's
+    // drift metrics and the pool's sojourns feed its windows, and the
+    // installed rules (defaults or --alert-rules) evaluate per
+    // observation. Other commands leave it unarmed (windows only).
+    if command == "detect" || command == "serve" {
+        enld_telemetry::monitor::global().install_rules(load_alert_rules(&args)?);
+    }
     // Bind the observability endpoint before any heavy work so scrapers
     // can watch setup; /healthz reports "starting" until the pool exists.
     let obs_bridge = Arc::new(ObsBridge::new());
@@ -207,11 +253,13 @@ fn run() -> Result<(), String> {
             // error traces of the run as Chrome trace-event JSON.
             let traces = Arc::new(enld_telemetry::TraceBuffer::new(32));
             enld_telemetry::install(Arc::clone(&traces) as Arc<dyn enld_telemetry::Sink>);
-            let server = ObsServer::bind_with_traces(
+            let server = ObsServer::bind_full(
                 addr,
                 enld_telemetry::metrics::global(),
                 status,
                 Some(traces),
+                Some(enld_telemetry::monitor::global()),
+                args.has("healthz-strict"),
             )
             .map_err(|e| format!("--obs-addr {addr}: bind failed: {e}"))?;
             println!("observability endpoint listening on http://{}", server.local_addr());
@@ -223,15 +271,22 @@ fn run() -> Result<(), String> {
         "generate" => {
             let preset = args.get("preset").ok_or("--preset is required")?;
             let noise: f32 = args.parse_num("noise")?.unwrap_or(0.2);
+            let drift: Option<f32> = args.parse_num("drift")?;
             let seed: u64 = args.parse_num("seed")?.unwrap_or(7);
             let out = PathBuf::from(args.get("out").ok_or("--out is required")?);
-            let file = generate(preset, noise, seed, &out).map_err(|e| e.to_string())?;
+            let file =
+                generate_with_drift(preset, noise, drift, seed, &out).map_err(|e| e.to_string())?;
             println!(
-                "wrote {}: {} inventory samples, {} arrivals, {} classes",
+                "wrote {}: {} inventory samples, {} arrivals, {} classes{}",
                 out.display(),
                 file.inventory.len(),
                 file.arrivals.len(),
-                file.inventory.classes()
+                file.inventory.classes(),
+                match drift {
+                    Some(d) =>
+                        format!(", drift to noise {d} from arrival {}", file.arrivals.len() / 2),
+                    None => String::new(),
+                }
             );
             Ok(())
         }
@@ -381,6 +436,28 @@ fn run() -> Result<(), String> {
                 ))
             } else {
                 Ok(())
+            }
+        }
+        "monitor" => {
+            if let Some(ledger) = args.get("ledger") {
+                // Offline: re-derive alert state from a run's ledger.
+                let state = enld_cli::monitor::replay_alert_state(
+                    &PathBuf::from(ledger),
+                    load_alert_rules(&args)?,
+                )
+                .map_err(|e| e.to_string())?;
+                println!("{state}");
+                Ok(())
+            } else {
+                let addr = args
+                    .get("obs-addr")
+                    .ok_or("--obs-addr (live) or --ledger (offline) is required")?;
+                let opts = enld_cli::monitor::MonitorOptions {
+                    addr: addr.to_owned(),
+                    poll_secs: args.parse_num("poll")?.unwrap_or(2),
+                    count: args.parse_num("count")?,
+                };
+                enld_cli::monitor::run_monitor(&opts)
             }
         }
         "profile" => {

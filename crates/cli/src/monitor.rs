@@ -1,0 +1,310 @@
+//! `enld monitor` — live console view of a serving process's alert and
+//! time-series state, plus offline re-derivation of alert state from an
+//! audit ledger.
+//!
+//! Live mode polls a `--obs-addr` observability endpoint (`/alerts` and
+//! `/timeseries`) and renders a compact summary per poll. Offline mode
+//! (`--ledger FILE`) replays the drift records a run wrote into a fresh
+//! alert engine; because engine state is a pure function of the
+//! per-series observation sequences, the replayed state matches what the
+//! live monitor showed — including for a run that crashed and resumed,
+//! which is exactly the property the chaos suite asserts.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+use enld_core::ledger::LedgerRecord;
+use enld_telemetry::alerts::{AlertEngine, AlertRule};
+use enld_telemetry::timeseries::{TimeSeriesStore, DEFAULT_CAPACITY};
+
+use crate::explain::load_ledger;
+use crate::CliError;
+
+/// The two drift series a ledger can reconstruct (the other monitored
+/// series — sojourns, process gauges — are runtime-only).
+const AMBIGUOUS_SERIES: &str = "enld.drift.ambiguous_rate";
+const DIVERGENCE_SERIES: &str = "enld.drift.p_row_divergence";
+
+/// One deduped drift observation: `(detector tag, record id, value)`.
+pub type DriftPoint = (String, usize, f64);
+
+/// Extracts the drift observation sequences from ledger records:
+/// per-task ambiguous rates and per-update P̃ row divergences, keyed by
+/// `(detector tag, id)`.
+///
+/// A crashed-and-resumed run appends its re-served tasks after the
+/// originals, so the same `(tag, id)` can appear twice; last-record-wins
+/// dedup collapses the stream back to one observation per task, which is
+/// what the live monitor of an uninterrupted run saw. Feeding order is
+/// `(tag, id)` — identical to arrival order for single-detector
+/// (sequential `detect`) ledgers, which is where replay parity is exact.
+pub fn drift_series_from_ledger(records: &[LedgerRecord]) -> (Vec<DriftPoint>, Vec<DriftPoint>) {
+    let mut tasks: BTreeMap<(String, usize), f64> = BTreeMap::new();
+    let mut updates: BTreeMap<(String, usize), f64> = BTreeMap::new();
+    for record in records {
+        match record {
+            LedgerRecord::Task(t) => {
+                tasks.insert((t.detector.clone(), t.task), t.ambiguous_rate);
+            }
+            LedgerRecord::Update(u) => {
+                updates.insert((u.detector.clone(), u.update), u.p_row_divergence);
+            }
+            LedgerRecord::Sample(_) => {}
+        }
+    }
+    let flatten = |m: BTreeMap<(String, usize), f64>| {
+        m.into_iter().map(|((tag, id), v)| (tag, id, v)).collect()
+    };
+    (flatten(tasks), flatten(updates))
+}
+
+/// Replays a ledger's drift records through a fresh alert engine and
+/// returns it (inspect with [`AlertEngine::to_json`]).
+pub fn replay_engine(records: &[LedgerRecord], rules: Vec<AlertRule>) -> AlertEngine {
+    let store = TimeSeriesStore::new(DEFAULT_CAPACITY);
+    let (tasks, updates) = drift_series_from_ledger(records);
+    for (i, (_, _, v)) in tasks.iter().enumerate() {
+        store.record_direct(AMBIGUOUS_SERIES, i as f64, *v);
+    }
+    for (i, (_, _, v)) in updates.iter().enumerate() {
+        store.record_direct(DIVERGENCE_SERIES, i as f64, *v);
+    }
+    let mut engine = AlertEngine::new(rules);
+    engine.evaluate(&store);
+    engine
+}
+
+/// Offline `enld monitor --ledger`: alert state re-derived from a
+/// ledger file.
+///
+/// # Errors
+/// Fails when the ledger cannot be read or parsed.
+pub fn replay_alert_state(ledger: &Path, rules: Vec<AlertRule>) -> Result<String, CliError> {
+    let records = load_ledger(ledger)?;
+    Ok(replay_engine(&records, rules).to_json())
+}
+
+/// Re-feeds a resumed run's ledger history into the process-global
+/// monitor so its windows and alert state pick up where the crashed
+/// process left off. Returns the number of observations fed.
+///
+/// # Errors
+/// Fails when the ledger exists but cannot be parsed.
+pub fn prime_monitor_from_ledger(ledger: &Path) -> Result<usize, CliError> {
+    if !ledger.exists() {
+        return Ok(0);
+    }
+    let records = load_ledger(ledger)?;
+    let (tasks, updates) = drift_series_from_ledger(&records);
+    let monitor = enld_telemetry::monitor::global();
+    for (_, _, v) in &tasks {
+        monitor.observe(AMBIGUOUS_SERIES, *v);
+    }
+    for (_, _, v) in &updates {
+        monitor.observe(DIVERGENCE_SERIES, *v);
+    }
+    Ok(tasks.len() + updates.len())
+}
+
+/// One `GET path` against the observability endpoint; returns the body.
+///
+/// # Errors
+/// Fails on connection or read errors, or a non-200 status.
+fn obs_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("read from {addr}: {e}"))?;
+    let (head, body) =
+        raw.split_once("\r\n\r\n").ok_or_else(|| format!("malformed response from {addr}"))?;
+    let code = head.split_whitespace().nth(1).unwrap_or("");
+    if code != "200" {
+        return Err(format!("{addr}{path} returned HTTP {code}: {body}"));
+    }
+    Ok(body.to_owned())
+}
+
+/// Options for live `enld monitor --obs-addr`.
+#[derive(Debug, Clone)]
+pub struct MonitorOptions {
+    /// Observability endpoint to poll (`HOST:PORT`).
+    pub addr: String,
+    /// Seconds between polls.
+    pub poll_secs: u64,
+    /// Number of polls before exiting; `None` polls until interrupted.
+    pub count: Option<u64>,
+}
+
+/// Renders one poll of `/alerts` + `/timeseries` as console lines.
+fn render_poll(alerts: &serde_json::Value, series: &serde_json::Value) -> String {
+    let mut out = String::new();
+    let firing = alerts.get("firing").and_then(|v| v.as_u64()).unwrap_or(0);
+    let uptime = alerts.get("uptime_secs").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    out.push_str(&format!("alerts: {firing} firing (monitor up {uptime:.0}s)\n"));
+    if let Some(rules) = alerts.get("alerts").and_then(|v| v.as_array()) {
+        for rule in rules {
+            let name = rule.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+            let state = rule.get("state").and_then(|v| v.as_str()).unwrap_or("?");
+            let kind = rule.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+            let obs = rule.get("observations").and_then(|v| v.as_u64()).unwrap_or(0);
+            let mark = if state == "firing" { "!!" } else { "ok" };
+            let last = rule
+                .get("last_value")
+                .and_then(|v| v.as_f64())
+                .map(|v| format!(" last={v:.4}"))
+                .unwrap_or_default();
+            out.push_str(&format!("  [{mark}] {name:<28} {kind:<13} obs={obs}{last}\n"));
+        }
+    }
+    if let Some(map) = series.get("series").and_then(|v| v.as_object()) {
+        out.push_str(&format!("series: {}\n", map.len()));
+        for (name, s) in map {
+            let Some(w) = s.get("window") else { continue };
+            let count = w.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+            if count == 0 {
+                continue;
+            }
+            let mean = w.get("mean").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let p95 = w.get("p95").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let last = w.get("last").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            out.push_str(&format!(
+                "  {name:<34} n={count:<4} mean={mean:<10.4} p95={p95:<10.4} last={last:.4}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Live `enld monitor`: polls the endpoint and prints a summary per
+/// poll.
+///
+/// # Errors
+/// Fails when the endpoint is unreachable or serves malformed JSON (a
+/// target without a monitor attached returns 404, reported here).
+pub fn run_monitor(opts: &MonitorOptions) -> Result<(), String> {
+    let mut polled = 0u64;
+    loop {
+        let alerts_body = obs_get(&opts.addr, "/alerts")?;
+        let series_body = obs_get(&opts.addr, "/timeseries?window=64")?;
+        let alerts: serde_json::Value = serde_json::from_str(&alerts_body)
+            .map_err(|e| format!("/alerts returned malformed JSON: {e}"))?;
+        let series: serde_json::Value = serde_json::from_str(&series_body)
+            .map_err(|e| format!("/timeseries returned malformed JSON: {e}"))?;
+        print!("{}", render_poll(&alerts, &series));
+        polled += 1;
+        if let Some(count) = opts.count {
+            if polled >= count {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(Duration::from_secs(opts.poll_secs.max(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enld_core::ledger::{TaskRecord, UpdateRecord};
+    use enld_telemetry::alerts::default_rules;
+
+    fn task(tag: &str, id: usize, rate: f64) -> LedgerRecord {
+        LedgerRecord::Task(TaskRecord {
+            detector: tag.to_owned(),
+            task: id,
+            samples: 10,
+            eligible: 10,
+            ambiguous_initial: (rate * 10.0) as usize,
+            ambiguous_rate: rate,
+            clean: 8,
+            noisy: 2,
+            iterations: 3,
+            steps: 2,
+            threshold: 2,
+            trace_id: 0,
+            span_id: 0,
+        })
+    }
+
+    fn update(tag: &str, id: usize, div: f64) -> LedgerRecord {
+        LedgerRecord::Update(UpdateRecord {
+            detector: tag.to_owned(),
+            update: id,
+            clean_used: 8,
+            p_row_divergence: div,
+        })
+    }
+
+    #[test]
+    fn dedup_keeps_the_last_record_per_task() {
+        // Task 2 appears twice: once pre-crash, once after the resumed
+        // run re-served it. Replay must see it exactly once, with the
+        // re-served value.
+        let records = vec![
+            task("main", 1, 0.1),
+            task("main", 2, 0.2),
+            update("main", 1, 0.05),
+            task("main", 2, 0.25),
+            task("main", 3, 0.3),
+        ];
+        let (tasks, updates) = drift_series_from_ledger(&records);
+        assert_eq!(
+            tasks,
+            vec![
+                ("main".to_owned(), 1, 0.1),
+                ("main".to_owned(), 2, 0.25),
+                ("main".to_owned(), 3, 0.3),
+            ]
+        );
+        assert_eq!(updates, vec![("main".to_owned(), 1, 0.05)]);
+    }
+
+    #[test]
+    fn replay_is_invariant_to_duplicate_suffixes() {
+        // A clean ledger vs the same ledger with a crashed/resumed tail
+        // (task 3 logged twice) must re-derive identical engine state.
+        let clean: Vec<LedgerRecord> =
+            (1..=6).map(|i| task("main", i, if i <= 3 { 0.2 } else { 0.6 })).collect();
+        let mut crashed = clean.clone();
+        crashed.insert(3, task("main", 3, 0.2));
+        let a = replay_engine(&clean, default_rules()).to_json();
+        let b = replay_engine(&crashed, default_rules()).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"state\":\"firing\""), "the 0.2→0.6 step must fire: {a}");
+    }
+
+    #[test]
+    fn stationary_ledger_replays_to_zero_alerts() {
+        let records: Vec<LedgerRecord> =
+            (1..=8).map(|i| task("main", i, 0.2 + 0.004 * (i % 3) as f64)).collect();
+        let engine = replay_engine(&records, default_rules());
+        assert_eq!(engine.firing(), 0, "{}", engine.to_json());
+    }
+
+    #[test]
+    fn render_poll_summarises_alert_and_series_state() {
+        let alerts: serde_json::Value = serde_json::from_str(
+            r#"{"firing":1,"uptime_secs":12.0,"alerts":[
+                {"name":"drift","state":"firing","kind":"cusum","observations":6,"last_value":0.61},
+                {"name":"slo","state":"ok","kind":"burn-rate","observations":0}]}"#,
+        )
+        .unwrap();
+        let series: serde_json::Value = serde_json::from_str(
+            r#"{"series":{"enld.drift.ambiguous_rate":{"total":6,
+                "window":{"count":6,"min":0.2,"max":0.61,"mean":0.4,"p95":0.61,"last":0.61}}}}"#,
+        )
+        .unwrap();
+        let text = render_poll(&alerts, &series);
+        assert!(text.contains("alerts: 1 firing"), "{text}");
+        assert!(text.contains("[!!] drift"), "{text}");
+        assert!(text.contains("[ok] slo"), "{text}");
+        assert!(text.contains("enld.drift.ambiguous_rate"), "{text}");
+        assert!(text.contains("p95=0.6100"), "{text}");
+    }
+}

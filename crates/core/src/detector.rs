@@ -533,6 +533,9 @@ impl Enld {
             st.ambiguous_initial as f64 / eligible.len() as f64
         };
         metrics().gauge("enld.drift.ambiguous_rate").set(ambiguous_rate);
+        // One event-driven monitor observation per arrival: the change-
+        // point rules need the per-task sequence, not a resampled gauge.
+        telemetry::monitor::global().observe("enld.drift.ambiguous_rate", ambiguous_rate);
 
         // Fine-grained detection loop (Alg. 3 lines 5–22).
         for iteration in st.next_iteration..cfg.iterations {
@@ -875,6 +878,7 @@ impl Enld {
         // different from what the previous model believed.
         let divergence = mean_row_divergence(&old_cond, &self.cond);
         metrics().gauge("enld.drift.p_row_divergence").set(divergence);
+        telemetry::monitor::global().observe("enld.drift.p_row_divergence", divergence);
         if let Some(handle) = &self.ledger {
             handle.sink.record(&LedgerRecord::Update(UpdateRecord {
                 detector: handle.tag.to_string(),

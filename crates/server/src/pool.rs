@@ -12,8 +12,9 @@
 //!
 //! Per-worker telemetry: `serve.worker.<i>.service_secs` (histogram) and
 //! `serve.worker.<i>.utilisation` (busy-fraction gauge), plus pool-wide
-//! `serve.queue.depth`, `serve.queue.wait_secs`, and
-//! `serve.pool.{submitted,rejected,expired,panics}_total`.
+//! `serve.queue.depth`, `serve.queue.wait_secs`, `serve.job.sojourn_secs`
+//! (wait + service, the SLO feed for the monitor's burn-rate alert rule),
+//! and `serve.pool.{submitted,rejected,expired,panics}_total`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -216,6 +217,12 @@ impl PoolStats {
     }
 
     fn record_job(&self, worker: usize, service_secs: f64, wait_secs: f64) {
+        // Sojourn (wait + service) is the SLO the burn-rate alert rule
+        // watches; fed per job so windows reflect the job sequence, not
+        // the scrape cadence.
+        let sojourn_secs = wait_secs + service_secs;
+        telemetry::metrics::global().histogram("serve.job.sojourn_secs").record(sojourn_secs);
+        telemetry::monitor::global().observe("serve.job.sojourn_secs", sojourn_secs);
         let cell = &self.workers[worker];
         let jobs = cell.jobs.fetch_add(1, Ordering::Relaxed);
         cell.busy_micros.fetch_add((service_secs * 1e6) as u64, Ordering::Relaxed);

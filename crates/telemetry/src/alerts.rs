@@ -1,0 +1,717 @@
+//! Alert rules over metric time series: thresholds, rate-of-change,
+//! SLO error-budget burn rate, and change-point detectors, evaluated
+//! per observation with hold-down so flapping series do not flap alerts.
+//!
+//! Rules are declarative ([`AlertRule`]) and load either from the
+//! built-in [`default_rules`] set or from a `--alert-rules FILE` spec in
+//! a TOML-ish dialect ([`parse_rules`]). The engine ([`AlertEngine`])
+//! consumes each series observation exactly once (a per-rule cursor into
+//! the [`TimeSeriesStore`]), so its state — firing flags, streaks,
+//! fired counts, transition indices — is a pure function of the
+//! observation sequences. Replaying the same sequences into a fresh
+//! engine re-derives byte-identical alert state; the chaos suite holds
+//! crash/resume recovery to exactly that bar.
+
+use crate::changepoint::{ChangeDetector, DetectorSpec};
+use crate::json::JsonObject;
+use crate::timeseries::TimeSeriesStore;
+
+/// Comparison operator for threshold rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl Comparison {
+    pub fn holds(self, value: f64, bound: f64) -> bool {
+        match self {
+            Self::Gt => value > bound,
+            Self::Ge => value >= bound,
+            Self::Lt => value < bound,
+            Self::Le => value <= bound,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Gt => "gt",
+            Self::Ge => "ge",
+            Self::Lt => "lt",
+            Self::Le => "le",
+        }
+    }
+}
+
+impl std::str::FromStr for Comparison {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "gt" => Ok(Self::Gt),
+            "ge" => Ok(Self::Ge),
+            "lt" => Ok(Self::Lt),
+            "le" => Ok(Self::Le),
+            other => Err(format!("unknown comparison '{other}' (gt|ge|lt|le)")),
+        }
+    }
+}
+
+/// What a rule computes per observation of its metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleKind {
+    /// Breaches when the observation compares true against `value`.
+    Threshold { op: Comparison, value: f64 },
+    /// Breaches when the observation differs from the one `window`
+    /// observations earlier by more than `max_delta` (absolute).
+    RateOfChange { window: usize, max_delta: f64 },
+    /// SLO error-budget burn rate: over the trailing `window`
+    /// observations, the fraction exceeding `objective` is the bad
+    /// fraction; breaches when it exceeds `budget` (burn rate > 1).
+    BurnRate { objective: f64, budget: f64, window: usize },
+    /// Breaches while the attached change-point detector is alarmed.
+    ChangePoint(DetectorSpec),
+}
+
+impl RuleKind {
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::Threshold { .. } => "threshold",
+            Self::RateOfChange { .. } => "rate-of-change",
+            Self::BurnRate { .. } => "burn-rate",
+            Self::ChangePoint(spec) => spec.kind_name(),
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique display name (`drift-ambiguous-rate`).
+    pub name: String,
+    /// The time series the rule watches.
+    pub metric: String,
+    pub kind: RuleKind,
+    /// Consecutive breaching observations required to fire.
+    pub hold: usize,
+    /// Consecutive clean observations required to resolve.
+    pub resolve: usize,
+}
+
+/// The built-in rule set installed when no `--alert-rules FILE` is
+/// given: the two ENLD drift gauges under change-point detectors, a
+/// serve-pool SLO burn rate, and an fd-leak guard.
+pub fn default_rules() -> Vec<AlertRule> {
+    vec![
+        // P̃ staleness: the share of an arrival the general model finds
+        // ambiguous. Fed once per arrival, so warm-up must fit short
+        // runs; the sigma floor keeps a flat prefix from hair-triggering.
+        AlertRule {
+            name: "drift-ambiguous-rate".to_owned(),
+            metric: "enld.drift.ambiguous_rate".to_owned(),
+            kind: RuleKind::ChangePoint(DetectorSpec::Cusum {
+                warmup: 2,
+                k: 0.5,
+                h: 4.0,
+                min_sigma: 0.05,
+            }),
+            hold: 1,
+            resolve: 3,
+        },
+        // Conditional-probability movement across Alg. 4 model updates.
+        AlertRule {
+            name: "drift-p-row-divergence".to_owned(),
+            metric: "enld.drift.p_row_divergence".to_owned(),
+            kind: RuleKind::ChangePoint(DetectorSpec::PageHinkley {
+                warmup: 2,
+                delta: 0.01,
+                lambda: 0.25,
+            }),
+            hold: 1,
+            resolve: 3,
+        },
+        // Serve SLO: at most 10% of jobs may spend >30s queued+served.
+        AlertRule {
+            name: "serve-sojourn-slo".to_owned(),
+            metric: "serve.job.sojourn_secs".to_owned(),
+            kind: RuleKind::BurnRate { objective: 30.0, budget: 0.1, window: 16 },
+            hold: 2,
+            resolve: 4,
+        },
+        // Fd leaks show up long before the process hits its rlimit.
+        AlertRule {
+            name: "process-fd-leak".to_owned(),
+            metric: "process.open_fds".to_owned(),
+            kind: RuleKind::Threshold { op: Comparison::Gt, value: 8192.0 },
+            hold: 3,
+            resolve: 3,
+        },
+    ]
+}
+
+/// Per-rule runtime state. Everything here is derived from the watched
+/// observation sequence alone — no clocks — so replay is exact.
+struct RuleState {
+    detector: Option<Box<dyn ChangeDetector>>,
+    /// Observation index (per series) up to which this rule has consumed.
+    consumed: u64,
+    breach_streak: usize,
+    ok_streak: usize,
+    firing: bool,
+    fired_total: u64,
+    breaches_total: u64,
+    /// Observation index of the most recent firing/resolved transition.
+    since: u64,
+    last_value: f64,
+    seen: bool,
+}
+
+impl RuleState {
+    fn new(rule: &AlertRule) -> Self {
+        let detector = match &rule.kind {
+            RuleKind::ChangePoint(spec) => Some(spec.build()),
+            _ => None,
+        };
+        Self {
+            detector,
+            consumed: 0,
+            breach_streak: 0,
+            ok_streak: 0,
+            firing: false,
+            fired_total: 0,
+            breaches_total: 0,
+            since: 0,
+            last_value: 0.0,
+            seen: false,
+        }
+    }
+}
+
+/// A firing or resolved edge produced by [`AlertEngine::evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    pub rule: String,
+    pub metric: String,
+    /// `true` = the rule started firing at `at_index`; `false` = resolved.
+    pub firing: bool,
+    /// Observation index (within the watched series) of the transition.
+    pub at_index: u64,
+    /// The observation that caused the transition.
+    pub value: f64,
+}
+
+/// Evaluates a rule set against a [`TimeSeriesStore`], tracking
+/// firing/resolved state with hold-down.
+pub struct AlertEngine {
+    rules: Vec<(AlertRule, RuleState)>,
+}
+
+impl AlertEngine {
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let rules = rules
+            .into_iter()
+            .map(|r| {
+                let state = RuleState::new(&r);
+                (r, state)
+            })
+            .collect();
+        Self { rules }
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Rules currently firing.
+    pub fn firing(&self) -> usize {
+        self.rules.iter().filter(|(_, s)| s.firing).count()
+    }
+
+    /// Consumes every observation newer than each rule's cursor and
+    /// returns the firing/resolved edges that produced.
+    pub fn evaluate(&mut self, store: &TimeSeriesStore) -> Vec<AlertTransition> {
+        let mut transitions = Vec::new();
+        for (rule, state) in &mut self.rules {
+            let Some((first, values, total)) = store.snapshot(&rule.metric) else { continue };
+            // Points evicted before this rule saw them are gone for good;
+            // jump the cursor rather than stalling forever.
+            let start = state.consumed.max(first);
+            for idx in start..total {
+                let off = (idx - first) as usize;
+                let x = values[off];
+                state.seen = true;
+                state.last_value = x;
+                let breach = match &rule.kind {
+                    RuleKind::Threshold { op, value } => op.holds(x, *value),
+                    RuleKind::RateOfChange { window, max_delta } => {
+                        match off.checked_sub(*window) {
+                            Some(prev) => (x - values[prev]).abs() > *max_delta,
+                            None => false,
+                        }
+                    }
+                    RuleKind::BurnRate { objective, budget, window } => {
+                        let lo = (off + 1).saturating_sub(*window);
+                        let win = &values[lo..=off];
+                        let bad = win.iter().filter(|v| **v > *objective).count() as f64;
+                        bad / win.len() as f64 > *budget
+                    }
+                    RuleKind::ChangePoint(_) => state
+                        .detector
+                        .as_mut()
+                        .expect("changepoint rules own a detector")
+                        .observe(x),
+                };
+                if breach {
+                    state.breach_streak += 1;
+                    state.ok_streak = 0;
+                    state.breaches_total += 1;
+                } else {
+                    state.ok_streak += 1;
+                    state.breach_streak = 0;
+                }
+                if !state.firing && state.breach_streak >= rule.hold.max(1) {
+                    state.firing = true;
+                    state.fired_total += 1;
+                    state.since = idx;
+                    transitions.push(AlertTransition {
+                        rule: rule.name.clone(),
+                        metric: rule.metric.clone(),
+                        firing: true,
+                        at_index: idx,
+                        value: x,
+                    });
+                } else if state.firing && state.ok_streak >= rule.resolve.max(1) {
+                    state.firing = false;
+                    state.since = idx;
+                    // Re-baseline after a resolved incident: the series
+                    // has returned to (a possibly new) normal.
+                    if let Some(det) = state.detector.as_mut() {
+                        det.reset();
+                    }
+                    transitions.push(AlertTransition {
+                        rule: rule.name.clone(),
+                        metric: rule.metric.clone(),
+                        firing: false,
+                        at_index: idx,
+                        value: x,
+                    });
+                }
+            }
+            state.consumed = total;
+        }
+        transitions
+    }
+
+    /// `/alerts` payload: overall firing count plus per-rule state. All
+    /// fields are observation-derived, so two engines fed the same
+    /// sequences serialise identically.
+    pub fn to_json(&self) -> String {
+        let mut rules = String::from("[");
+        for (i, (rule, state)) in self.rules.iter().enumerate() {
+            if i > 0 {
+                rules.push(',');
+            }
+            let mut o = JsonObject::new();
+            o.str_field("name", &rule.name)
+                .str_field("metric", &rule.metric)
+                .str_field("kind", rule.kind.kind_name())
+                .str_field("state", if state.firing { "firing" } else { "ok" })
+                .u64_field("observations", state.consumed)
+                .u64_field("fired_total", state.fired_total)
+                .u64_field("breaches_total", state.breaches_total)
+                .u64_field("since_index", state.since);
+            if state.seen {
+                o.f64_field("last_value", state.last_value);
+            }
+            rules.push_str(&o.finish());
+        }
+        rules.push(']');
+        let mut o = JsonObject::new();
+        o.u64_field("firing", self.firing() as u64)
+            .u64_field("rules", self.rules.len() as u64)
+            .raw_field("alerts", &rules);
+        o.finish()
+    }
+}
+
+/// Parses the `--alert-rules FILE` dialect: a sequence of `[[rule]]`
+/// sections of `key = value` lines. Values are bare numbers, bare words,
+/// or double-quoted strings; `#` starts a comment.
+///
+/// ```text
+/// [[rule]]
+/// name = "drift-ambiguous-rate"
+/// metric = "enld.drift.ambiguous_rate"
+/// kind = "changepoint"
+/// detector = "cusum"     # cusum | page-hinkley | ewma-z
+/// warmup = 2
+/// k = 0.5                # cusum slack, in baseline sigmas
+/// h = 4.0                # cusum alarm threshold, in baseline sigmas
+/// min-sigma = 0.05
+/// hold = 1
+/// resolve = 3
+/// ```
+///
+/// # Errors
+/// Returns a message naming the offending line or the rule missing a
+/// required key.
+pub fn parse_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    let mut sections: Vec<Vec<(String, String)>> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.split_once('#') {
+            // A '#' inside a quoted value stays; only unquoted comments strip.
+            Some((before, _)) if before.matches('"').count() % 2 == 0 => before,
+            _ => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[rule]]" {
+            sections.push(Vec::new());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected 'key = value', got '{line}'", lineno + 1))?;
+        let key = key.trim().to_owned();
+        let mut value = value.trim();
+        if value.len() >= 2 && value.starts_with('"') && value.ends_with('"') {
+            value = &value[1..value.len() - 1];
+        }
+        let section = sections
+            .last_mut()
+            .ok_or_else(|| format!("line {}: key before any [[rule]] section", lineno + 1))?;
+        section.push((key, value.to_owned()));
+    }
+    if sections.is_empty() {
+        return Err("no [[rule]] sections found".to_owned());
+    }
+    sections.into_iter().map(|kv| build_rule(&kv)).collect()
+}
+
+fn get<'a>(kv: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    kv.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn get_f64(kv: &[(String, String)], key: &str, default: f64) -> Result<f64, String> {
+    match get(kv, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{key}: invalid number '{v}'")),
+    }
+}
+
+fn get_usize(kv: &[(String, String)], key: &str, default: usize) -> Result<usize, String> {
+    match get(kv, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{key}: invalid integer '{v}'")),
+    }
+}
+
+fn build_rule(kv: &[(String, String)]) -> Result<AlertRule, String> {
+    let name = get(kv, "name").ok_or("rule is missing 'name'")?.to_owned();
+    let err = |msg: String| format!("rule '{name}': {msg}");
+    let metric = get(kv, "metric").ok_or_else(|| err("missing 'metric'".to_owned()))?.to_owned();
+    let kind_name = get(kv, "kind").ok_or_else(|| err("missing 'kind'".to_owned()))?;
+    let kind = match kind_name {
+        "threshold" => RuleKind::Threshold {
+            op: get(kv, "op")
+                .ok_or_else(|| err("threshold needs 'op'".to_owned()))?
+                .parse()
+                .map_err(err)?,
+            value: get(kv, "value")
+                .ok_or_else(|| err("threshold needs 'value'".to_owned()))?
+                .parse()
+                .map_err(|_| err("invalid 'value'".to_owned()))?,
+        },
+        "rate-of-change" => RuleKind::RateOfChange {
+            window: get_usize(kv, "window", 8).map_err(err)?.max(1),
+            max_delta: get(kv, "max-delta")
+                .ok_or_else(|| err("rate-of-change needs 'max-delta'".to_owned()))?
+                .parse()
+                .map_err(|_| err("invalid 'max-delta'".to_owned()))?,
+        },
+        "burn-rate" => RuleKind::BurnRate {
+            objective: get(kv, "objective")
+                .ok_or_else(|| err("burn-rate needs 'objective'".to_owned()))?
+                .parse()
+                .map_err(|_| err("invalid 'objective'".to_owned()))?,
+            budget: get_f64(kv, "budget", 0.1).map_err(err)?,
+            window: get_usize(kv, "window", 16).map_err(err)?.max(1),
+        },
+        "changepoint" => {
+            let warmup = get_usize(kv, "warmup", 2).map_err(err)?.max(1);
+            let spec = match get(kv, "detector").unwrap_or("cusum") {
+                "cusum" => DetectorSpec::Cusum {
+                    warmup,
+                    k: get_f64(kv, "k", 0.5).map_err(err)?,
+                    h: get_f64(kv, "h", 4.0).map_err(err)?,
+                    min_sigma: get_f64(kv, "min-sigma", 0.05).map_err(err)?,
+                },
+                "page-hinkley" => DetectorSpec::PageHinkley {
+                    warmup,
+                    delta: get_f64(kv, "delta", 0.01).map_err(err)?,
+                    lambda: get_f64(kv, "lambda", 0.25).map_err(err)?,
+                },
+                "ewma-z" => DetectorSpec::EwmaZ {
+                    warmup: warmup.max(2),
+                    alpha: get_f64(kv, "alpha", 0.2).map_err(err)?,
+                    z: get_f64(kv, "z", 4.0).map_err(err)?,
+                    min_sigma: get_f64(kv, "min-sigma", 0.05).map_err(err)?,
+                },
+                other => return Err(err(format!("unknown detector '{other}'"))),
+            };
+            RuleKind::ChangePoint(spec)
+        }
+        other => return Err(err(format!("unknown kind '{other}'"))),
+    };
+    let hold = get_usize(kv, "hold", 1).map_err(err)?.max(1);
+    let resolve = get_usize(kv, "resolve", 3).map_err(&err)?.max(1);
+    Ok(AlertRule { name, metric, kind, hold, resolve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(name: &str, values: &[f64]) -> TimeSeriesStore {
+        let store = TimeSeriesStore::new(256);
+        for (i, &v) in values.iter().enumerate() {
+            store.record_direct(name, i as f64, v);
+        }
+        store
+    }
+
+    fn threshold_rule(hold: usize, resolve: usize) -> AlertRule {
+        AlertRule {
+            name: "hot".to_owned(),
+            metric: "m".to_owned(),
+            kind: RuleKind::Threshold { op: Comparison::Gt, value: 1.0 },
+            hold,
+            resolve,
+        }
+    }
+
+    #[test]
+    fn threshold_fires_and_resolves_with_hold_down() {
+        let mut engine = AlertEngine::new(vec![threshold_rule(2, 2)]);
+        // One breach is not enough (hold = 2)...
+        let store = store_with("m", &[0.5, 2.0, 0.5]);
+        assert!(engine.evaluate(&store).is_empty());
+        assert_eq!(engine.firing(), 0);
+        // ...two consecutive breaches fire; two clean observations resolve.
+        store.record_direct("m", 3.0, 2.0);
+        store.record_direct("m", 4.0, 2.0);
+        let t = engine.evaluate(&store);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        assert_eq!(t[0].at_index, 4);
+        assert_eq!(engine.firing(), 1);
+        store.record_direct("m", 5.0, 0.5);
+        assert!(engine.evaluate(&store).is_empty(), "one clean obs must not resolve");
+        store.record_direct("m", 6.0, 0.5);
+        let t = engine.evaluate(&store);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+        assert_eq!(engine.firing(), 0);
+    }
+
+    #[test]
+    fn flapping_series_does_not_flap_the_alert() {
+        // Alternating breach/clean with hold 2 never fires.
+        let values: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 2.0 } else { 0.5 }).collect();
+        let mut engine = AlertEngine::new(vec![threshold_rule(2, 2)]);
+        assert!(engine.evaluate(&store_with("m", &values)).is_empty());
+    }
+
+    #[test]
+    fn rate_of_change_breaches_on_jumps_only() {
+        let rule = AlertRule {
+            name: "jump".to_owned(),
+            metric: "m".to_owned(),
+            kind: RuleKind::RateOfChange { window: 2, max_delta: 1.0 },
+            hold: 1,
+            resolve: 1,
+        };
+        let mut engine = AlertEngine::new(vec![rule]);
+        let store = store_with("m", &[1.0, 1.1, 1.2, 1.3, 5.0]);
+        let t = engine.evaluate(&store);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        assert_eq!(t[0].at_index, 4, "fires on the 1.3→5.0 jump vs two observations back");
+    }
+
+    #[test]
+    fn burn_rate_tracks_the_error_budget() {
+        let rule = AlertRule {
+            name: "slo".to_owned(),
+            metric: "sojourn".to_owned(),
+            kind: RuleKind::BurnRate { objective: 1.0, budget: 0.25, window: 4 },
+            hold: 1,
+            resolve: 2,
+        };
+        let mut engine = AlertEngine::new(vec![rule]);
+        // 2 of the last 4 over the objective: 50% bad > 25% budget.
+        let store = store_with("sojourn", &[0.1, 0.2, 5.0, 0.2, 5.0]);
+        let t = engine.evaluate(&store);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        // Budget respected → resolves after `resolve` clean windows.
+        for i in 0..4 {
+            store.record_direct("sojourn", 5.0 + i as f64, 0.1);
+        }
+        let t = engine.evaluate(&store);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+    }
+
+    #[test]
+    fn changepoint_rule_fires_on_a_step() {
+        let rule = AlertRule {
+            name: "drift".to_owned(),
+            metric: "rate".to_owned(),
+            kind: RuleKind::ChangePoint(DetectorSpec::Cusum {
+                warmup: 2,
+                k: 0.5,
+                h: 4.0,
+                min_sigma: 0.05,
+            }),
+            hold: 1,
+            resolve: 3,
+        };
+        let mut engine = AlertEngine::new(vec![rule]);
+        let store = store_with("rate", &[0.2, 0.21, 0.2, 0.22, 0.55, 0.6]);
+        let t = engine.evaluate(&store);
+        assert_eq!(t.len(), 1, "{t:?}");
+        assert!(t[0].firing);
+        assert!(t[0].at_index >= 4);
+        assert_eq!(engine.firing(), 1);
+        let json = engine.to_json();
+        assert!(json.contains("\"firing\":1"));
+        assert!(json.contains("\"state\":\"firing\""));
+        assert!(json.contains("\"kind\":\"cusum\""));
+    }
+
+    #[test]
+    fn replaying_the_same_observations_rederives_identical_state() {
+        let values: Vec<f64> =
+            (0..30).map(|i| if i < 15 { 0.2 + 0.001 * i as f64 } else { 0.6 }).collect();
+        let run = |chunks: &[usize]| {
+            let store = TimeSeriesStore::new(256);
+            let mut engine = AlertEngine::new(default_rules());
+            let mut fed = 0;
+            for &c in chunks {
+                for _ in 0..c {
+                    store.record_direct("enld.drift.ambiguous_rate", fed as f64, values[fed]);
+                    fed += 1;
+                }
+                engine.evaluate(&store);
+            }
+            engine.to_json()
+        };
+        // Evaluation cadence must not matter: one big batch, per-point,
+        // and odd chunking all land in the same state.
+        let a = run(&[30]);
+        let b = run(&[1; 30]);
+        let c = run(&[3, 7, 1, 9, 10]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert!(a.contains("\"state\":\"firing\""));
+    }
+
+    #[test]
+    fn missing_series_is_not_an_error() {
+        let mut engine = AlertEngine::new(default_rules());
+        let store = TimeSeriesStore::new(8);
+        assert!(engine.evaluate(&store).is_empty());
+        assert_eq!(engine.firing(), 0);
+        let json = engine.to_json();
+        assert!(json.contains("\"observations\":0"));
+        assert!(!json.contains("last_value"), "unseen rules must not fake a value");
+    }
+
+    #[test]
+    fn parser_round_trips_every_kind() {
+        let text = r##"
+# drift watch
+[[rule]]
+name = "drift"
+metric = "enld.drift.ambiguous_rate"
+kind = "changepoint"
+detector = "cusum"
+warmup = 3
+k = 0.4
+h = 5.0
+min-sigma = 0.02
+hold = 2
+resolve = 4
+
+[[rule]]
+name = "slo"
+metric = "serve.job.sojourn_secs"
+kind = "burn-rate"
+objective = 0.5
+budget = 0.05
+window = 32
+
+[[rule]]
+name = "fds"
+metric = "process.open_fds"
+kind = "threshold"
+op = "gt"
+value = 1024
+
+[[rule]]
+name = "rss"
+metric = "process.rss_bytes"
+kind = "rate-of-change"
+window = 4
+max-delta = 1e9
+"##;
+        let rules = parse_rules(text).expect("parses");
+        assert_eq!(rules.len(), 4);
+        assert_eq!(
+            rules[0].kind,
+            RuleKind::ChangePoint(DetectorSpec::Cusum {
+                warmup: 3,
+                k: 0.4,
+                h: 5.0,
+                min_sigma: 0.02
+            })
+        );
+        assert_eq!(rules[0].hold, 2);
+        assert_eq!(rules[0].resolve, 4);
+        assert_eq!(rules[1].kind, RuleKind::BurnRate { objective: 0.5, budget: 0.05, window: 32 });
+        assert_eq!(rules[2].kind, RuleKind::Threshold { op: Comparison::Gt, value: 1024.0 });
+        assert_eq!(rules[3].kind, RuleKind::RateOfChange { window: 4, max_delta: 1e9 });
+    }
+
+    #[test]
+    fn parser_rejects_malformed_specs() {
+        assert!(parse_rules("").is_err(), "empty spec");
+        assert!(parse_rules("name = x").is_err(), "key before any section");
+        assert!(parse_rules("[[rule]]\nnot a kv line").is_err());
+        assert!(parse_rules("[[rule]]\nname = \"a\"\nmetric = \"m\"").is_err(), "missing kind");
+        assert!(
+            parse_rules("[[rule]]\nname=\"a\"\nmetric=\"m\"\nkind=\"threshold\"\nop=\"gt\"")
+                .is_err(),
+            "threshold without value"
+        );
+        let err = parse_rules("[[rule]]\nname=\"a\"\nmetric=\"m\"\nkind=\"nope\"").unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+    }
+
+    #[test]
+    fn default_rules_cover_the_documented_surfaces() {
+        let rules = default_rules();
+        let metrics: Vec<&str> = rules.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"enld.drift.ambiguous_rate"));
+        assert!(metrics.contains(&"enld.drift.p_row_divergence"));
+        assert!(metrics.contains(&"serve.job.sojourn_secs"));
+        assert!(metrics.contains(&"process.open_fds"));
+        // Every rule builds a working engine.
+        let _ = AlertEngine::new(rules);
+    }
+}

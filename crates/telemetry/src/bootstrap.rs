@@ -72,6 +72,10 @@ pub fn write_snapshot_atomic(path: &Path) -> io::Result<()> {
     // Fold the current process resource usage into the snapshot so both
     // the periodic files and the final one carry RSS/CPU/thread gauges.
     crate::procinfo::sample(metrics::global());
+    // The snapshot cadence doubles as the monitor's sampling tick: every
+    // registry metric lands in the windowed time-series store (direct
+    // event-driven series excluded) and alert rules are re-evaluated.
+    crate::monitor::global().tick(metrics::global())?;
     enld_chaos::fail_point_io("telemetry.snapshot.write")?;
     std::fs::write(&tmp, metrics::global().snapshot_json())?;
     enld_chaos::fail_point_io("telemetry.snapshot.rename")?;

@@ -1,0 +1,373 @@
+//! Change-point detectors for drift metrics.
+//!
+//! ENLD's noise prior P̃ is learned from the inventory and assumed valid
+//! for every later arrival — exactly the assumption that rots silently
+//! under label drift. These detectors watch a metric's observation
+//! stream and raise when its level has *sustainably* shifted, not merely
+//! spiked:
+//!
+//! * [`Cusum`] — two-sided cumulative-sum test against a baseline mean
+//!   and standard deviation learned during a warm-up prefix. The
+//!   textbook choice for a step change in the mean; detection latency
+//!   shrinks as the shift grows.
+//! * [`PageHinkley`] — cumulative deviation from the running mean minus
+//!   a drift allowance, alarmed when it escapes its historical extremum
+//!   by more than `lambda`. Robust to slow ramps.
+//! * [`EwmaZ`] — exponentially-weighted mean/variance with a z-score
+//!   alarm. Adapts to the new level after a shift, so its alarms are
+//!   transient "the level just moved" signals.
+//!
+//! All three are pure functions of the observation sequence — no clocks,
+//! no randomness — so replaying a stream re-derives identical alarm
+//! trajectories (the chaos suite depends on this).
+
+/// A streaming change-point detector: feed observations in order, get
+/// back "is this observation part of a detected change".
+pub trait ChangeDetector: Send {
+    /// Consumes the next observation; `true` means the detector is in an
+    /// alarmed state at this observation.
+    fn observe(&mut self, x: f64) -> bool;
+
+    /// Forgets everything, including learned baselines.
+    fn reset(&mut self);
+}
+
+/// Declarative detector choice + parameters, buildable into a fresh
+/// [`ChangeDetector`] (used by alert rules and their TOML-ish spec).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorSpec {
+    /// `k` and `h` are in units of the baseline standard deviation;
+    /// `min_sigma` floors that deviation so a near-constant warm-up
+    /// cannot make the test hair-triggered.
+    Cusum { warmup: usize, k: f64, h: f64, min_sigma: f64 },
+    /// `delta` is the per-observation drift allowance, `lambda` the
+    /// alarm threshold, both in the metric's own units.
+    PageHinkley { warmup: usize, delta: f64, lambda: f64 },
+    /// `alpha` is the EWMA smoothing factor, `z` the alarm z-score.
+    EwmaZ { warmup: usize, alpha: f64, z: f64, min_sigma: f64 },
+}
+
+impl DetectorSpec {
+    /// `"cusum"`, `"page-hinkley"`, or `"ewma-z"`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::Cusum { .. } => "cusum",
+            Self::PageHinkley { .. } => "page-hinkley",
+            Self::EwmaZ { .. } => "ewma-z",
+        }
+    }
+
+    /// Instantiates a fresh detector implementing this spec.
+    pub fn build(&self) -> Box<dyn ChangeDetector> {
+        match *self {
+            Self::Cusum { warmup, k, h, min_sigma } => {
+                Box::new(Cusum::new(warmup, k, h, min_sigma))
+            }
+            Self::PageHinkley { warmup, delta, lambda } => {
+                Box::new(PageHinkley::new(warmup, delta, lambda))
+            }
+            Self::EwmaZ { warmup, alpha, z, min_sigma } => {
+                Box::new(EwmaZ::new(warmup, alpha, z, min_sigma))
+            }
+        }
+    }
+}
+
+/// Streaming mean/variance (Welford). Shared by the warm-up baselines.
+#[derive(Debug, Clone, Default)]
+struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// Two-sided CUSUM against a frozen warm-up baseline.
+#[derive(Debug)]
+pub struct Cusum {
+    warmup: usize,
+    k: f64,
+    h: f64,
+    min_sigma: f64,
+    baseline: Welford,
+    g_pos: f64,
+    g_neg: f64,
+}
+
+impl Cusum {
+    pub fn new(warmup: usize, k: f64, h: f64, min_sigma: f64) -> Self {
+        assert!(warmup >= 1, "cusum needs at least one baseline observation");
+        assert!(h > 0.0 && k >= 0.0 && min_sigma > 0.0);
+        Self { warmup, k, h, min_sigma, baseline: Welford::default(), g_pos: 0.0, g_neg: 0.0 }
+    }
+}
+
+impl ChangeDetector for Cusum {
+    fn observe(&mut self, x: f64) -> bool {
+        if (self.baseline.n as usize) < self.warmup {
+            self.baseline.push(x);
+            return false;
+        }
+        let sigma = self.baseline.std().max(self.min_sigma);
+        let z = (x - self.baseline.mean) / sigma;
+        self.g_pos = (self.g_pos + z - self.k).max(0.0);
+        self.g_neg = (self.g_neg - z - self.k).max(0.0);
+        self.g_pos > self.h || self.g_neg > self.h
+    }
+
+    fn reset(&mut self) {
+        self.baseline = Welford::default();
+        self.g_pos = 0.0;
+        self.g_neg = 0.0;
+    }
+}
+
+/// Two-sided Page–Hinkley test on the cumulative deviation from the
+/// running mean.
+#[derive(Debug)]
+pub struct PageHinkley {
+    warmup: usize,
+    delta: f64,
+    lambda: f64,
+    running: Welford,
+    m_up: f64,
+    m_up_min: f64,
+    m_down: f64,
+    m_down_max: f64,
+}
+
+impl PageHinkley {
+    pub fn new(warmup: usize, delta: f64, lambda: f64) -> Self {
+        assert!(lambda > 0.0 && delta >= 0.0);
+        Self {
+            warmup,
+            delta,
+            lambda,
+            running: Welford::default(),
+            m_up: 0.0,
+            m_up_min: 0.0,
+            m_down: 0.0,
+            m_down_max: 0.0,
+        }
+    }
+}
+
+impl ChangeDetector for PageHinkley {
+    fn observe(&mut self, x: f64) -> bool {
+        self.running.push(x);
+        if (self.running.n as usize) <= self.warmup {
+            return false;
+        }
+        // Deviation from the running mean, with `delta` per observation
+        // forgiven; an upward shift drives `m_up` away from its historical
+        // minimum, a downward shift drives `m_down` below its maximum.
+        let dev = x - self.running.mean;
+        self.m_up += dev - self.delta;
+        self.m_up_min = self.m_up_min.min(self.m_up);
+        self.m_down += dev + self.delta;
+        self.m_down_max = self.m_down_max.max(self.m_down);
+        self.m_up - self.m_up_min > self.lambda || self.m_down_max - self.m_down > self.lambda
+    }
+
+    fn reset(&mut self) {
+        self.running = Welford::default();
+        self.m_up = 0.0;
+        self.m_up_min = 0.0;
+        self.m_down = 0.0;
+        self.m_down_max = 0.0;
+    }
+}
+
+/// EWMA mean/variance with a z-score alarm. The estimate keeps adapting
+/// after a shift, so alarms fade once the new level is absorbed.
+#[derive(Debug)]
+pub struct EwmaZ {
+    warmup: usize,
+    alpha: f64,
+    z: f64,
+    min_sigma: f64,
+    seed: Welford,
+    mean: f64,
+    var: f64,
+}
+
+impl EwmaZ {
+    pub fn new(warmup: usize, alpha: f64, z: f64, min_sigma: f64) -> Self {
+        assert!(warmup >= 2, "ewma-z needs at least two seed observations for a variance");
+        assert!((0.0..=1.0).contains(&alpha) && z > 0.0 && min_sigma > 0.0);
+        Self { warmup, alpha, z, min_sigma, seed: Welford::default(), mean: 0.0, var: 0.0 }
+    }
+}
+
+impl ChangeDetector for EwmaZ {
+    fn observe(&mut self, x: f64) -> bool {
+        if (self.seed.n as usize) < self.warmup {
+            self.seed.push(x);
+            if self.seed.n as usize == self.warmup {
+                self.mean = self.seed.mean;
+                let s = self.seed.std().max(self.min_sigma);
+                self.var = s * s;
+            }
+            return false;
+        }
+        let sigma = self.var.sqrt().max(self.min_sigma);
+        let alarmed = ((x - self.mean) / sigma).abs() > self.z;
+        // Standard EWMA mean/variance recursion (West 1979).
+        let diff = x - self.mean;
+        let incr = self.alpha * diff;
+        self.mean += incr;
+        self.var = (1.0 - self.alpha) * (self.var + diff * incr);
+        alarmed
+    }
+
+    fn reset(&mut self) {
+        self.seed = Welford::default();
+        self.mean = 0.0;
+        self.var = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise in [-1, 1] (splitmix64 over the index),
+    /// so fixtures are reproducible without a RNG dependency.
+    fn noise(i: u64) -> f64 {
+        let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+    }
+
+    fn stationary(n: usize, level: f64, amp: f64) -> Vec<f64> {
+        (0..n).map(|i| level + amp * noise(i as u64)).collect()
+    }
+
+    fn step(n: usize, at: usize, lo: f64, hi: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = if i < at { lo } else { hi };
+                base + amp * noise(i as u64)
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize, at: usize, lo: f64, slope: f64, amp: f64) -> Vec<f64> {
+        (0..n).map(|i| lo + slope * i.saturating_sub(at) as f64 + amp * noise(i as u64)).collect()
+    }
+
+    fn detectors() -> Vec<(&'static str, Box<dyn ChangeDetector>)> {
+        vec![
+            ("cusum", DetectorSpec::Cusum { warmup: 8, k: 0.5, h: 5.0, min_sigma: 0.02 }.build()),
+            (
+                "page-hinkley",
+                DetectorSpec::PageHinkley { warmup: 8, delta: 0.01, lambda: 0.3 }.build(),
+            ),
+            (
+                "ewma-z",
+                DetectorSpec::EwmaZ { warmup: 8, alpha: 0.2, z: 4.0, min_sigma: 0.02 }.build(),
+            ),
+        ]
+    }
+
+    /// First alarmed observation index, if any.
+    fn first_alarm(det: &mut dyn ChangeDetector, xs: &[f64]) -> Option<usize> {
+        xs.iter().position(|&x| det.observe(x))
+    }
+
+    #[test]
+    fn step_change_detected_with_bounded_latency() {
+        let xs = step(120, 60, 0.20, 0.50, 0.02);
+        for (name, mut det) in detectors() {
+            let at = first_alarm(det.as_mut(), &xs)
+                .unwrap_or_else(|| panic!("{name} never detected a 0.2→0.5 step"));
+            assert!(at >= 60, "{name} alarmed before the step, at {at}");
+            assert!(at <= 68, "{name} took {} observations to see the step", at - 60);
+        }
+    }
+
+    #[test]
+    fn ramp_detected_eventually() {
+        // +0.01 per observation from t=40: a slow leak, not a spike.
+        // Only the cumulative detectors are expected to catch this —
+        // EWMA's baseline adapts at the ramp's own speed, which is
+        // exactly why the drift rules pair it with CUSUM/Page–Hinkley.
+        let xs = ramp(160, 40, 0.20, 0.01, 0.02);
+        for (name, mut det) in detectors() {
+            let at = first_alarm(det.as_mut(), &xs);
+            if name == "ewma-z" {
+                continue;
+            }
+            let at = at.unwrap_or_else(|| panic!("{name} never detected the ramp"));
+            assert!(at >= 40, "{name} alarmed before the ramp, at {at}");
+            assert!(at <= 120, "{name} took until {at} to see the ramp");
+        }
+    }
+
+    #[test]
+    fn stationary_noise_yields_zero_false_positives() {
+        let xs = stationary(500, 0.25, 0.03);
+        for (name, mut det) in detectors() {
+            assert_eq!(
+                first_alarm(det.as_mut(), &xs),
+                None,
+                "{name} false-alarmed on stationary noise"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_forgets_the_baseline() {
+        let mut det = Cusum::new(4, 0.5, 4.0, 0.02);
+        let shifted = step(40, 20, 0.2, 0.6, 0.01);
+        assert!(first_alarm(&mut det, &shifted).is_some());
+        det.reset();
+        // After reset the detector re-learns its baseline at the new
+        // level and stays quiet on it.
+        let calm = stationary(60, 0.6, 0.01);
+        assert_eq!(first_alarm(&mut det, &calm), None);
+    }
+
+    #[test]
+    fn replaying_a_stream_reproduces_the_alarm_trajectory() {
+        let xs = step(100, 50, 0.2, 0.45, 0.02);
+        for (name, _) in detectors() {
+            let build = |n: &str| -> Box<dyn ChangeDetector> {
+                detectors().into_iter().find(|(dn, _)| *dn == n).map(|(_, d)| d).unwrap()
+            };
+            let mut a = build(name);
+            let mut b = build(name);
+            let ta: Vec<bool> = xs.iter().map(|&x| a.observe(x)).collect();
+            let tb: Vec<bool> = xs.iter().map(|&x| b.observe(x)).collect();
+            assert_eq!(ta, tb, "{name} replay diverged");
+        }
+    }
+
+    #[test]
+    fn ewma_alarm_is_transient_after_absorbing_the_shift() {
+        let mut det = EwmaZ::new(8, 0.3, 4.0, 0.02);
+        let xs = step(200, 50, 0.2, 0.5, 0.01);
+        let alarms: Vec<usize> =
+            xs.iter().enumerate().filter(|&(_, &x)| det.observe(x)).map(|(i, _)| i).collect();
+        assert!(!alarms.is_empty(), "shift missed entirely");
+        assert!(*alarms.last().unwrap() < 80, "ewma-z must adapt to the new level and go quiet");
+    }
+}

@@ -12,6 +12,17 @@
 //! * `/workers` — per-worker JSON from the same provider
 //! * `/traces` — tail-sampled Chrome trace-event JSON from an optional
 //!   [`TraceBuffer`] (404 when none is attached)
+//! * `/alerts` — alert-engine state from an optional [`Monitor`]
+//!   (rules, firing/ok, recent transitions; 404 when none is attached)
+//! * `/timeseries` — windowed rollups and recent raw points per series
+//!   (`?window=N&tail=N`; 404 when no monitor is attached)
+//!
+//! When a [`Monitor`] is attached, `/healthz` additionally reflects
+//! alert state: `"status"` flips from `"ok"` to `"degraded"` while any
+//! rule is firing and an `"alerts_firing"` count is spliced in. The
+//! response stays HTTP 200 unless the server was bound with
+//! `healthz_strict`, which maps degraded to 503 for load balancers that
+//! should drain an instance on drift.
 //!
 //! There is deliberately no HTTP library: requests are `GET <path>`,
 //! responses are `Connection: close` with an explicit `Content-Length`,
@@ -27,6 +38,7 @@ use std::time::{Duration, Instant};
 use crate::chrome_trace::TraceBuffer;
 use crate::json::JsonObject;
 use crate::metrics::MetricsRegistry;
+use crate::monitor::Monitor;
 use crate::procinfo;
 use crate::prometheus;
 
@@ -106,6 +118,23 @@ impl ObsServer {
         status: Arc<dyn ObsStatus>,
         traces: Option<Arc<TraceBuffer>>,
     ) -> io::Result<Self> {
+        Self::bind_full(addr, registry, status, traces, None, false)
+    }
+
+    /// The full-surface bind: everything [`ObsServer::bind_with_traces`]
+    /// serves plus `/alerts` and `/timeseries` from `monitor`, with
+    /// `/healthz` degraded by firing alerts (503 when `healthz_strict`).
+    ///
+    /// # Errors
+    /// Fails when the address cannot be bound.
+    pub fn bind_full(
+        addr: &str,
+        registry: &'static MetricsRegistry,
+        status: Arc<dyn ObsStatus>,
+        traces: Option<Arc<TraceBuffer>>,
+        monitor: Option<&'static Monitor>,
+        healthz_strict: bool,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -123,7 +152,16 @@ impl ObsServer {
                     // short-lived, and concurrent scrapers must not serialise
                     // behind each other.
                     let _ = std::thread::Builder::new().name("enld-obs-conn".to_owned()).spawn(
-                        move || handle_connection(stream, registry, &*status, traces.as_deref()),
+                        move || {
+                            handle_connection(
+                                stream,
+                                registry,
+                                &*status,
+                                traces.as_deref(),
+                                monitor,
+                                healthz_strict,
+                            )
+                        },
                     );
                 }
             })?;
@@ -159,16 +197,30 @@ impl Drop for ObsServer {
 /// deployed debug binary.
 const BUILD_PROFILE: &str = if cfg!(debug_assertions) { "debug" } else { "release" };
 
+/// Splices a pre-rendered `"key":value` fragment onto the end of a flat
+/// JSON object body. Non-object bodies pass through untouched.
+fn splice_raw_field(body: &str, fragment: &str) -> String {
+    let Some(stripped) = body.strip_suffix('}') else { return body.to_owned() };
+    let sep = if stripped.trim_end().ends_with('{') { "" } else { "," };
+    format!("{stripped}{sep}{fragment}}}")
+}
+
 /// Splices `"version"` and `"build"` fields into a provider's `/healthz`
 /// JSON object so every health response identifies the running binary.
 /// Non-object bodies pass through untouched.
 fn with_build_info(body: &str) -> String {
-    let Some(stripped) = body.strip_suffix('}') else { return body.to_owned() };
-    let sep = if stripped.trim_end().ends_with('{') { "" } else { "," };
-    format!(
-        "{stripped}{sep}\"version\":\"{}\",\"build\":\"{BUILD_PROFILE}\"}}",
-        env!("CARGO_PKG_VERSION")
+    splice_raw_field(
+        body,
+        &format!("\"version\":\"{}\",\"build\":\"{BUILD_PROFILE}\"", env!("CARGO_PKG_VERSION")),
     )
+}
+
+/// Pulls `key=N` out of a query string (`window=32&tail=8`).
+fn query_usize(query: &str, key: &str, default: usize) -> usize {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+        .unwrap_or(default)
 }
 
 fn handle_connection(
@@ -176,6 +228,8 @@ fn handle_connection(
     registry: &MetricsRegistry,
     status: &dyn ObsStatus,
     traces: Option<&TraceBuffer>,
+    monitor: Option<&Monitor>,
+    healthz_strict: bool,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
@@ -208,7 +262,10 @@ fn handle_connection(
         );
         return;
     }
-    let path = path.split('?').next().unwrap_or(path);
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
         "/metrics" => {
             procinfo::sample(registry);
@@ -220,7 +277,19 @@ fn handle_connection(
             respond(&mut stream, "200 OK", "application/json", &registry.snapshot_json());
         }
         "/healthz" => {
-            let (healthy, body) = status.healthz();
+            let (mut healthy, mut body) = status.healthz();
+            if let Some(mon) = monitor {
+                let firing = mon.firing();
+                if firing > 0 {
+                    // Providers are in-tree and all report `"status":"ok"`
+                    // when healthy, so a targeted rewrite is safe here.
+                    body = body.replacen("\"status\":\"ok\"", "\"status\":\"degraded\"", 1);
+                    if healthz_strict {
+                        healthy = false;
+                    }
+                }
+                body = splice_raw_field(&body, &format!("\"alerts_firing\":{firing}"));
+            }
             let code = if healthy { "200 OK" } else { "503 Service Unavailable" };
             respond(&mut stream, code, "application/json", &with_build_info(&body));
         }
@@ -234,6 +303,33 @@ fn handle_connection(
                 "404 Not Found",
                 "application/json",
                 "{\"error\":\"trace buffer not enabled\"}",
+            ),
+        },
+        "/alerts" => match monitor {
+            Some(mon) => respond(&mut stream, "200 OK", "application/json", &mon.alerts_json()),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"monitor not enabled\"}",
+            ),
+        },
+        "/timeseries" => match monitor {
+            Some(mon) => {
+                let window = query_usize(query, "window", 64).clamp(1, 4096);
+                let tail = query_usize(query, "tail", 0).min(4096);
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/json",
+                    &mon.timeseries_json(window, tail),
+                );
+            }
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"monitor not enabled\"}",
             ),
         },
         _ => {
@@ -371,6 +467,95 @@ mod tests {
         let (code, _, body) = get(server.local_addr(), "GET /healthz HTTP/1.1\r\n\r\n");
         assert_eq!(code, 503);
         assert!(body.contains("degraded"));
+    }
+
+    #[test]
+    fn alerts_and_timeseries_require_a_monitor() {
+        let server = ObsServer::bind("127.0.0.1:0", metrics::global(), Arc::new(NullStatus::new()))
+            .expect("bind");
+        let (code, _, body) = get(server.local_addr(), "GET /alerts HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 404);
+        assert!(body.contains("monitor not enabled"));
+        let (code, _, _) = get(server.local_addr(), "GET /timeseries HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 404);
+        server.shutdown();
+    }
+
+    /// A private leaked monitor so parallel tests sharing the global one
+    /// cannot interfere with the assertions here.
+    fn firing_monitor() -> &'static Monitor {
+        use crate::alerts::{AlertRule, Comparison, RuleKind};
+        let mon: &'static Monitor = Box::leak(Box::new(Monitor::new()));
+        mon.install_rules(vec![AlertRule {
+            name: "hot".to_owned(),
+            metric: "m".to_owned(),
+            kind: RuleKind::Threshold { op: Comparison::Gt, value: 1.0 },
+            hold: 1,
+            resolve: 1,
+        }]);
+        mon
+    }
+
+    #[test]
+    fn monitor_endpoints_serve_alert_state_and_windows() {
+        let mon = firing_monitor();
+        mon.observe("m", 0.5);
+        mon.observe("m", 2.0);
+        assert_eq!(mon.firing(), 1);
+        let server = ObsServer::bind_full(
+            "127.0.0.1:0",
+            metrics::global(),
+            Arc::new(NullStatus::new()),
+            None,
+            Some(mon),
+            false,
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (code, ctype, body) = get(addr, "GET /alerts HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 200);
+        assert_eq!(ctype, "application/json");
+        assert!(body.contains("\"firing\":1"), "{body}");
+        assert!(body.contains("\"name\":\"hot\""));
+        assert!(body.contains("\"state\":\"firing\""));
+
+        let (code, _, body) = get(addr, "GET /timeseries?window=8&tail=2 HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"m\""), "{body}");
+        assert!(body.contains("\"total\":2"), "{body}");
+
+        // Degraded, but not strict: still 200 with the rewritten status.
+        let (code, _, body) = get(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("\"alerts_firing\":1"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn strict_healthz_maps_firing_alerts_to_503() {
+        let mon = firing_monitor();
+        let server = ObsServer::bind_full(
+            "127.0.0.1:0",
+            metrics::global(),
+            Arc::new(NullStatus::new()),
+            None,
+            Some(mon),
+            true,
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        // Healthy while nothing fires.
+        let (code, _, body) = get(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"alerts_firing\":0"));
+        mon.observe("m", 5.0);
+        let (code, _, body) = get(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(code, 503);
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        server.shutdown();
     }
 
     #[test]

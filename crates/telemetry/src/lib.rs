@@ -39,29 +39,37 @@
 //! telemetry::reset(); // tests/doc-tests: drop installed sinks again
 //! ```
 
+pub mod alerts;
 pub mod bootstrap;
+pub mod changepoint;
 pub mod chrome_trace;
 pub mod http;
 pub mod json;
 pub mod level;
 pub mod metrics;
+pub mod monitor;
 pub mod procinfo;
 pub mod profile;
 pub mod prometheus;
 pub mod sink;
 pub mod span;
 pub mod timer;
+pub mod timeseries;
 
+pub use alerts::{default_rules, parse_rules, AlertEngine, AlertRule, AlertTransition, RuleKind};
 pub use bootstrap::{Telemetry, TelemetryConfig};
+pub use changepoint::{ChangeDetector, DetectorSpec};
 pub use chrome_trace::{CompletedTrace, OwnedSpan, TraceBuffer};
 pub use http::{NullStatus, ObsServer, ObsStatus};
 pub use level::Level;
+pub use monitor::Monitor;
 pub use sink::{enabled, flush, install, Event, JsonlSink, Sink, SpanRecord, StderrSink};
 pub use span::{
     adopt, current_context, current_span, current_tid, debug_span, span, trace_span, with_parent,
     AdoptGuard, FieldValue, SpanBuilder, SpanGuard, TraceContext,
 };
 pub use timer::ScopedTimer;
+pub use timeseries::{TimeSeriesStore, WindowStats};
 
 /// Removes every installed sink (primarily for tests and benchmarks).
 pub fn reset() {

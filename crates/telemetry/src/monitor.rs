@@ -1,0 +1,325 @@
+//! The streaming monitor: glue between the windowed time-series store,
+//! the change-point/alert engine, and the rest of the process.
+//!
+//! A process-wide [`Monitor`] lives at [`global()`], mirroring
+//! [`crate::metrics::global`]. Producers feed it from two directions:
+//!
+//! * **Direct observations** ([`Monitor::observe`]) — event-driven
+//!   values pushed at their natural cadence: one drift record per
+//!   arrival from the detector, one sojourn sample per served job from
+//!   the worker pool. Direct observations claim their series, so the
+//!   periodic sampler never double-counts them.
+//! * **Periodic ticks** ([`Monitor::tick`]) — the snapshot writer calls
+//!   this once per interval to sample every registry metric into the
+//!   store (process gauges, queue depths, …).
+//!
+//! Rules are opt-in: until [`Monitor::install_rules`] runs, both paths
+//! only record points and the alert engine never executes, so library
+//! users and tests that don't care about alerting pay one mutex push per
+//! observation. The CLI installs [`crate::alerts::default_rules`] (or a
+//! `--alert-rules FILE` spec) for `detect`/`serve` runs.
+//!
+//! Chaos failpoints: `monitor.snapshot` (io-error at the top of
+//! [`Monitor::tick`], surfaced through the snapshot writer like the
+//! `telemetry.snapshot.*` points) and `monitor.alert_emit` (hit once per
+//! firing/resolved transition, so a crash mid-emit can be injected and
+//! the ledger-replay recovery path proven equivalent).
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::alerts::{AlertEngine, AlertRule, AlertTransition};
+use crate::json::JsonObject;
+use crate::metrics::{self, MetricsRegistry};
+use crate::timeseries::{TimeSeriesStore, DEFAULT_CAPACITY};
+
+/// How many recent firing/resolved edges `/alerts` keeps for display.
+const RECENT_TRANSITIONS: usize = 64;
+
+pub struct Monitor {
+    start: Instant,
+    store: TimeSeriesStore,
+    engine: Mutex<AlertEngine>,
+    /// The rules the engine was built from, kept so [`reset`] can
+    /// rebuild a fresh engine (chaos tests simulate process restarts
+    /// in-process).
+    rules: Mutex<Vec<AlertRule>>,
+    /// Fast path: skip the engine entirely while no rules are installed.
+    armed: AtomicBool,
+    recent: Mutex<VecDeque<AlertTransition>>,
+}
+
+/// Locks that shrug off poisoning: a chaos failpoint may panic while a
+/// guard is held, and the monitor must stay usable afterwards (its state
+/// is always internally consistent — transitions apply before emission).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Monitor {
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            store: TimeSeriesStore::new(DEFAULT_CAPACITY),
+            engine: Mutex::new(AlertEngine::new(Vec::new())),
+            rules: Mutex::new(Vec::new()),
+            armed: AtomicBool::new(false),
+            recent: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Installs (replacing) the alert rule set and arms evaluation.
+    pub fn install_rules(&self, rules: Vec<AlertRule>) {
+        *relock(&self.engine) = AlertEngine::new(rules.clone());
+        *relock(&self.rules) = rules;
+        relock(&self.recent).clear();
+        self.armed.store(true, Ordering::Release);
+        self.publish_firing();
+    }
+
+    /// True once [`Monitor::install_rules`] has run.
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    pub fn rule_count(&self) -> usize {
+        relock(&self.engine).rule_count()
+    }
+
+    /// Rules currently firing.
+    pub fn firing(&self) -> usize {
+        relock(&self.engine).firing()
+    }
+
+    /// Seconds since this monitor was created (the time axis of every
+    /// recorded point).
+    pub fn uptime_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// Records one event-driven observation and, when armed, runs the
+    /// alert engine over it immediately — alert state is a function of
+    /// the observation sequence, never of evaluation cadence.
+    pub fn observe(&self, metric: &str, value: f64) {
+        self.store.record_direct(metric, self.uptime_secs(), value);
+        if self.armed() {
+            self.run_engine();
+        }
+    }
+
+    /// Periodic sampling hook, called by the snapshot writer: copies the
+    /// registry's current values into the store (skipping series claimed
+    /// by direct observation) and evaluates rules.
+    ///
+    /// # Errors
+    /// Only the `monitor.snapshot` chaos failpoint produces one.
+    pub fn tick(&self, reg: &MetricsRegistry) -> io::Result<()> {
+        enld_chaos::fail_point_io("monitor.snapshot")?;
+        self.store.record_registry(reg, self.uptime_secs());
+        if self.armed() {
+            self.run_engine();
+        }
+        Ok(())
+    }
+
+    fn run_engine(&self) {
+        let transitions = relock(&self.engine).evaluate(&self.store);
+        if transitions.is_empty() {
+            return;
+        }
+        let g = metrics::global();
+        for t in transitions {
+            enld_chaos::fail_point("monitor.alert_emit");
+            if t.firing {
+                g.counter("enld.alerts.fired_total").inc();
+                crate::twarn!(
+                    "monitor",
+                    "alert firing: {} ({} @ obs {} = {:.4})",
+                    t.rule,
+                    t.metric,
+                    t.at_index,
+                    t.value
+                );
+            } else {
+                g.counter("enld.alerts.resolved_total").inc();
+                crate::tinfo!(
+                    "monitor",
+                    "alert resolved: {} ({} @ obs {})",
+                    t.rule,
+                    t.metric,
+                    t.at_index
+                );
+            }
+            let mut recent = relock(&self.recent);
+            if recent.len() == RECENT_TRANSITIONS {
+                recent.pop_front();
+            }
+            recent.push_back(t);
+        }
+        self.publish_firing();
+    }
+
+    fn publish_firing(&self) {
+        metrics::global().gauge("enld.alerts.firing").set(self.firing() as f64);
+    }
+
+    /// The engine's deterministic state document (see
+    /// [`AlertEngine::to_json`]) — what ledger replay must reproduce.
+    pub fn engine_json(&self) -> String {
+        relock(&self.engine).to_json()
+    }
+
+    /// `/alerts` payload: the engine state plus a bounded log of recent
+    /// firing/resolved edges and the monitor uptime.
+    pub fn alerts_json(&self) -> String {
+        let engine = self.engine_json();
+        let mut recent_json = String::from("[");
+        for (i, t) in relock(&self.recent).iter().enumerate() {
+            if i > 0 {
+                recent_json.push(',');
+            }
+            let mut o = JsonObject::new();
+            o.str_field("rule", &t.rule)
+                .str_field("metric", &t.metric)
+                .str_field("event", if t.firing { "firing" } else { "resolved" })
+                .u64_field("at_index", t.at_index)
+                .f64_field("value", t.value);
+            recent_json.push_str(&o.finish());
+        }
+        recent_json.push(']');
+        // Splice extra fields into the engine object (same trick as
+        // `http::with_build_info`): the engine JSON is a flat object, so
+        // dropping its closing brace and appending is safe.
+        let body = engine.strip_suffix('}').unwrap_or(&engine);
+        let mut extra = JsonObject::new();
+        extra
+            .bool_field("armed", self.armed())
+            .f64_field("uptime_secs", self.uptime_secs())
+            .raw_field("recent", &recent_json);
+        let extra = extra.finish();
+        format!("{body},{}", &extra[1..])
+    }
+
+    /// `/timeseries` payload (per-series windows + tails).
+    pub fn timeseries_json(&self, window: usize, tail: usize) -> String {
+        self.store.to_json(window, tail)
+    }
+
+    /// Drops every point, transition, and engine state, rebuilding the
+    /// engine from the installed rules. Used by tests that simulate a
+    /// process restart without actually restarting.
+    pub fn reset(&self) {
+        self.store.clear();
+        let rules = relock(&self.rules).clone();
+        *relock(&self.engine) = AlertEngine::new(rules);
+        relock(&self.recent).clear();
+        self.publish_firing();
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide monitor.
+pub fn global() -> &'static Monitor {
+    static GLOBAL: OnceLock<Monitor> = OnceLock::new();
+    GLOBAL.get_or_init(Monitor::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alerts::{Comparison, RuleKind};
+
+    fn hot_rule() -> AlertRule {
+        AlertRule {
+            name: "hot".to_owned(),
+            metric: "m".to_owned(),
+            kind: RuleKind::Threshold { op: Comparison::Gt, value: 1.0 },
+            hold: 2,
+            resolve: 2,
+        }
+    }
+
+    #[test]
+    fn unarmed_monitor_records_points_but_never_fires() {
+        let m = Monitor::new();
+        for i in 0..5 {
+            m.observe("m", 10.0 + i as f64);
+        }
+        assert!(!m.armed());
+        assert_eq!(m.firing(), 0);
+        assert_eq!(m.store().snapshot("m").map(|(_, v, _)| v.len()), Some(5));
+        assert!(m.alerts_json().contains("\"armed\":false"));
+    }
+
+    #[test]
+    fn observe_drives_transitions_and_recent_log() {
+        let m = Monitor::new();
+        m.install_rules(vec![hot_rule()]);
+        m.observe("m", 0.5);
+        m.observe("m", 2.0);
+        assert_eq!(m.firing(), 0, "hold-down: one breach is not enough");
+        m.observe("m", 2.0);
+        assert_eq!(m.firing(), 1);
+        m.observe("m", 0.1);
+        m.observe("m", 0.1);
+        assert_eq!(m.firing(), 0);
+        let json = m.alerts_json();
+        assert!(json.contains("\"event\":\"firing\""), "{json}");
+        assert!(json.contains("\"event\":\"resolved\""), "{json}");
+        assert!(json.contains("\"armed\":true"), "{json}");
+    }
+
+    #[test]
+    fn tick_samples_the_registry_into_the_store() {
+        let m = Monitor::new();
+        let reg = MetricsRegistry::new();
+        reg.gauge("queue.depth").set(7.0);
+        m.tick(&reg).expect("tick");
+        let (_, values, total) = m.store().snapshot("queue.depth").expect("sampled");
+        assert_eq!(total, 1);
+        assert_eq!(values, vec![7.0]);
+        // A direct series is not double-fed by the sampler.
+        m.observe("queue.depth", 9.0);
+        reg.gauge("queue.depth").set(11.0);
+        m.tick(&reg).expect("tick");
+        let (_, values, _) = m.store().snapshot("queue.depth").expect("still there");
+        assert_eq!(values, vec![7.0, 9.0], "direct claim stops periodic sampling");
+    }
+
+    #[test]
+    fn reset_rebuilds_a_clean_engine_with_the_same_rules() {
+        let m = Monitor::new();
+        m.install_rules(vec![hot_rule()]);
+        m.observe("m", 2.0);
+        m.observe("m", 2.0);
+        assert_eq!(m.firing(), 1);
+        m.reset();
+        assert_eq!(m.firing(), 0);
+        assert_eq!(m.rule_count(), 1, "rules survive reset");
+        assert!(m.store().snapshot("m").is_none(), "points do not");
+        assert!(m.armed());
+    }
+
+    #[test]
+    #[ignore = "arms process-global failpoints; run serially via the chaos job"]
+    fn monitor_snapshot_failpoint_surfaces_as_io_error() {
+        let _guard = enld_chaos::scenario_with("monitor.snapshot=error@nth:1");
+        let m = Monitor::new();
+        let reg = MetricsRegistry::new();
+        let err = m.tick(&reg).expect_err("armed failpoint must error");
+        assert!(err.to_string().contains("monitor.snapshot"), "{err}");
+        m.tick(&reg).expect("nth:1 only fails once");
+    }
+}

@@ -1,0 +1,389 @@
+//! Windowed metric time series: fixed-capacity ring buffers keyed by
+//! metric name, with min/max/mean/p95 rollups over the trailing window.
+//!
+//! Instantaneous gauges answer "what is the drift rate *now*"; an
+//! operator asking "did P̃ go stale three arrivals ago" needs the recent
+//! *trajectory*. [`TimeSeriesStore`] keeps that trajectory without any
+//! external storage: every series is a bounded ring, so memory is
+//! `O(series × capacity)` regardless of run length.
+//!
+//! Two feeds coexist:
+//!
+//! * **direct** observations ([`TimeSeriesStore::record_direct`]) —
+//!   event-driven points pushed at the moment something happened (one
+//!   drift reading per arriving dataset, one sojourn per served job);
+//! * **sampled** points ([`TimeSeriesStore::record_registry`]) — the
+//!   periodic-snapshot path copying every registry metric on a fixed
+//!   cadence.
+//!
+//! A series fed directly is *never* also fed by sampling: re-sampling a
+//! last-write-wins gauge every few seconds would duplicate the same
+//! event at scrape cadence and bias any change-point statistic running
+//! on it. Direct feeds therefore claim their series name; the sampler
+//! skips claimed names.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::json::{f64_token, JsonObject};
+use crate::metrics::MetricsRegistry;
+
+/// One observation: wall-clock seconds since the store's owner started,
+/// plus the value. The *position* of a point (its observation index) is
+/// what alerting logic keys on; `t_secs` is for humans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub t_secs: f64,
+    pub value: f64,
+}
+
+/// Who pushes points into a series; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Feed {
+    Direct,
+    Sampled,
+}
+
+/// Fixed-capacity ring buffer of [`Point`]s for one metric.
+#[derive(Debug)]
+pub struct TimeSeries {
+    capacity: usize,
+    points: VecDeque<Point>,
+    /// Points ever pushed; `total - len` points have been evicted, so a
+    /// point's global *observation index* is `total - len + buffer_pos`.
+    total: u64,
+    feed: Feed,
+}
+
+/// Rollup of the trailing window of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Points in the window (≤ requested window, ≤ buffered points).
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    /// 95th percentile of the window (exact: the window is materialised).
+    pub p95: f64,
+    /// The newest value in the window.
+    pub last: f64,
+}
+
+impl WindowStats {
+    fn empty() -> Self {
+        Self { count: 0, min: 0.0, max: 0.0, mean: 0.0, p95: 0.0, last: 0.0 }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64_field("count", self.count as u64)
+            .f64_field("min", self.min)
+            .f64_field("max", self.max)
+            .f64_field("mean", self.mean)
+            .f64_field("p95", self.p95)
+            .f64_field("last", self.last);
+        o.finish()
+    }
+}
+
+impl TimeSeries {
+    fn new(capacity: usize, feed: Feed) -> Self {
+        assert!(capacity > 0, "a time series needs room for at least one point");
+        Self { capacity, points: VecDeque::with_capacity(capacity), total: 0, feed }
+    }
+
+    fn push(&mut self, t_secs: f64, value: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back(Point { t_secs, value });
+        self.total += 1;
+    }
+
+    /// Points currently buffered.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points ever pushed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Global observation index of the oldest buffered point.
+    pub fn first_index(&self) -> u64 {
+        self.total - self.points.len() as u64
+    }
+
+    /// The newest point, if any.
+    pub fn last(&self) -> Option<Point> {
+        self.points.back().copied()
+    }
+
+    /// Buffered values, oldest first.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// Rollup over the newest `window` buffered points.
+    pub fn window(&self, window: usize) -> WindowStats {
+        let n = window.min(self.points.len());
+        if n == 0 {
+            return WindowStats::empty();
+        }
+        let tail = self.points.iter().skip(self.points.len() - n);
+        let mut values: Vec<f64> = tail.map(|p| p.value).collect();
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &v in &values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let last = values[n - 1];
+        values.sort_by(|a, b| a.partial_cmp(b).expect("non-finite values are rejected upstream"));
+        // Nearest-rank p95: the smallest value covering 95% of the window.
+        let rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+        WindowStats { count: n, min, max, mean: sum / n as f64, p95: values[rank - 1], last }
+    }
+}
+
+/// Snapshot of one series handed to alert evaluation: `(first_index,
+/// buffered values oldest-first, total points ever pushed)`.
+pub type SeriesSnapshot = (u64, Vec<f64>, u64);
+
+/// Named ring-buffer time series behind one mutex. Pushes happen at
+/// event cadence (per arrival, per job, per snapshot tick), so lock
+/// contention is irrelevant; correctness and bounded memory are not.
+pub struct TimeSeriesStore {
+    capacity: usize,
+    inner: Mutex<BTreeMap<String, TimeSeries>>,
+}
+
+/// Default ring capacity per series: enough for hours of periodic
+/// snapshots or hundreds of arrivals without unbounded growth.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+impl TimeSeriesStore {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a time series store needs capacity for at least one point");
+        Self { capacity, inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, TimeSeries>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends an event-driven observation, claiming the series for the
+    /// direct feed (subsequent sampled pushes to this name are dropped).
+    /// Non-finite values are ignored.
+    pub fn record_direct(&self, name: &str, t_secs: f64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut inner = self.lock();
+        let series = inner
+            .entry(name.to_owned())
+            .or_insert_with(|| TimeSeries::new(self.capacity, Feed::Direct));
+        series.feed = Feed::Direct;
+        series.push(t_secs, value);
+    }
+
+    /// Appends a sampled point unless the series is claimed by a direct
+    /// feed. Non-finite values are ignored.
+    pub fn record_sampled(&self, name: &str, t_secs: f64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut inner = self.lock();
+        let series = inner
+            .entry(name.to_owned())
+            .or_insert_with(|| TimeSeries::new(self.capacity, Feed::Sampled));
+        if series.feed == Feed::Sampled {
+            series.push(t_secs, value);
+        }
+    }
+
+    /// One sampling tick: copies every counter and gauge, plus
+    /// `count`/`mean`/`p95` rollups of every histogram, into the store
+    /// (skipping direct-fed series). This is the periodic-snapshot feed.
+    pub fn record_registry(&self, registry: &MetricsRegistry, t_secs: f64) {
+        for (name, v) in registry.counters() {
+            self.record_sampled(&name, t_secs, v as f64);
+        }
+        for (name, v) in registry.gauges() {
+            self.record_sampled(&name, t_secs, v);
+        }
+        for (name, h) in registry.histograms() {
+            let s = h.summary();
+            self.record_sampled(&format!("{name}.count"), t_secs, s.count as f64);
+            self.record_sampled(&format!("{name}.mean"), t_secs, s.mean);
+            self.record_sampled(&format!("{name}.p95"), t_secs, s.p95);
+        }
+    }
+
+    /// Every series name, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// `(first_index, values, total)` for `name`; `None` when the series
+    /// does not exist yet.
+    pub fn snapshot(&self, name: &str) -> Option<SeriesSnapshot> {
+        let inner = self.lock();
+        let s = inner.get(name)?;
+        Some((s.first_index(), s.values(), s.total()))
+    }
+
+    /// Trailing-window rollup for `name`.
+    pub fn window(&self, name: &str, window: usize) -> Option<WindowStats> {
+        let inner = self.lock();
+        Some(inner.get(name)?.window(window))
+    }
+
+    /// Drops every series (tests and monitor reset).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Serialises every series for the `/timeseries` endpoint:
+    /// window rollups plus the newest `tail` raw points per series.
+    pub fn to_json(&self, window: usize, tail: usize) -> String {
+        let inner = self.lock();
+        let mut out = String::from("[");
+        for (i, (name, series)) in inner.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let n = tail.min(series.points.len());
+            let newest = series.points.iter().skip(series.points.len() - n);
+            let mut values = String::from("[");
+            let mut times = String::from("[");
+            for (j, p) in newest.enumerate() {
+                if j > 0 {
+                    values.push(',');
+                    times.push(',');
+                }
+                values.push_str(&f64_token(p.value));
+                times.push_str(&f64_token(p.t_secs));
+            }
+            values.push(']');
+            times.push(']');
+            let mut o = JsonObject::new();
+            o.str_field("name", name)
+                .u64_field("total", series.total())
+                .u64_field("first_index", series.first_index())
+                .raw_field("window", &series.window(window).to_json())
+                .raw_field("values", &values)
+                .raw_field("t_secs", &times);
+            out.push_str(&o.finish());
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_indices() {
+        let mut s = TimeSeries::new(3, Feed::Direct);
+        for i in 0..5 {
+            s.push(i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.first_index(), 2);
+        assert_eq!(s.values(), vec![20.0, 30.0, 40.0]);
+        assert_eq!(s.last().unwrap().value, 40.0);
+    }
+
+    #[test]
+    fn window_rollups_are_exact() {
+        let mut s = TimeSeries::new(100, Feed::Direct);
+        for i in 1..=20 {
+            s.push(i as f64, i as f64);
+        }
+        let w = s.window(10); // values 11..=20
+        assert_eq!(w.count, 10);
+        assert_eq!(w.min, 11.0);
+        assert_eq!(w.max, 20.0);
+        assert!((w.mean - 15.5).abs() < 1e-12);
+        assert_eq!(w.last, 20.0);
+        // Nearest-rank p95 of 10 values = ceil(9.5) = 10th smallest.
+        assert_eq!(w.p95, 20.0);
+        // Window larger than the buffer clamps.
+        assert_eq!(s.window(1000).count, 20);
+        assert_eq!(TimeSeries::new(4, Feed::Direct).window(4), WindowStats::empty());
+    }
+
+    #[test]
+    fn direct_feed_claims_the_series_from_sampling() {
+        let store = TimeSeriesStore::new(16);
+        store.record_sampled("m", 0.0, 1.0);
+        store.record_direct("m", 1.0, 2.0);
+        // The sampler keeps running but its pushes are now dropped.
+        store.record_sampled("m", 2.0, 3.0);
+        store.record_direct("m", 3.0, 4.0);
+        let (_, values, total) = store.snapshot("m").expect("series exists");
+        assert_eq!(values, vec![1.0, 2.0, 4.0]);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let store = TimeSeriesStore::new(8);
+        store.record_direct("m", 0.0, f64::NAN);
+        store.record_sampled("m", 0.0, f64::INFINITY);
+        assert!(store.snapshot("m").is_none());
+    }
+
+    #[test]
+    fn record_registry_copies_metrics_and_histogram_rollups() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(0.5);
+        reg.histogram("h").record(0.25);
+        let store = TimeSeriesStore::new(8);
+        store.record_registry(&reg, 1.0);
+        assert_eq!(store.snapshot("c").unwrap().1, vec![3.0]);
+        assert_eq!(store.snapshot("g").unwrap().1, vec![0.5]);
+        assert_eq!(store.snapshot("h.count").unwrap().1, vec![1.0]);
+        assert_eq!(store.snapshot("h.p95").unwrap().1, vec![0.25]);
+        assert_eq!(
+            store.names(),
+            vec!["c", "g", "h.count", "h.mean", "h.p95"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn json_has_window_and_tail_per_series() {
+        let store = TimeSeriesStore::new(8);
+        for i in 0..6 {
+            store.record_direct("a.b", i as f64, i as f64);
+        }
+        let json = store.to_json(4, 2);
+        assert!(json.starts_with("[{\"name\":\"a.b\""));
+        assert!(json.contains("\"total\":6"));
+        assert!(json.contains("\"window\":{\"count\":4"));
+        assert!(json.contains("\"values\":[4,5]"));
+        assert!(json.contains("\"t_secs\":[4,5]"));
+        assert_eq!(TimeSeriesStore::new(4).to_json(4, 4), "[]");
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let store = TimeSeriesStore::new(4);
+        store.record_direct("m", 0.0, 1.0);
+        store.clear();
+        assert!(store.names().is_empty());
+    }
+}

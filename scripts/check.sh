@@ -42,4 +42,7 @@ bash scripts/obs_smoke.sh
 echo "==> trace + profile smoke (enld detect --trace-out | enld profile)"
 bash scripts/profile_smoke.sh
 
+echo "==> streaming-monitor smoke (injected drift fires /alerts, stationary stays quiet)"
+bash scripts/monitor_smoke.sh
+
 echo "All checks passed."

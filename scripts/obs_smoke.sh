@@ -102,6 +102,17 @@ for field in version build; do
     exit 1
   fi
 done
+# A stationary lake must never trip the drift rules: health stays "ok"
+# and the alerts-firing gauge the monitor publishes reads zero.
+if ! printf '%s' "$HEALTHZ" | grep -q '"status":"ok"'; then
+  echo "/healthz reports a degraded run on a stationary lake: $HEALTHZ"
+  exit 1
+fi
+if ! printf '%s\n' "$METRICS" | grep -q '^enld_alerts_firing 0$'; then
+  echo "enld_alerts_firing gauge missing or nonzero in /metrics:"
+  printf '%s\n' "$METRICS" | grep '^enld_alerts' || true
+  exit 1
+fi
 
 # Process resource gauges ride the same snapshot (Linux procfs; no-op
 # elsewhere, so only assert where /proc exists).
