@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! benchgate [--iters N] [--warmup N] [--out FILE]
-//!           [--baseline FILE] [--threshold-pct F] [--smoke]
+//!           [--baseline FILE] [--threshold-pct F] [--smoke] [--kernels]
 //! benchgate --report-speedup SEQ.json PAR.json
 //! ```
 //!
@@ -23,6 +23,14 @@
 //! * `BENCHGATE_INJECT_SLOWDOWN=F` scales every recorded timing by `F` —
 //!   the knob used to demonstrate that the gate actually fails on a
 //!   regression (e.g. `F=2` must trip a 25% threshold).
+//!
+//! Besides the pipeline workloads, the gate times the matrix kernels in
+//! isolation (`kernel_*`) next to the seed's scalar loop nest replayed on
+//! the same inputs (`seed_*`, see `enld_bench::seed_kernels`), and prints
+//! a markdown speedup table for the CI step summary. Reports also record
+//! the host's CPU model and core count; when a baseline was measured on
+//! different hardware the comparison demotes regressions to warnings,
+//! since cross-machine medians don't prove a code regression.
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -33,6 +41,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use enld_ann::AnnClassIndex;
+use enld_bench::seed_kernels;
 use enld_core::config::EnldConfig;
 use enld_core::detector::Enld;
 use enld_core::probability::ConditionalLabelProbability;
@@ -45,6 +54,7 @@ use enld_nn::arch::ArchPreset;
 use enld_nn::data::DataRef;
 use enld_nn::matrix::Matrix;
 use enld_nn::model::Mlp;
+use enld_nn::quant::QuantizedMlp;
 use enld_nn::trainer::{TrainConfig, Trainer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,7 +71,40 @@ struct GateReport {
     /// self-calibrates by promoting its own results over them.
     #[serde(default)]
     bootstrap: bool,
+    /// Host the medians were measured on. Absent in reports written
+    /// before the field existed; the comparison then assumes same-host.
+    #[serde(default)]
+    hardware: Option<Hardware>,
     benches: BTreeMap<String, BenchResult>,
+}
+
+/// Enough of the host to tell whether two reports are comparable:
+/// wall-clock medians only gate regressions when CPU model and core
+/// count match the baseline's.
+#[derive(Serialize, Deserialize, Clone, PartialEq, Eq)]
+struct Hardware {
+    cpu_model: String,
+    cores: usize,
+}
+
+impl Hardware {
+    fn detect() -> Self {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|info| {
+                info.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split_once(':'))
+                    .map(|(_, v)| v.trim().to_owned())
+            })
+            .unwrap_or_else(|| "unknown".to_owned());
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+        Self { cpu_model, cores }
+    }
+
+    fn describe(&self) -> String {
+        format!("{} ({} cores)", self.cpu_model, self.cores)
+    }
 }
 
 #[derive(Serialize, Deserialize)]
@@ -288,6 +331,159 @@ fn detection_workload() -> Workload {
     }
 }
 
+/// GEMM shapes for the kernel lane: "small" is a per-chunk dense-layer
+/// shape (inference batch × hidden widths); "large" makes B a 4 MB
+/// operand that outgrows L2, the streaming regime where the seed loop
+/// re-reads all of B per output row and the packed panels pay off.
+const GEMM_SMALL: (usize, usize, usize) = (64, 128, 96);
+const GEMM_LARGE: (usize, usize, usize) = (256, 1024, 1024);
+
+/// `reps` back-to-back `a·b` products through either the blocked
+/// production kernel or the seed scalar comparator, on identical inputs.
+fn gemm_workload(
+    name: &'static str,
+    (m, k, n): (usize, usize, usize),
+    reps: usize,
+    use_seed_kernel: bool,
+) -> Workload {
+    let a = Matrix::from_vec(m, k, uniform(m * k, 21, -1.0, 1.0));
+    let b = Matrix::from_vec(k, n, uniform(k * n, 22, -1.0, 1.0));
+    Workload {
+        name,
+        run: Box::new(move || {
+            let start = Instant::now();
+            for _ in 0..reps {
+                if use_seed_kernel {
+                    black_box(seed_kernels::matmul(&a, &b));
+                } else {
+                    black_box(a.matmul(&b));
+                }
+            }
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// Shape of the batched-inference workloads: the detector's standard
+/// backbone (resnet110-sim) on one inference chunk.
+const FWD_DIM: usize = 48;
+const FWD_CLASSES: usize = 100;
+const FWD_BATCH: usize = 256;
+
+fn forward_inputs() -> (Mlp, Matrix) {
+    let model = Mlp::new(&ArchPreset::resnet110_sim().config(FWD_DIM, FWD_CLASSES), 9);
+    let x = Matrix::from_vec(FWD_BATCH, FWD_DIM, uniform(FWD_BATCH * FWD_DIM, 23, -2.0, 2.0));
+    (model, x)
+}
+
+/// Batched `forward_inference` through the real model (blocked kernels).
+fn forward_workload(reps: usize) -> Workload {
+    let (model, x) = forward_inputs();
+    Workload {
+        name: "kernel_forward_batch256",
+        run: Box::new(move || {
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(model.forward_inference(&x));
+            }
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// The same layer chain replayed with the seed scalar kernel: matmul per
+/// dense layer plus the identical `Matrix` elementwise ops (bias, ReLU,
+/// residual add), on freshly drawn same-shape weights. Weight values
+/// don't affect the timing — only the loop nest under test differs.
+/// Softmax is absent from both forward workloads (`forward_inference`
+/// returns logits), so the pair isolates the kernels.
+fn seed_forward_workload(reps: usize) -> Workload {
+    let arch = ArchPreset::resnet110_sim();
+    let (w, blocks) = (arch.width, arch.blocks);
+    let layer = |in_dim: usize, out_dim: usize, seed: u64| {
+        (
+            Matrix::from_vec(in_dim, out_dim, uniform(in_dim * out_dim, seed, -0.5, 0.5)),
+            uniform(out_dim, seed + 1, -0.1, 0.1),
+        )
+    };
+    let embed = layer(FWD_DIM, w, 31);
+    let body: Vec<_> = (0..blocks)
+        .map(|i| (layer(w, w, 41 + 2 * i as u64), layer(w, w, 57 + 2 * i as u64)))
+        .collect();
+    let head = layer(w, FWD_CLASSES, 71);
+    let x = Matrix::from_vec(FWD_BATCH, FWD_DIM, uniform(FWD_BATCH * FWD_DIM, 23, -2.0, 2.0));
+    Workload {
+        name: "seed_forward_batch256",
+        run: Box::new(move || {
+            let start = Instant::now();
+            for _ in 0..reps {
+                let mut h = seed_kernels::matmul(&x, &embed.0);
+                h.add_row_bias(&embed.1);
+                let _ = h.relu_inplace();
+                for ((w1, b1), (w2, b2)) in &body {
+                    let mut t = seed_kernels::matmul(&h, w1);
+                    t.add_row_bias(b1);
+                    let _ = t.relu_inplace();
+                    let mut y = seed_kernels::matmul(&t, w2);
+                    y.add_row_bias(b2);
+                    y.add_assign(&h);
+                    let _ = y.relu_inplace();
+                    h = y;
+                }
+                let mut logits = seed_kernels::matmul(&h, &head.0);
+                logits.add_row_bias(&head.1);
+                black_box(logits);
+            }
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// Batched inference through the int8 path (`--quantized` in the CLI);
+/// the one-time weight packing is untimed, matching how the detector
+/// amortises it across a task's scans.
+fn quant_forward_workload(reps: usize) -> Workload {
+    let (model, x) = forward_inputs();
+    let quant = QuantizedMlp::from_mlp(&model);
+    Workload {
+        name: "kernel_quant_forward",
+        run: Box::new(move || {
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(quant.forward_inference(&x));
+            }
+            start.elapsed().as_secs_f64()
+        }),
+    }
+}
+
+/// `(label, seed bench, kernel bench)` rows of the speedup table.
+const KERNEL_PAIRS: &[(&str, &str, &str)] = &[
+    ("gemm small 64x128x96", "seed_gemm_small", "kernel_gemm_small"),
+    ("gemm large 256x1024x1024", "seed_gemm_large", "kernel_gemm_large"),
+    ("forward batch 256", "seed_forward_batch256", "kernel_forward_batch256"),
+    ("int8 forward batch 256", "seed_forward_batch256", "kernel_quant_forward"),
+];
+
+/// Markdown speedup table (blocked/quantized kernels vs the seed scalar
+/// loop on identical shapes) — `bench_gate.sh` lifts it into
+/// `$GITHUB_STEP_SUMMARY` verbatim. The seed comparator is always
+/// single-threaded, so only an `ENLD_THREADS=1` run (the kernel lane's
+/// configuration) isolates the kernel change from thread scaling.
+fn print_kernel_speedups(benches: &BTreeMap<String, BenchResult>, threads: usize) {
+    if !KERNEL_PAIRS.iter().all(|(_, s, k)| benches.contains_key(*s) && benches.contains_key(*k)) {
+        return;
+    }
+    println!("kernel speedup vs seed scalar kernels ({threads} thread(s); seed is 1-thread):");
+    println!("| workload | seed scalar | current | speedup |");
+    println!("|----------|------------:|--------:|--------:|");
+    for (label, seed_name, kernel_name) in KERNEL_PAIRS {
+        let s = benches[*seed_name].median_secs;
+        let k = benches[*kernel_name].median_secs;
+        println!("| {label} | {s:.3}s | {k:.3}s | {:.2}x |", s / k.max(1e-9));
+    }
+}
+
 fn median(mut runs: Vec<f64>) -> f64 {
     runs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let n = runs.len();
@@ -345,6 +541,9 @@ struct Options {
     threshold_pct: f64,
     /// `--smoke`: one unmeasured-quality iteration at reduced ANN scale.
     smoke: bool,
+    /// `--kernels`: only the matrix-kernel workloads (`kernel_*`/`seed_*`)
+    /// — the fast lane CI runs at `ENLD_THREADS=1` for the speedup table.
+    kernels: bool,
 }
 
 fn run(opts: &Options) -> Result<ExitCode, String> {
@@ -366,16 +565,31 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         opts.iters, opts.warmup, threads
     );
     let (ann_n, ann_base, ann_arrival) = ann_scale(opts.smoke);
-    let workloads = vec![
-        kdtree_workload(),
-        ann_bulk_build_workload(ann_n),
-        ann_query_workload(ann_n),
-        ann_update_workload(ann_base, ann_arrival),
-        kdtree_rebuild_workload(ann_base, ann_arrival),
-        contrastive_workload(),
-        train_workload(),
-        detection_workload(),
-    ];
+    // Kernel workloads time `reps` back-to-back calls so the medians sit
+    // well above timer noise; `--smoke` drops to one call per workload.
+    let (small_reps, large_reps, fwd_reps) = if opts.smoke { (1, 1, 1) } else { (200, 4, 10) };
+    let mut workloads = Vec::new();
+    if !opts.kernels {
+        workloads.extend([
+            kdtree_workload(),
+            ann_bulk_build_workload(ann_n),
+            ann_query_workload(ann_n),
+            ann_update_workload(ann_base, ann_arrival),
+            kdtree_rebuild_workload(ann_base, ann_arrival),
+            contrastive_workload(),
+            train_workload(),
+            detection_workload(),
+        ]);
+    }
+    workloads.extend([
+        gemm_workload("kernel_gemm_small", GEMM_SMALL, small_reps, false),
+        gemm_workload("seed_gemm_small", GEMM_SMALL, small_reps, true),
+        gemm_workload("kernel_gemm_large", GEMM_LARGE, large_reps, false),
+        gemm_workload("seed_gemm_large", GEMM_LARGE, large_reps, true),
+        forward_workload(fwd_reps),
+        seed_forward_workload(fwd_reps),
+        quant_forward_workload(fwd_reps),
+    ]);
     let mut benches = BTreeMap::new();
     for mut w in workloads {
         for _ in 0..opts.warmup {
@@ -386,8 +600,17 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         println!("  {:<24} median {:.3}s  (runs: {})", w.name, med, fmt_runs(&runs));
         benches.insert(w.name.to_string(), BenchResult { median_secs: med, runs });
     }
-    let report =
-        GateReport { schema: SCHEMA.into(), threads, iters: opts.iters, bootstrap: false, benches };
+    print_kernel_speedups(&benches, threads);
+    let hardware = Hardware::detect();
+    println!("benchgate: host {}", hardware.describe());
+    let report = GateReport {
+        schema: SCHEMA.into(),
+        threads,
+        iters: opts.iters,
+        bootstrap: false,
+        hardware: Some(hardware),
+        benches,
+    };
 
     if let Some(out) = &opts.out {
         let json =
@@ -416,6 +639,25 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    // A baseline measured on a different machine can't prove a code
+    // regression — compare anyway for visibility, but only warn. Baselines
+    // predating the hardware stamp are assumed same-host (the gate always
+    // self-recorded its own baseline).
+    let same_hardware = match (&report.hardware, &baseline.hardware) {
+        (Some(cur), Some(base)) => {
+            if cur != base {
+                eprintln!(
+                    "benchgate: WARNING: baseline hardware {} differs from this host {} — \
+                     regressions below are reported as warnings, not failures",
+                    base.describe(),
+                    cur.describe()
+                );
+            }
+            cur == base
+        }
+        _ => true,
+    };
+
     let mut regressions = Vec::new();
     println!("comparison vs {} (threshold +{:.0}%):", baseline_path.display(), opts.threshold_pct);
     for (name, cur) in &report.benches {
@@ -436,6 +678,14 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
     if regressions.is_empty() {
         println!("benchgate: gate PASSED");
         Ok(ExitCode::SUCCESS)
+    } else if !same_hardware {
+        eprintln!(
+            "benchgate: gate PASSED WITH WARNINGS — medians above +{:.0}% on foreign-hardware \
+             baseline in: {} (re-record the baseline on this host to re-arm the gate)",
+            opts.threshold_pct,
+            regressions.join(", ")
+        );
+        Ok(ExitCode::SUCCESS)
     } else {
         eprintln!(
             "benchgate: gate FAILED — median regression above {:.0}% in: {}",
@@ -452,7 +702,7 @@ fn fmt_runs(runs: &[f64]) -> String {
 
 const USAGE: &str = "\
 usage: benchgate [--iters N] [--warmup N] [--out FILE]
-                 [--baseline FILE] [--threshold-pct F] [--smoke]
+                 [--baseline FILE] [--threshold-pct F] [--smoke] [--kernels]
        benchgate --report-speedup SEQ.json PAR.json";
 
 fn main() -> ExitCode {
@@ -477,6 +727,7 @@ fn main() -> ExitCode {
         baseline: None,
         threshold_pct: 25.0,
         smoke: false,
+        kernels: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -502,6 +753,10 @@ fn main() -> ExitCode {
                 opts.warmup = 0;
                 opts.baseline = None;
                 opts.smoke = true;
+                Ok(())
+            }
+            "--kernels" => {
+                opts.kernels = true;
                 Ok(())
             }
             "--help" | "-h" => {

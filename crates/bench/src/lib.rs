@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod rows;
 pub mod runner;
 pub mod scale;
+pub mod seed_kernels;
 
 pub use rows::{ExperimentOutput, MethodRow};
 pub use scale::RunScale;

@@ -1,0 +1,75 @@
+//! The seed's scalar matmul kernel, preserved as the fixed comparator for
+//! the kernel bench lane.
+//!
+//! `enld_nn::matrix` originally computed `a·b` with this exact loop nest:
+//! row-major `i`/`k`/`j` with a zero-skip on the left operand and no
+//! packing or register tiling. When the matrix crate moved to packed
+//! cache-blocked microkernels, this copy stayed behind so `benchgate` can
+//! report the blocked kernels' speedup against the seed on the same
+//! machine, in the same process, on the same inputs — rather than trusting
+//! a number measured on different hardware at a different commit.
+//!
+//! The copy is sequential on purpose: the gate records its medians at
+//! `ENLD_THREADS=1` (see `scripts/bench_gate.sh`), where the seed kernel's
+//! parallel path degenerated to this loop anyway, so the pair isolates the
+//! kernel change from thread scaling.
+//!
+//! Keep this file frozen. It is a measurement reference, not a library:
+//! nothing outside `benchgate` and its tests should call it.
+
+use enld_nn::matrix::Matrix;
+
+/// Seed scalar `a·b` — the pre-blocking kernel, verbatim.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree, like `Matrix::matmul`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner-dim mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let orow = &mut od[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(rows: usize, cols: usize, seed: f32) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|i| ((i as f32 * 0.7 + seed).sin() * 1.3) + 0.01)
+            .collect::<Vec<_>>();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// The blocked kernels carry a bit-identity contract against the seed
+    /// accumulation order (single accumulator per element, `k` ascending),
+    /// so on zero-free inputs the comparator and the production kernel
+    /// must agree exactly — otherwise the bench pair would be timing
+    /// different arithmetic.
+    #[test]
+    fn seed_kernel_matches_the_blocked_kernel_bitwise() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 7), (17, 13, 31), (64, 48, 96)] {
+            let a = pattern(m, k, 0.3);
+            let b = pattern(k, n, 1.7);
+            let seed = matmul(&a, &b);
+            let blocked = a.matmul(&b);
+            assert_eq!(seed.data(), blocked.data(), "shape ({m},{k},{n})");
+        }
+    }
+}

@@ -187,6 +187,9 @@ pub struct DetectOverrides {
     pub seed: Option<u64>,
     /// Neighbour-index backend (`--index exact|hnsw`).
     pub index: Option<IndexBackend>,
+    /// Route per-task inference scans through the int8 path
+    /// (`--quantized`).
+    pub quantized: bool,
 }
 
 /// `enld detect`: serves every arrival and returns the verdicts.
@@ -566,6 +569,7 @@ fn config_for(file: &LakeFile, overrides: DetectOverrides) -> EnldConfig {
     if let Some(index) = overrides.index {
         cfg.index = index;
     }
+    cfg.quantized = overrides.quantized;
     cfg
 }
 
@@ -622,8 +626,12 @@ mod tests {
     #[test]
     fn detect_scores_generated_lakes() {
         let (file, path) = small_lake("detect");
-        let overrides =
-            DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1), index: None };
+        let overrides = DetectOverrides {
+            iterations: Some(3),
+            k: Some(2),
+            seed: Some(1),
+            ..Default::default()
+        };
         let verdicts = detect(&file, overrides, None).expect("detect");
         assert_eq!(verdicts.len(), file.arrivals.len());
         for (v, a) in verdicts.iter().zip(&file.arrivals) {
@@ -638,8 +646,12 @@ mod tests {
     fn detect_with_recovery_checkpoints_and_resumes() {
         let (file, path) = small_lake("ckpt");
         let ckpt = tmp("ckpt_file");
-        let overrides =
-            DetectOverrides { iterations: Some(3), k: Some(2), seed: Some(1), index: None };
+        let overrides = DetectOverrides {
+            iterations: Some(3),
+            k: Some(2),
+            seed: Some(1),
+            ..Default::default()
+        };
         let recovery = RecoveryOptions { checkpoint: Some(ckpt.clone()), resume: false };
         let verdicts = detect_with_recovery(&file, overrides, None, recovery).expect("detect");
         assert_eq!(verdicts.len(), file.arrivals.len());
@@ -683,7 +695,7 @@ mod tests {
                 iterations: Some(3),
                 k: Some(2),
                 seed: Some(1),
-                index: None,
+                ..Default::default()
             },
             ..ServeOptions::default()
         };

@@ -18,6 +18,7 @@ use enld_lake::timing::Stopwatch;
 use enld_nn::data::DataRef;
 use enld_nn::matrix::Matrix;
 use enld_nn::model::{argmax, Mlp};
+use enld_nn::quant::QuantizedMlp;
 use enld_nn::trainer::{TrainConfig, Trainer};
 use enld_telemetry as telemetry;
 use enld_telemetry::metrics::{global as metrics, Histogram};
@@ -557,7 +558,7 @@ impl Enld {
                     &st.contrast,
                     d,
                 );
-                let preds = st.theta.predict_labels(d_view);
+                let preds = self.scan_model(&st.theta).predict_labels(d_view);
                 // Agreement is computed in parallel over fixed chunks; the
                 // stateful vote update below stays sequential in `eligible`
                 // order, so `trace.votes`, `count`, and flip accounting are
@@ -586,20 +587,21 @@ impl Enld {
             }
 
             // Sample update & re-sampling (lines 15–21).
-            let (probs_d, feats_d) = st.theta.proba_and_features(d_view);
+            let scan = self.scan_model(&st.theta);
+            let (probs_d, feats_d) = scan.proba_and_features(d_view);
             let preds_d = row_argmax(&probs_d);
             st.ambiguous = ambiguous_scan(&eligible, &preds_d, d.labels());
 
             // H' refresh on I' under θ', with the confidence filter; clean
             // votes for the inventory selection (lines 16–19).
-            let h_now = self.refresh_high_quality(&st.theta, &i_prime, ic_view);
+            let h_now = self.refresh_high_quality(&scan, &i_prime, ic_view);
             for &i in &h_now {
                 st.count_c[i] += 1;
             }
 
             let mut sel_rng = sampling_rng(task_seed, iteration as u64 + 1);
             st.contrast = self.select_contrast(
-                &st.theta,
+                &scan,
                 false,
                 d,
                 &feats_d,
@@ -743,7 +745,7 @@ impl Enld {
 
         let (feats_d, ambiguous) = {
             let mut s = telemetry::debug_span("enld.detect.ambiguous_select").entered();
-            let (probs_d, feats_d) = theta.proba_and_features(d_view);
+            let (probs_d, feats_d) = self.scan_model(&theta).proba_and_features(d_view);
             let preds_d = row_argmax(&probs_d);
             let ambiguous = ambiguous_scan(eligible, &preds_d, d.labels());
             s.record("ambiguous", ambiguous.len());
@@ -765,7 +767,7 @@ impl Enld {
         };
         let mut sel_rng = sampling_rng(task_seed, 0);
         let contrast = self.select_contrast(
-            &theta,
+            &self.scan_model(&theta),
             true,
             d,
             &feats_d,
@@ -786,7 +788,7 @@ impl Enld {
             if eligible.is_empty() {
                 return 0.0;
             }
-            let preds = m.predict_labels(d_view);
+            let preds = self.scan_model(m).predict_labels(d_view);
             let hit = eligible.iter().filter(|&&i| preds[i] == d.labels()[i]).count();
             hit as f32 / eligible.len() as f32
         };
@@ -894,6 +896,27 @@ impl Enld {
         clean.len()
     }
 
+    /// Builds the inference engine for per-task θ' scans: the f32 model
+    /// itself, or (with `EnldConfig::quantized`) a fresh int8 snapshot of
+    /// it. A failure injected at the `nn.quant.pack` site falls back to
+    /// the f32 path — the snapshot is derived state that never reaches a
+    /// checkpoint, so dropping it is always safe.
+    fn scan_model<'m>(&self, theta: &'m Mlp) -> ScanModel<'m> {
+        if !self.config.quantized {
+            return ScanModel::F32(theta);
+        }
+        match enld_chaos::fail_point_io("nn.quant.pack") {
+            Ok(()) => {
+                metrics().counter("enld.nn.quant.pack_total").inc();
+                ScanModel::Int8(Box::new(QuantizedMlp::from_mlp(theta)))
+            }
+            Err(_) => {
+                metrics().counter("enld.nn.quant.fallback_total").inc();
+                ScanModel::F32(theta)
+            }
+        }
+    }
+
     /// Builds the fine-tune set according to the configured policy /
     /// ablation variant. `round0` marks the pre-warm-up selection, where
     /// `θ'` is still a verbatim clone of the general model — the only
@@ -902,7 +925,7 @@ impl Enld {
     #[allow(clippy::too_many_arguments)]
     fn select_contrast(
         &self,
-        theta: &Mlp,
+        scan: &ScanModel<'_>,
         round0: bool,
         d: &Dataset,
         feats_d: &Matrix,
@@ -918,7 +941,7 @@ impl Enld {
             .entered();
         let sw = Stopwatch::start();
         let out = self.select_contrast_inner(
-            theta,
+            scan,
             round0,
             d,
             feats_d,
@@ -937,7 +960,7 @@ impl Enld {
     #[allow(clippy::too_many_arguments)]
     fn select_contrast_inner(
         &self,
-        theta: &Mlp,
+        scan: &ScanModel<'_>,
         round0: bool,
         d: &Dataset,
         feats_d: &Matrix,
@@ -991,7 +1014,7 @@ impl Enld {
                     }
                 }
                 let hq_batch = ic_view.gather(hq_candidates);
-                let (hq_feats, _) = theta.forward_inference(&hq_batch);
+                let (hq_feats, _) = scan.forward_inference(&hq_batch);
                 let hq_labels: Vec<u32> =
                     hq_candidates.iter().map(|&i| self.i_c.labels()[i]).collect();
                 let index: Box<dyn NeighborIndex> = match self.config.index {
@@ -1029,7 +1052,7 @@ impl Enld {
             }
             policy => {
                 // §V-D alternatives score the whole candidate set I_c.
-                let probs_ic = theta.predict_proba(ic_view);
+                let probs_ic = scan.predict_proba(ic_view);
                 let all: Vec<usize> = (0..self.i_c.len()).collect();
                 policy_sampling(policy, want, &probs_ic, self.i_c.labels(), &all, rng)
             }
@@ -1074,7 +1097,7 @@ impl Enld {
     /// only when their predicted-class confidence reaches the class mean.
     fn refresh_high_quality(
         &self,
-        theta: &Mlp,
+        scan: &ScanModel<'_>,
         i_prime: &[usize],
         ic_view: DataRef<'_>,
     ) -> Vec<usize> {
@@ -1082,7 +1105,7 @@ impl Enld {
             return Vec::new();
         }
         let batch = ic_view.gather(i_prime);
-        let (_, logits) = theta.forward_inference(&batch);
+        let (_, logits) = scan.forward_inference(&batch);
         let mut probs = logits;
         enld_nn::loss::softmax_inplace(&mut probs);
         let preds: Vec<u32> = (0..probs.rows()).map(|r| argmax(probs.row(r)) as u32).collect();
@@ -1090,6 +1113,55 @@ impl Enld {
         let local =
             high_quality_filtered(&probs, &preds, &labels, &(0..i_prime.len()).collect::<Vec<_>>());
         local.into_iter().map(|r| i_prime[r]).collect()
+    }
+}
+
+/// Inference engine for the per-task ambiguity scans: the fine-tuned θ'
+/// itself, or its int8 snapshot when `--quantized` is on. Holds only
+/// derived state; the f32 θ' stays authoritative for checkpoints, so
+/// the flag can never change what a resume replays.
+enum ScanModel<'m> {
+    F32(&'m Mlp),
+    Int8(Box<QuantizedMlp>),
+}
+
+impl ScanModel<'_> {
+    fn count_rows(&self, n: usize) {
+        if matches!(self, ScanModel::Int8(_)) {
+            metrics().counter("enld.nn.quant.rows_total").add(n as u64);
+        }
+    }
+
+    fn predict_labels(&self, data: DataRef<'_>) -> Vec<u32> {
+        self.count_rows(data.len());
+        match self {
+            ScanModel::F32(m) => m.predict_labels(data),
+            ScanModel::Int8(q) => q.predict_labels(data),
+        }
+    }
+
+    fn predict_proba(&self, data: DataRef<'_>) -> Matrix {
+        self.count_rows(data.len());
+        match self {
+            ScanModel::F32(m) => m.predict_proba(data),
+            ScanModel::Int8(q) => q.predict_proba(data),
+        }
+    }
+
+    fn proba_and_features(&self, data: DataRef<'_>) -> (Matrix, Matrix) {
+        self.count_rows(data.len());
+        match self {
+            ScanModel::F32(m) => m.proba_and_features(data),
+            ScanModel::Int8(q) => q.proba_and_features(data),
+        }
+    }
+
+    fn forward_inference(&self, x: &Matrix) -> (Matrix, Matrix) {
+        self.count_rows(x.rows());
+        match self {
+            ScanModel::F32(m) => m.forward_inference(x),
+            ScanModel::Int8(q) => q.forward_inference(x),
+        }
     }
 }
 

@@ -54,6 +54,35 @@ pub struct Conv2d {
     input: Option<(Vec<f32>, usize, usize, usize)>, // (data, n, h, w)
 }
 
+/// Unfolds one CHW image into patch rows: `col[y·w + x][(ic·k + dy)·k + dx]`
+/// holds the padded input pixel under kernel tap `(dy, dx)`; out-of-bounds
+/// taps stay zero from the `fill_zero` reset.
+fn im2col(x: &[f32], h: usize, w: usize, in_c: usize, k: usize, pad: usize, col: &mut Matrix) {
+    col.fill_zero();
+    for y in 0..h {
+        for xx in 0..w {
+            let row = col.row_mut(y * w + xx);
+            for ic in 0..in_c {
+                for dy in 0..k {
+                    let sy = y + dy;
+                    if sy < pad || sy - pad >= h {
+                        continue;
+                    }
+                    let sy = sy - pad;
+                    for dx in 0..k {
+                        let sx = xx + dx;
+                        if sx < pad || sx - pad >= w {
+                            continue;
+                        }
+                        let sx = sx - pad;
+                        row[(ic * k + dy) * k + dx] = x[(ic * h + sy) * w + sx];
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Conv2d {
     /// He-initialised convolution with an odd kernel size.
     ///
@@ -85,37 +114,28 @@ impl Conv2d {
     }
 
     /// Forward over a batch of `n` CHW images; returns `n × (out_c·h·w)`.
+    ///
+    /// Runs as im2col + the packed matmul kernel: each image unfolds into
+    /// an `(h·w) × (in_c·k·k)` patch matrix multiplied against the weight
+    /// tensor viewed as `out_c × (in_c·k·k)` — which is exactly its
+    /// storage layout, so no weight reshuffle is needed. Padding taps
+    /// contribute exact zeros and the patch dimension is walked in the
+    /// same `(ic, dy, dx)` order as the direct loops.
     pub fn forward(&mut self, x: &[f32], n: usize, h: usize, w: usize, train: bool) -> Vec<f32> {
         assert_eq!(x.len(), n * self.in_c * h * w, "conv input shape mismatch");
         let pad = self.k / 2;
+        let ickk = self.in_c * self.k * self.k;
+        let wmat = Matrix::from_vec(self.out_c, ickk, self.w.clone());
         let mut out = vec![0.0f32; n * self.out_c * h * w];
+        let mut col = Matrix::zeros(h * w, ickk);
         for img in 0..n {
             let x_base = img * self.in_c * h * w;
+            im2col(&x[x_base..x_base + self.in_c * h * w], h, w, self.in_c, self.k, pad, &mut col);
+            let y = col.matmul_bt(&wmat); // (h·w) × out_c
             let o_base = img * self.out_c * h * w;
-            for oc in 0..self.out_c {
-                for y in 0..h {
-                    for xx in 0..w {
-                        let mut acc = self.b[oc];
-                        for ic in 0..self.in_c {
-                            for dy in 0..self.k {
-                                let sy = y + dy;
-                                if sy < pad || sy - pad >= h {
-                                    continue;
-                                }
-                                let sy = sy - pad;
-                                for dx in 0..self.k {
-                                    let sx = xx + dx;
-                                    if sx < pad || sx - pad >= w {
-                                        continue;
-                                    }
-                                    let sx = sx - pad;
-                                    acc += self.w_at(oc, ic, dy, dx)
-                                        * x[x_base + (ic * h + sy) * w + sx];
-                                }
-                            }
-                        }
-                        out[o_base + (oc * h + y) * w + xx] = acc;
-                    }
+            for p in 0..h * w {
+                for (oc, &v) in y.row(p).iter().enumerate() {
+                    out[o_base + oc * h * w + p] = v + self.b[oc];
                 }
             }
         }

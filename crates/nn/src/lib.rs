@@ -56,6 +56,7 @@ pub mod mixup;
 pub mod model;
 pub mod optimizer;
 pub mod persist;
+pub mod quant;
 pub mod trainer;
 
 pub use arch::{ArchPreset, Connectivity, ModelConfig};
@@ -65,4 +66,5 @@ pub use matrix::Matrix;
 pub use model::Mlp;
 pub use optimizer::SgdConfig;
 pub use persist::{load_model, save_model, SavedModel};
+pub use quant::{QuantizedDense, QuantizedMlp};
 pub use trainer::{TrainConfig, TrainHistory, Trainer};

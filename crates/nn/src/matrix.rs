@@ -1,14 +1,22 @@
 //! Minimal row-major dense matrix used by every layer.
 //!
-//! The workloads here are small-batch MLP passes (batch ≤ 256, width ≤ 512),
-//! so a straightforward ikj-ordered matmul with a flat `Vec<f32>` backing
-//! store is both cache-friendly and easy for LLVM to vectorise; no BLAS
-//! binding is needed at this scale.
+//! The three matmul variants share one cache-blocked microkernel: the
+//! right-hand operand is packed once per call into column panels of
+//! `NR` contiguous floats per k-step, and an `MR`×`NR` register
+//! tile accumulates fixed-size `[f32; NR]` rows so LLVM's
+//! autovectorizer emits SIMD for the inner loop. Packing pays for
+//! itself after a single pass over the panels and turns the transposed
+//! variants (`matmul_at`, `matmul_bt`) into the same unit-stride kernel
+//! as the plain product.
 //!
-//! The three matmul variants parallelise over fixed-size *output row blocks*
-//! via `enld-par`. Each output element is accumulated in exactly the same
-//! floating-point order as the sequential loops, so results are bit-identical
-//! for every `ENLD_THREADS` setting.
+//! **FP-order contract**: every output element is produced by a single
+//! `f32` accumulator that walks `kk` in ascending order — exactly the
+//! naive triple loop's order. Tile and panel boundaries only change
+//! *which registers* hold an accumulator, never the order terms are
+//! added, so results are bit-identical to the scalar reference for all
+//! finite inputs, for every tile size, and for every `ENLD_THREADS`
+//! setting (parallel tasks own disjoint output row blocks whose
+//! boundaries derive from the shape alone).
 
 use std::fmt;
 
@@ -20,11 +28,98 @@ const PAR_MIN_FLOPS: usize = 64 * 1024;
 /// count) so chunk boundaries — and therefore results — are deterministic.
 const PAR_ROW_BLOCK: usize = 16;
 
+/// Register-tile height: output rows accumulated per microkernel call.
+const MR: usize = 4;
+
+/// Register-tile width: output columns per packed panel. `MR * NR`
+/// accumulators fit the SSE/AVX register file without spilling.
+const NR: usize = 16;
+
 fn row_block(m: usize, k: usize, n: usize) -> usize {
     if m.saturating_mul(k).saturating_mul(n) < PAR_MIN_FLOPS {
         m.max(1)
     } else {
         PAR_ROW_BLOCK
+    }
+}
+
+/// Packs `b` (k×n, row-major) into `⌈n/NR⌉` column panels. Panel `p`
+/// stores `b[kk][p*NR + c]` at `p*k*NR + kk*NR + c`, zero-padded past
+/// column `n`, so the microkernel reads one contiguous `[f32; NR]` row
+/// per k-step.
+fn pack_row_panels(b: &Matrix) -> Vec<f32> {
+    let (k, n) = (b.rows, b.cols);
+    let np = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; np * k * NR];
+    for (p, panel) in packed.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = p * NR;
+        let jw = NR.min(n - j0);
+        for kk in 0..k {
+            let src = &b.data[kk * n + j0..kk * n + j0 + jw];
+            panel[kk * NR..kk * NR + jw].copy_from_slice(src);
+        }
+    }
+    packed
+}
+
+/// Packs `b` (n×k, row-major) as if it were transposed to k×n: panel
+/// layout is identical to [`pack_row_panels`] of `bᵀ`, gathered with a
+/// strided read. Lets `matmul_bt` reuse the plain-product kernel.
+fn pack_col_panels(b: &Matrix) -> Vec<f32> {
+    let (n, k) = (b.rows, b.cols);
+    let np = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; np * k * NR];
+    for (p, panel) in packed.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = p * NR;
+        let jw = NR.min(n - j0);
+        for c in 0..jw {
+            let row = &b.data[(j0 + c) * k..(j0 + c + 1) * k];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * NR + c] = v;
+            }
+        }
+    }
+    packed
+}
+
+/// `mr`×[`NR`] register tile: `out[r][c] = Σ_kk a[r*k + kk] ·
+/// panel[kk*NR + c]` with `k = panel.len()/NR`. Accumulators are
+/// fixed-size `[f32; NR]` rows so the `c` loop vectorizes; `kk` ascends
+/// with one accumulator per element, preserving the naive FP order.
+#[inline]
+fn microkernel(a: &[f32], mr: usize, panel: &[f32], out: &mut [f32], out_stride: usize, jw: usize) {
+    debug_assert!((1..=MR).contains(&mr) && (1..=NR).contains(&jw));
+    let k = panel.len() / NR;
+    let mut acc = [[0.0f32; NR]; MR];
+    for (kk, bvals) in panel.chunks_exact(NR).enumerate() {
+        for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+            let av = a[r * k + kk];
+            for (c, &bv) in bvals.iter().enumerate() {
+                accr[c] += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        out[r * out_stride..r * out_stride + jw].copy_from_slice(&accr[..jw]);
+    }
+}
+
+/// Multiplies `rows` rows of `a` (row-major, stride `k`, starting at
+/// `a[0]`) against pre-packed panels of the k×n right operand, writing
+/// the `rows`×`n` result into `chunk`.
+fn gemm_packed(a: &[f32], rows: usize, k: usize, packed: &[f32], n: usize, chunk: &mut [f32]) {
+    let np = n.div_ceil(NR);
+    let mut ri = 0;
+    while ri < rows {
+        let mr = MR.min(rows - ri);
+        let a_tile = &a[ri * k..];
+        for p in 0..np {
+            let j0 = p * NR;
+            let jw = NR.min(n - j0);
+            let panel = &packed[p * k * NR..(p + 1) * k * NR];
+            microkernel(a_tile, mr, panel, &mut chunk[ri * n + j0..], n, jw);
+        }
+        ri += mr;
     }
 }
 
@@ -94,25 +189,13 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner-dim mismatch");
         let (m, n) = (self.rows, other.cols);
         let k = self.cols;
+        let packed = pack_row_panels(other);
         let mut out = Matrix::zeros(m, n);
-        // ikj order: the innermost loop walks contiguous rows of both
-        // `other` and `out`, which is the cache-friendly layout for
-        // row-major storage. Parallel tasks own disjoint output row blocks.
         let block = row_block(m, k, n);
         enld_par::par_chunks_mut(&mut out.data, block * n, |_, offset, chunk| {
             let i0 = offset / n;
-            for (bi, out_row) in chunk.chunks_mut(n).enumerate() {
-                let a_row = self.row(i0 + bi);
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue; // ReLU outputs are frequently exactly zero.
-                    }
-                    let b_row = other.row(kk);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            let rows_here = chunk.len() / n;
+            gemm_packed(&self.data[i0 * k..], rows_here, k, &packed, n, chunk);
         });
         out
     }
@@ -122,6 +205,7 @@ impl Matrix {
     pub fn matmul_at(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_at outer-dim mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        let packed = pack_row_panels(other);
         let mut out = Matrix::zeros(m, n);
         // Parallelism is over output row blocks, NOT over kk: every output
         // element keeps the sequential kk-ascending accumulation order, so
@@ -130,19 +214,26 @@ impl Matrix {
         enld_par::par_chunks_mut(&mut out.data, block * n, |_, offset, chunk| {
             let i0 = offset / n;
             let rows_here = chunk.len() / n;
-            for kk in 0..k {
-                let a_row = self.row(kk);
-                let b_row = other.row(kk);
-                for bi in 0..rows_here {
-                    let a = a_row[i0 + bi];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut chunk[bi * n..(bi + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
+            // Gather the MR-row Aᵀ tile into contiguous scratch so the
+            // microkernel reads both operands at unit stride.
+            let mut tile = vec![0.0f32; MR * k];
+            let mut ri = 0;
+            while ri < rows_here {
+                let mr = MR.min(rows_here - ri);
+                for kk in 0..k {
+                    let src = &self.data[kk * m + i0 + ri..kk * m + i0 + ri + mr];
+                    for (r, &v) in src.iter().enumerate() {
+                        tile[r * k + kk] = v;
                     }
                 }
+                let np = n.div_ceil(NR);
+                for p in 0..np {
+                    let j0 = p * NR;
+                    let jw = NR.min(n - j0);
+                    let panel = &packed[p * k * NR..(p + 1) * k * NR];
+                    microkernel(&tile, mr, panel, &mut chunk[ri * n + j0..], n, jw);
+                }
+                ri += mr;
             }
         });
         out
@@ -153,21 +244,13 @@ impl Matrix {
     pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_bt inner-dim mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        let packed = pack_col_panels(other);
         let mut out = Matrix::zeros(m, n);
         let block = row_block(m, k, n);
         enld_par::par_chunks_mut(&mut out.data, block * n, |_, offset, chunk| {
             let i0 = offset / n;
-            for (bi, out_row) in chunk.chunks_mut(n).enumerate() {
-                let a_row = self.row(i0 + bi);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0;
-                    for kk in 0..k {
-                        acc += a_row[kk] * b_row[kk];
-                    }
-                    *o = acc;
-                }
-            }
+            let rows_here = chunk.len() / n;
+            gemm_packed(&self.data[i0 * k..], rows_here, k, &packed, n, chunk);
         });
         out
     }
@@ -208,6 +291,21 @@ impl Matrix {
         mask
     }
 
+    /// In-place ReLU without materializing the backprop mask, for the
+    /// inference paths: batch forward passes were allocating a
+    /// `Vec<bool>` per layer only to drop it. Keeps `relu_inplace`'s
+    /// exact semantics (anything not strictly positive, including NaN
+    /// and `-0.0`, becomes `+0.0`) so both entry points produce
+    /// bit-identical activations.
+    pub fn relu_inference(&mut self) {
+        for v in self.data.iter_mut() {
+            let keep = *v > 0.0;
+            if !keep {
+                *v = 0.0;
+            }
+        }
+    }
+
     /// Zeroes elements where `mask` is false (ReLU backward).
     pub fn apply_mask(&mut self, mask: &[bool]) {
         assert_eq!(mask.len(), self.data.len(), "mask length mismatch");
@@ -221,6 +319,25 @@ impl Matrix {
     /// Frobenius norm; handy in tests and gradient diagnostics.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Scalar ijk reference product — one accumulator per output element,
+    /// `kk` ascending. The packed kernels are pinned bit-identical to this
+    /// by the proptest equivalence suite.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner-dim mismatch");
+        let (m, n, k) = (self.rows, other.cols, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data[i * k + kk] * other.data[kk * n + j];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
     }
 }
 
@@ -300,6 +417,31 @@ mod tests {
     fn frobenius() {
         let a = m(1, 2, &[3.0, 4.0]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    fn pattern(rows: usize, cols: usize, mul: usize, md: usize, s: f32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| ((i * mul) % md) as f32 * s).collect(),
+        )
+    }
+
+    #[test]
+    fn packed_kernels_match_the_naive_reference_bitwise() {
+        // Ragged shapes: tiles narrower than MR/NR, prime dims, K smaller
+        // than a panel row, and shapes that clear PAR_MIN_FLOPS.
+        for &(mm, kk, nn) in
+            &[(1, 1, 1), (3, 5, 7), (17, 13, 31), (4, 2, 16), (5, 1, 33), (96, 64, 80)]
+        {
+            let a = pattern(mm, kk, 7, 23, 0.1);
+            let b = pattern(kk, nn, 5, 19, 0.2);
+            assert_eq!(
+                a.matmul(&b).data(),
+                a.matmul_naive(&b).data(),
+                "matmul {mm}x{kk}x{nn} diverged from reference"
+            );
+        }
     }
 
     #[test]

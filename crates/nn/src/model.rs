@@ -14,8 +14,9 @@ use crate::loss::softmax_inplace;
 use crate::matrix::Matrix;
 use crate::optimizer::SgdConfig;
 
-/// Batch size used for chunked inference over whole datasets.
-const INFERENCE_BATCH: usize = 256;
+/// Batch size used for chunked inference over whole datasets (shared
+/// with the quantized path so both produce identical chunk boundaries).
+pub(crate) const INFERENCE_BATCH: usize = 256;
 
 /// One pre-activation two-layer block with a residual skip and an optional
 /// global skip from the embedding (dense connectivity).
@@ -55,14 +56,14 @@ impl Block {
 
     fn forward_inference(&self, x: &Matrix, global_skip: Option<&Matrix>) -> Matrix {
         let mut h = self.d1.forward_inference(x);
-        let _ = h.relu_inplace();
+        h.relu_inference();
         let mut y = self.d2.forward_inference(&h);
         y.add_assign(x);
         if self.uses_global_skip {
             let g = global_skip.expect("dense connectivity requires the embedding output");
             y.add_assign(g);
         }
-        let _ = y.relu_inplace();
+        y.relu_inference();
         y
     }
 
@@ -216,7 +217,7 @@ impl Mlp {
     /// touching training caches (`&self`).
     pub fn forward_inference(&self, x: &Matrix) -> (Matrix, Matrix) {
         let mut h = self.embed.forward_inference(x);
-        let _ = h.relu_inplace();
+        h.relu_inference();
         let embed_out = h.clone();
         for block in &self.blocks {
             h = block.forward_inference(&h, Some(&embed_out));
@@ -372,6 +373,14 @@ impl Mlp {
                 }
             }
         }
+    }
+
+    /// The frozen layers the quantized snapshot needs: embedding, per-block
+    /// `(d1, d2, uses_global_skip)`, and the head.
+    pub(crate) fn inference_parts(&self) -> (&Dense, Vec<(&Dense, &Dense, bool)>, &Dense) {
+        let blocks =
+            self.blocks.iter().map(|b| (&b.d1, &b.d2, b.uses_global_skip)).collect::<Vec<_>>();
+        (&self.embed, blocks, &self.head)
     }
 
     fn for_each_chunk(&self, data: DataRef<'_>, mut f: impl FnMut(usize, (Matrix, Matrix))) {

@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: run the fixed-seed wall-clock benchmarks
-# (`benchgate`, incl. the 1M-sample ANN build/query/update workloads),
-# write BENCH_<date>.json, and fail on a >25% median
-# regression against the committed bench/baseline.json. Also measures the
-# parallel speedup (default threads vs ENLD_THREADS=1) and appends it to
-# $GITHUB_STEP_SUMMARY when running in CI.
+# (`benchgate`, incl. the 1M-sample ANN build/query/update workloads and
+# the matrix-kernel lane), write BENCH_<date>.json, and fail on a >25%
+# median regression against the committed bench/baseline.json. Also
+# measures the parallel speedup (default threads vs ENLD_THREADS=1) and
+# appends it to $GITHUB_STEP_SUMMARY when running in CI.
 #
-# usage: bench_gate.sh [--smoke]
-#   --smoke   single iteration per bench, no baseline compare, no speedup
-#             run — a cheap "the benches still execute" check for check.sh.
+# Reports record the host CPU model + core count; when the baseline was
+# measured on different hardware, benchgate demotes regressions to
+# warnings (cross-machine medians don't prove a code regression).
+#
+# usage: bench_gate.sh [--smoke|--kernels]
+#   --smoke    single iteration per bench, no baseline compare, no speedup
+#              run — a cheap "the benches still execute" check for check.sh.
+#   --kernels  only the matrix-kernel workloads (kernel_*/seed_*), run
+#              twice: once pinned to ENLD_THREADS=1 (isolates the kernel
+#              change from thread scaling; this pass gates against the
+#              baseline) and once at default threads (the combined
+#              blocked-kernel + row-parallel speedup the host actually
+#              gets — the seed comparator is sequential either way).
+#              Never promotes a baseline (its report covers a subset of
+#              the workloads).
 #
 # Tunables (env): BENCH_GATE_ITERS (default 5), BENCH_GATE_THRESHOLD_PCT
 # (default 25), BENCH_GATE_SPEEDUP_ITERS (default 3).
@@ -16,11 +28,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=""
+KERNELS=""
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE=1 ;;
+    --kernels) KERNELS=1 ;;
     *)
-      echo "usage: bench_gate.sh [--smoke]" >&2
+      echo "usage: bench_gate.sh [--smoke|--kernels]" >&2
       exit 2
       ;;
   esac
@@ -42,12 +56,64 @@ if [ -n "$SMOKE" ]; then
 fi
 
 DATE="$(date -u +%Y%m%d)"
+
+# Append benchgate's markdown speedup table (and the host line) from a
+# captured gate log to the CI step summary.
+summarize_kernels() { # $1=log $2=out $3=gate_rc
+  [ -n "${GITHUB_STEP_SUMMARY:-}" ] || return 0
+  {
+    echo "### Kernel bench ($2)"
+    grep '^benchgate: host ' "$1" || true
+    echo
+    grep -E '^\|' "$1" || true
+    echo
+    if [ "$3" -eq 0 ]; then
+      echo "Gate: **PASSED** (threshold +${THRESHOLD}% vs $BASELINE)"
+    else
+      echo "Gate: **FAILED** (median regression above ${THRESHOLD}% vs $BASELINE)"
+    fi
+  } >> "$GITHUB_STEP_SUMMARY"
+}
+
+if [ -n "$KERNELS" ]; then
+  OUT="BENCH_${DATE}_kernels.json"
+  LOG="$(mktemp)"
+  echo "==> kernel gate run (ENLD_THREADS=1, $ITERS iters, threshold ${THRESHOLD}%)"
+  gate_rc=0
+  ENLD_THREADS=1 "$BENCHGATE" --kernels --iters "$ITERS" --out "$OUT" \
+    --baseline "$BASELINE" --threshold-pct "$THRESHOLD" 2>&1 | tee "$LOG" || gate_rc=$?
+  summarize_kernels "$LOG" "$OUT (kernel vs kernel, 1 thread)" "$gate_rc"
+  rm -f "$LOG"
+
+  # Default-thread pass: the end-to-end speedup this host sees once the
+  # blocked kernels compose with enld-par row parallelism. Not gated —
+  # the thread count varies by host; the 1-thread pass above is the
+  # calibrated one.
+  PAR_OUT="BENCH_${DATE}_kernels_par.json"
+  PAR_LOG="$(mktemp)"
+  echo "==> kernel run at default threads ($SPEEDUP_ITERS iters, ungated)"
+  "$BENCHGATE" --kernels --iters "$SPEEDUP_ITERS" --out "$PAR_OUT" 2>&1 | tee "$PAR_LOG" ||
+    echo "benchgate: default-thread kernel pass failed (informational only)" >&2
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+      echo "### Kernel bench ($PAR_OUT, default threads, ungated)"
+      grep '^benchgate: host ' "$PAR_LOG" || true
+      echo
+      grep -E '^\|' "$PAR_LOG" || true
+      echo
+    } >> "$GITHUB_STEP_SUMMARY"
+  fi
+  rm -f "$PAR_LOG"
+  exit "$gate_rc"
+fi
+
 OUT="BENCH_${DATE}.json"
+LOG="$(mktemp)"
 
 echo "==> gate run (default threads, $ITERS iters, threshold ${THRESHOLD}%)"
 gate_rc=0
 "$BENCHGATE" --iters "$ITERS" --out "$OUT" \
-  --baseline "$BASELINE" --threshold-pct "$THRESHOLD" || gate_rc=$?
+  --baseline "$BASELINE" --threshold-pct "$THRESHOLD" 2>&1 | tee "$LOG" || gate_rc=$?
 
 # A bootstrap (or absent) baseline means this machine has no calibrated
 # numbers yet: promote this run's results so the next run can compare.
@@ -68,6 +134,7 @@ printf '%s\n' "$SPEEDUP"
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
   {
     echo "### Bench gate ($OUT)"
+    grep '^benchgate: host ' "$LOG" || true
     echo '```'
     printf '%s\n' "$SPEEDUP"
     echo '```'
@@ -78,5 +145,6 @@ if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
     fi
   } >> "$GITHUB_STEP_SUMMARY"
 fi
+rm -f "$LOG"
 
 exit "$gate_rc"

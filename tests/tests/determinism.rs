@@ -49,6 +49,29 @@ fn matrix_products_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// The cache-blocked matmul pins one FP accumulation order per output
+/// element (ascending `kk`, one accumulator), so its result must be the
+/// naive triple loop's bits *and* invariant to how many threads split
+/// the output rows. Shapes stress the kernel's edges: a single element,
+/// prime dims that never align with the MR×NR register tile, K smaller
+/// than one packed panel row, and a size big enough for several
+/// parallel row tasks.
+#[test]
+fn blocked_matmul_is_bit_identical_across_thread_counts_and_to_naive() {
+    let _chaos_lock = enld_chaos::scenario();
+    for (m, k, n) in [(1, 1, 1), (17, 3, 31), (5, 97, 13), (64, 7, 129), (97, 101, 103)] {
+        let a = Matrix::from_vec(m, k, uniform(m * k, 61));
+        let b = Matrix::from_vec(k, n, uniform(k * n, 62));
+        let naive = a.matmul_naive(&b);
+        let base = enld_par::with_threads(1, || a.matmul(&b));
+        assert_eq!(base, naive, "blocked kernel diverged from reference at {m}x{k}x{n}");
+        for threads in THREAD_COUNTS {
+            let got = enld_par::with_threads(threads, || a.matmul(&b));
+            assert_eq!(got, base, "blocked matmul {m}x{k}x{n} threads={threads}");
+        }
+    }
+}
+
 #[test]
 fn knn_neighbour_sets_are_identical_across_thread_counts() {
     let _chaos_lock = enld_chaos::scenario();

@@ -42,6 +42,54 @@ fn enld_beats_default_on_noisy_arrivals() {
     assert!(enld_f1 > 0.6, "ENLD F1 {enld_f1:.3}");
 }
 
+/// The `--quantized` accuracy guardrail: on a fixed-seed workload the
+/// int8 scan path must reach the same clean/noisy verdict as the f32
+/// path on ≥99.5% of samples, and must not cost detection quality
+/// against ground truth. CI runs this on every push, so a quantization
+/// change that starts flipping verdicts fails here before it ships.
+#[test]
+fn quantized_verdicts_agree_with_f32_on_the_guardrail_workload() {
+    let mut cfg = EnldConfig::fast_test();
+    cfg.iterations = 4;
+    let mut qcfg = cfg.clone();
+    qcfg.quantized = true;
+
+    let mut f32_lake = lake(0.2, 101);
+    let mut q_lake = lake(0.2, 101);
+    let mut f32_enld = Enld::init(f32_lake.inventory(), &cfg);
+    let mut q_enld = Enld::init(q_lake.inventory(), &qcfg);
+
+    let (mut same, mut total) = (0usize, 0usize);
+    let (mut f32_f1, mut q_f1) = (0.0, 0.0);
+    for _ in 0..2 {
+        let req = f32_lake.next_request().expect("queued");
+        let qreq = q_lake.next_request().expect("queued");
+        let truth = req.data.noisy_indices();
+        let fr = f32_enld.detect(&req.data);
+        let qr = q_enld.detect(&qreq.data);
+        f32_f1 += detection_metrics(&fr.noisy, &truth, req.data.len()).f1;
+        q_f1 += detection_metrics(&qr.noisy, &truth, req.data.len()).f1;
+        let mut f_noisy = vec![false; req.data.len()];
+        let mut q_noisy = vec![false; req.data.len()];
+        for &i in &fr.noisy {
+            f_noisy[i] = true;
+        }
+        for &i in &qr.noisy {
+            q_noisy[i] = true;
+        }
+        total += req.data.len();
+        same += f_noisy.iter().zip(&q_noisy).filter(|(a, b)| a == b).count();
+    }
+    let agreement = same as f64 / total as f64;
+    assert!(agreement >= 0.995, "verdict agreement {agreement:.4} < 99.5% ({same}/{total})");
+    assert!(
+        q_f1 >= f32_f1 - 0.02,
+        "quantized F1 {:.3} dropped more than 0.02 below f32 {:.3}",
+        q_f1 / 2.0,
+        f32_f1 / 2.0
+    );
+}
+
 #[test]
 fn detection_report_converts_to_valid_platform_response() {
     let mut lake = lake(0.3, 102);

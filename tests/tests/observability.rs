@@ -138,7 +138,8 @@ fn ledger_replay_matches_detect_end_to_end() {
     let lake_path = dir.join("lake.json");
     let file = generate("test-sim", 0.2, 11, &lake_path).expect("generate lake");
     let ledger_path = dir.join("ledger.jsonl");
-    let overrides = DetectOverrides { iterations: Some(2), k: Some(2), seed: Some(5), index: None };
+    let overrides =
+        DetectOverrides { iterations: Some(2), k: Some(2), seed: Some(5), ..Default::default() };
     let verdicts = detect(&file, overrides, Some(&ledger_path)).expect("detect with ledger");
 
     let records = load_ledger(&ledger_path).expect("parse ledger");

@@ -223,3 +223,74 @@ proptest! {
         }
     }
 }
+
+// ── matrix-kernel properties ────────────────────────────────────────────
+
+use enld_nn::matrix::Matrix;
+use enld_nn::quant::quantize_row;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+}
+
+fn transpose(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), a.rows());
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            out.data_mut()[c * a.rows() + r] = a.data()[r * a.cols() + c];
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The packed/blocked kernels are a performance refactor, not a
+    /// numerics change: every product variant must match the naive
+    /// triple loop bit-for-bit on arbitrary ragged shapes — 1×1, prime
+    /// dims, K below one panel, tiles narrower than the register block
+    /// all fall inside these ranges. This is the FP-order contract of
+    /// DESIGN.md §13 stated as a property.
+    #[test]
+    fn prop_blocked_kernels_match_the_naive_reference_bitwise(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed.wrapping_add(0x9e37_79b9));
+        let want = a.matmul_naive(&b);
+        let blocked = a.matmul(&b);
+        let via_at = transpose(&a).matmul_at(&b);
+        let via_bt = a.matmul_bt(&transpose(&b));
+        prop_assert_eq!(blocked.data(), want.data(), "matmul {}x{}x{}", m, k, n);
+        prop_assert_eq!(via_at.data(), want.data(), "matmul_at {}x{}x{}", m, k, n);
+        prop_assert_eq!(via_bt.data(), want.data(), "matmul_bt {}x{}x{}", m, k, n);
+    }
+
+    /// Symmetric absmax int8: dequantized values sit within half a
+    /// quantization step of the input, codes never leave ±127, and the
+    /// returned scale is exactly `absmax/127`.
+    #[test]
+    fn prop_quantize_round_trip_error_is_within_half_a_step(
+        n in 1usize..256,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-8.0f32..8.0)).collect();
+        let mut codes = vec![0i8; n];
+        let scale = quantize_row(&vals, &mut codes);
+        let absmax = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        prop_assert_eq!(scale, absmax / 127.0);
+        for (&v, &q) in vals.iter().zip(&codes) {
+            prop_assert!((-127..=127).contains(&q), "code {} out of range", q);
+            let err = (v - q as f32 * scale).abs();
+            // Half a step, with a little head-room for the fp divide in
+            // the scale itself.
+            prop_assert!(err <= scale * 0.5 + 1e-6, "err {} > step/2 {}", err, scale * 0.5);
+        }
+    }
+}
