@@ -36,6 +36,71 @@ impl BaselineReport {
     }
 }
 
+/// The detector registry: every detection method the benchmark grid can
+/// sweep, addressable by the name the paper's figures use. Construction
+/// lives with the harness (ENLD and the confidence-based baselines share
+/// a general model); this enum owns naming and parsing so grid files,
+/// the CLI and results JSON all agree on the vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// The paper's detector (Alg. 2 + Alg. 3).
+    Enld,
+    /// Confidence-threshold baseline.
+    Default,
+    /// Confident Learning, prune-by-class (CL-1).
+    ConfidentByClass,
+    /// Confident Learning, prune-by-noise-rate (CL-2).
+    ConfidentByNoiseRate,
+    /// Topology-based filtering baseline.
+    Topofilter,
+}
+
+impl DetectorKind {
+    /// Every detector, in the paper's figure order.
+    pub const ALL: [DetectorKind; 5] = [
+        DetectorKind::Default,
+        DetectorKind::ConfidentByClass,
+        DetectorKind::ConfidentByNoiseRate,
+        DetectorKind::Topofilter,
+        DetectorKind::Enld,
+    ];
+
+    /// The figure/table name (round-trips through [`std::str::FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::Enld => "ENLD",
+            DetectorKind::Default => "Default",
+            DetectorKind::ConfidentByClass => "CL-1",
+            DetectorKind::ConfidentByNoiseRate => "CL-2",
+            DetectorKind::Topofilter => "Topofilter",
+        }
+    }
+}
+
+impl std::fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DetectorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ENLD" | "enld" => Ok(DetectorKind::Enld),
+            "Default" | "default" => Ok(DetectorKind::Default),
+            "CL-1" | "cl-1" | "cl1" => Ok(DetectorKind::ConfidentByClass),
+            "CL-2" | "cl-2" | "cl2" => Ok(DetectorKind::ConfidentByNoiseRate),
+            "Topofilter" | "topofilter" => Ok(DetectorKind::Topofilter),
+            other => Err(format!(
+                "unknown detector '{other}' (expected one of: ENLD, Default, CL-1, CL-2, \
+                 Topofilter)"
+            )),
+        }
+    }
+}
+
 /// A noisy-label detector serving incremental datasets.
 pub trait NoisyLabelDetector {
     /// Method name as reported in the paper's figures.
@@ -68,5 +133,14 @@ mod tests {
         let r = BaselineReport::from_flags(&[true, true, false], &[false, true, false], 0.0);
         assert_eq!(r.noisy, vec![0]);
         assert_eq!(r.clean, vec![2]);
+    }
+
+    #[test]
+    fn detector_kind_round_trips() {
+        for kind in DetectorKind::ALL {
+            assert_eq!(kind.name().parse::<DetectorKind>().unwrap(), kind);
+            assert_eq!(kind.name().to_lowercase().parse::<DetectorKind>().unwrap(), kind);
+        }
+        assert!("nope".parse::<DetectorKind>().is_err());
     }
 }

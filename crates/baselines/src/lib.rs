@@ -36,7 +36,7 @@ pub mod confident;
 pub mod default_detector;
 pub mod topofilter;
 
-pub use common::{BaselineReport, NoisyLabelDetector};
+pub use common::{BaselineReport, DetectorKind, NoisyLabelDetector};
 pub use confident::{ConfidentLearning, PruneMethod};
 pub use default_detector::DefaultDetector;
 pub use topofilter::{Topofilter, TopofilterConfig};

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use enld_datagen::noise::NoiseModel;
+use enld_datagen::noise::TransitionMatrix;
 use enld_datagen::presets::DatasetPreset;
 use enld_datagen::split::{inventory_incremental, partition_incremental};
 
@@ -15,7 +15,7 @@ fn bench_noise_gen(c: &mut Criterion) {
     group.bench_function("generate_cifar100_sim", |b| b.iter(|| black_box(preset.generate(1))));
 
     let clean = preset.generate(1);
-    let model = NoiseModel::pair_asymmetric(preset.classes, 0.2);
+    let model = TransitionMatrix::pair_asymmetric(preset.classes, 0.2);
     group.bench_function("corrupt_pair_asymmetric", |b| {
         b.iter(|| black_box(model.corrupt(&clean, 2)))
     });

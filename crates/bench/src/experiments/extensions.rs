@@ -39,7 +39,7 @@ use enld_core::detector::Enld;
 use enld_core::ledger::MemoryLedger;
 use enld_core::metrics::{detection_metrics, mean_metrics};
 use enld_datagen::presets::DatasetPreset;
-use enld_datagen::NoiseModel;
+use enld_datagen::TransitionMatrix;
 use enld_knn::class_index::ClassIndex;
 use enld_knn::{AnnParams, IndexBackend};
 use enld_lake::lake::{DataLake, LakeConfig};
@@ -64,10 +64,10 @@ pub struct NoiseModelRow {
 pub fn ext_noise(ctx: &ExpContext) -> io::Result<()> {
     let eta = 0.2f32;
     let preset = ctx.scale.preset(DatasetPreset::cifar100_sim());
-    let models: [(&str, NoiseModel); 3] = [
-        ("pair-asymmetric", NoiseModel::pair_asymmetric(preset.classes, eta)),
-        ("symmetric", NoiseModel::symmetric(preset.classes, eta)),
-        ("random-asymmetric", NoiseModel::asymmetric_random(preset.classes, eta, ctx.seed)),
+    let models: [(&str, TransitionMatrix); 3] = [
+        ("pair-asymmetric", TransitionMatrix::pair_asymmetric(preset.classes, eta)),
+        ("symmetric", TransitionMatrix::symmetric(preset.classes, eta)),
+        ("random-asymmetric", TransitionMatrix::asymmetric_random(preset.classes, eta, ctx.seed)),
     ];
     let mut rows = Vec::new();
     for (name, model) in models {

@@ -21,10 +21,12 @@
 //! DESIGN.md §2 and EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod grid;
 pub mod rows;
 pub mod runner;
 pub mod scale;
 pub mod seed_kernels;
 
+pub use grid::{GridConfig, GridOptions, GridResults};
 pub use rows::{ExperimentOutput, MethodRow};
 pub use scale::RunScale;

@@ -118,6 +118,23 @@ pub fn generate_with_drift(
     seed: u64,
     out: &Path,
 ) -> Result<LakeFile, CliError> {
+    generate_with_noise_model(preset_name, noise, None, drift, seed, out)
+}
+
+/// [`generate_with_drift`] plus a noise-model choice (`enld generate
+/// --noise-model NAME`): the lake is corrupted by the named
+/// [`enld_datagen::zoo::NoiseSpec`] model instead of the default
+/// pair-asymmetric flips. Position-aware models (e.g. `drift`) vary along
+/// the arrival stream, so `--noise-model` and `--drift` are mutually
+/// exclusive — the drift flag is a special case the zoo subsumes.
+pub fn generate_with_noise_model(
+    preset_name: &str,
+    noise: f32,
+    noise_model: Option<&str>,
+    drift: Option<f32>,
+    seed: u64,
+    out: &Path,
+) -> Result<LakeFile, CliError> {
     let preset = DatasetPreset::by_name(preset_name).ok_or_else(|| {
         CliError::BadInput(format!(
             "unknown preset '{preset_name}' (try emnist-sim, cifar100-sim, tiny-imagenet-sim, test-sim)"
@@ -131,6 +148,29 @@ pub fn generate_with_drift(
             return Err(CliError::BadInput(format!("drift rate {d} outside [0, 1]")));
         }
     }
+    if let Some(name) = noise_model {
+        if drift.is_some() {
+            return Err(CliError::BadInput(
+                "--noise-model and --drift are mutually exclusive (use --noise-model drift)"
+                    .to_owned(),
+            ));
+        }
+        let spec: enld_datagen::zoo::NoiseSpec =
+            name.parse().map_err(|e: String| CliError::BadInput(format!("--noise-model: {e}")))?;
+        let model = spec.build(preset.classes, noise, seed ^ 0x5EED);
+        let mut lake = DataLake::build_with_zoo(
+            &LakeConfig { preset, noise_rate: noise, seed },
+            model.as_ref(),
+        );
+        let mut arrivals = Vec::with_capacity(lake.pending_requests());
+        let inventory = lake.inventory().clone();
+        while let Some(req) = lake.next_request() {
+            arrivals.push(req.data);
+        }
+        let file = LakeFile { format: FORMAT.to_owned(), inventory, arrivals };
+        write_json(out, &file)?;
+        return Ok(file);
+    }
     let mut lake = DataLake::build(&LakeConfig { preset, noise_rate: noise, seed });
     let mut arrivals = Vec::with_capacity(lake.pending_requests());
     let inventory = lake.inventory().clone();
@@ -139,7 +179,7 @@ pub fn generate_with_drift(
     }
     if let Some(eta) = drift {
         let start = arrivals.len() / 2;
-        let model = enld_datagen::noise::NoiseModel::symmetric(inventory.classes(), eta);
+        let model = enld_datagen::noise::TransitionMatrix::symmetric(inventory.classes(), eta);
         for (i, arrival) in arrivals.iter_mut().enumerate().skip(start) {
             // Distinct per-arrival seeds, decorrelated from the base
             // noise draw so drifted labels are not a re-roll of it.
@@ -573,6 +613,28 @@ fn config_for(file: &LakeFile, overrides: DetectOverrides) -> EnldConfig {
     cfg
 }
 
+/// What `enld bench` produced: the scored grid plus where it landed.
+#[derive(Debug)]
+pub struct BenchSummary {
+    pub results: enld_bench::grid::GridResults,
+    /// Versioned results JSON (`enld-bench-results-v1`).
+    pub json_path: PathBuf,
+    /// Markdown ranking table.
+    pub markdown_path: PathBuf,
+}
+
+/// `enld bench --grid FILE [--out DIR]`: runs the detector benchmark
+/// grid and writes the versioned results JSON plus the markdown ranking
+/// table under `out_dir`. The `ENLD_BENCH_DEGRADE` injected-regression
+/// knob is honoured (see [`enld_bench::grid::GridOptions`]).
+pub fn bench(grid_path: &Path, out_dir: &Path) -> Result<BenchSummary, CliError> {
+    let grid = enld_bench::grid::GridConfig::load(grid_path).map_err(CliError::BadInput)?;
+    let opts = enld_bench::grid::GridOptions::from_env().map_err(CliError::BadInput)?;
+    let results = enld_bench::grid::run_grid(&grid, &opts).map_err(CliError::BadInput)?;
+    let (json_path, markdown_path) = enld_bench::grid::write_results(&results, out_dir)?;
+    Ok(BenchSummary { results, json_path, markdown_path })
+}
+
 /// Writes any serialisable payload as JSON.
 pub fn write_json<T: Serialize>(path: &Path, payload: &T) -> Result<(), CliError> {
     let json = serde_json::to_string(payload)
@@ -610,6 +672,36 @@ mod tests {
         let path = tmp("bad");
         assert!(matches!(generate("imagenet", 0.2, 1, &path), Err(CliError::BadInput(_))));
         assert!(matches!(generate("test-sim", 1.5, 1, &path), Err(CliError::BadInput(_))));
+    }
+
+    #[test]
+    fn generate_rejects_bad_noise_models() {
+        let path = tmp("zoo_bad");
+        // Unknown model name.
+        assert!(matches!(
+            generate_with_noise_model("test-sim", 0.2, Some("nope"), None, 1, &path),
+            Err(CliError::BadInput(_))
+        ));
+        // --noise-model and --drift are mutually exclusive.
+        assert!(matches!(
+            generate_with_noise_model("test-sim", 0.2, Some("drift"), Some(0.5), 1, &path),
+            Err(CliError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn generate_with_zoo_writes_tagged_lake() {
+        let path = tmp("zoo");
+        let file = generate_with_noise_model("test-sim", 0.3, Some("confusion"), None, 5, &path)
+            .expect("generate");
+        assert!(!file.arrivals.is_empty());
+        assert_eq!(file.inventory.noise_tag(), Some("confusion"));
+        for a in &file.arrivals {
+            assert_eq!(a.noise_tag(), Some("confusion"));
+        }
+        let loaded = load_lake(&path).expect("load");
+        assert_eq!(loaded.inventory.noise_tag(), Some("confusion"));
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

@@ -6,14 +6,16 @@ use std::sync::Arc;
 
 use enld_cli::explain::{explain, load_ledger};
 use enld_cli::{
-    audit, detect_with_recovery, generate_with_drift, load_lake, serve, write_json,
+    audit, bench, detect_with_recovery, generate_with_noise_model, load_lake, serve, write_json,
     DetectOverrides, ObsBridge, RecoveryOptions, ServeOptions,
 };
 use enld_telemetry::{ObsServer, ObsStatus, TelemetryConfig};
 
 const USAGE: &str = "\
 usage:
-  enld generate --preset <name> [--noise R] [--drift R] [--seed N] --out FILE
+  enld generate --preset <name> [--noise R] [--noise-model NAME] [--drift R]
+                [--seed N] --out FILE
+  enld bench    --grid FILE [--out DIR]
   enld detect   --lake FILE [--out FILE] [--iterations N] [--k N] [--seed N] [--ledger FILE]
                 [--index exact|hnsw] [--quantized] [--checkpoint FILE [--resume]]
                 [--alert-rules FILE]
@@ -48,6 +50,18 @@ live endpoint and renders the state, or replays a --ledger offline
 --drift R re-corrupts the second half of generated arrivals at rate R,
 injecting the mid-stream label drift the alert rules are meant to catch
 
+--noise-model NAME corrupts the generated lake with a model from the noise
+zoo instead of the default pairwise flips; position-aware models (drift)
+vary along the arrival stream. models: pairwise symmetric asymmetric
+instance confusion longtail drift
+
+enld bench sweeps noise model x rate x preset x detector from a JSON grid
+file, scoring detection P/R/F1 and downstream accuracy-after-drop, and
+writes bench-grid.json plus a markdown ranking table under --out (default
+results/). results are bit-identical for every --threads setting.
+ENLD_BENCH_DEGRADE=DETECTOR:FRACTION artificially degrades one detector
+(regression-test knob). detectors: ENLD Default CL-1 CL-2 Topofilter
+
 enld profile reads a --trace-out span file and reports per-site self/total
 time, the slowest trace's critical path, and optional Chrome-trace/folded
 flamegraph exports
@@ -75,7 +89,8 @@ const COMMON_FLAGS: &[&str] =
 
 /// Per-command accepted flags; anything else is an error, not silence.
 const COMMAND_FLAGS: &[(&str, &[&str])] = &[
-    ("generate", &["preset", "noise", "drift", "seed", "out"]),
+    ("generate", &["preset", "noise", "noise-model", "drift", "seed", "out"]),
+    ("bench", &["grid", "out"]),
     (
         "detect",
         &[
@@ -280,23 +295,37 @@ fn run() -> Result<(), String> {
         "generate" => {
             let preset = args.get("preset").ok_or("--preset is required")?;
             let noise: f32 = args.parse_num("noise")?.unwrap_or(0.2);
+            let noise_model = args.get("noise-model");
             let drift: Option<f32> = args.parse_num("drift")?;
             let seed: u64 = args.parse_num("seed")?.unwrap_or(7);
             let out = PathBuf::from(args.get("out").ok_or("--out is required")?);
-            let file =
-                generate_with_drift(preset, noise, drift, seed, &out).map_err(|e| e.to_string())?;
+            let file = generate_with_noise_model(preset, noise, noise_model, drift, seed, &out)
+                .map_err(|e| e.to_string())?;
             println!(
-                "wrote {}: {} inventory samples, {} arrivals, {} classes{}",
+                "wrote {}: {} inventory samples, {} arrivals, {} classes{}{}",
                 out.display(),
                 file.inventory.len(),
                 file.arrivals.len(),
                 file.inventory.classes(),
+                match noise_model {
+                    Some(m) => format!(", noise model {m}"),
+                    None => String::new(),
+                },
                 match drift {
                     Some(d) =>
                         format!(", drift to noise {d} from arrival {}", file.arrivals.len() / 2),
                     None => String::new(),
                 }
             );
+            Ok(())
+        }
+        "bench" => {
+            let grid = PathBuf::from(args.get("grid").ok_or("--grid is required")?);
+            let out_dir = PathBuf::from(args.get("out").unwrap_or("results"));
+            let summary = bench(&grid, &out_dir).map_err(|e| e.to_string())?;
+            print!("{}", enld_bench::grid::render_ranking_markdown(&summary.results));
+            println!("results written to {}", summary.json_path.display());
+            println!("ranking written to {}", summary.markdown_path.display());
             Ok(())
         }
         "detect" => {

@@ -537,6 +537,23 @@ impl Enld {
         // One event-driven monitor observation per arrival: the change-
         // point rules need the per-task sequence, not a resampled gauge.
         telemetry::monitor::global().observe("enld.drift.ambiguous_rate", ambiguous_rate);
+        // P̃-staleness: re-estimate the conditional on this arrival from
+        // the general model's predictions and measure how far the held
+        // P̃ (fitted at init / last Alg. 4 update) has drifted from it.
+        // Pure inference — consumes no RNG, so detection streams are
+        // byte-identical with or without the observation.
+        let p_staleness = if eligible.is_empty() {
+            0.0
+        } else {
+            let preds = self.model.predict_labels(d_view);
+            let observed: Vec<u32> = eligible.iter().map(|&i| d.labels()[i]).collect();
+            let predicted: Vec<u32> = eligible.iter().map(|&i| preds[i]).collect();
+            let arrival_cond =
+                ConditionalLabelProbability::estimate(&observed, &predicted, d.classes());
+            mean_row_divergence(&self.cond, &arrival_cond)
+        };
+        metrics().gauge("enld.drift.p_staleness").set(p_staleness);
+        telemetry::monitor::global().observe("enld.drift.p_staleness", p_staleness);
 
         // Fine-grained detection loop (Alg. 3 lines 5–22).
         for iteration in st.next_iteration..cfg.iterations {
@@ -716,6 +733,7 @@ impl Enld {
             history: st.history,
             process_secs,
             warmup_val_acc: st.warmup_val_acc,
+            p_staleness,
         };
         // Task-boundary checkpoint (no in-flight section): a crash before
         // the next task's first checkpoint resumes from here.
@@ -1621,6 +1639,41 @@ mod tests {
         assert!(report.clean.is_empty());
         assert!(report.noisy.is_empty());
         assert_eq!(report.pseudo_labels.len(), masked.len());
+    }
+
+    #[test]
+    fn p_staleness_tracks_noise_drift() {
+        let mut lake = small_lake(0.2, 31);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let stationary = enld.detect(&req.data);
+        assert!(
+            (0.0..=1.0).contains(&stationary.p_staleness),
+            "staleness {} outside [0, 1]",
+            stationary.p_staleness
+        );
+        // Re-corrupt the next arrival at a far higher symmetric rate: the
+        // arrival-side conditional moves away from the inventory-fitted P̃.
+        let req = lake.next_request().expect("queued");
+        let heavy = enld_datagen::noise::TransitionMatrix::symmetric(req.data.classes(), 0.7)
+            .corrupt(&req.data, 99);
+        let drifted = enld.detect(&heavy);
+        assert!(
+            drifted.p_staleness > stationary.p_staleness,
+            "drifted arrival must look staler ({} vs {})",
+            drifted.p_staleness,
+            stationary.p_staleness
+        );
+    }
+
+    #[test]
+    fn p_staleness_is_zero_when_nothing_is_eligible() {
+        let mut lake = small_lake(0.2, 32);
+        let mut enld = Enld::init(lake.inventory(), &EnldConfig::fast_test());
+        let req = lake.next_request().expect("queued");
+        let masked = apply_missing_labels(&req.data, 1.0, 3);
+        let report = enld.detect(&masked);
+        assert_eq!(report.p_staleness, 0.0);
     }
 
     #[test]

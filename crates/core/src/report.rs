@@ -40,6 +40,15 @@ pub struct DetectionReport {
     /// Validation accuracy of the best warm-up snapshot on the incremental
     /// dataset's observed labels.
     pub warmup_val_acc: f32,
+    /// P̃-staleness of this arrival: mean total-variation distance between
+    /// the conditional label probability the detector currently holds and
+    /// the conditional re-estimated on this arrival from the general
+    /// model's predictions. Near 0 on a stationary stream; grows when the
+    /// lake's noise process drifts away from what P̃ was fitted on.
+    /// Reported as `enld.drift.p_staleness`. (`default` keeps reports
+    /// serialized before this field existed deserializable.)
+    #[serde(default)]
+    pub p_staleness: f64,
 }
 
 impl DetectionReport {
@@ -95,6 +104,7 @@ mod tests {
             ],
             process_secs: 0.5,
             warmup_val_acc: 0.8,
+            p_staleness: 0.0,
         }
     }
 

@@ -22,6 +22,11 @@ pub struct Dataset {
     missing: Vec<bool>,
     /// Total number of classes in the task (labels are `< classes`).
     classes: usize,
+    /// Name of the noise model that corrupted this dataset, if any.
+    /// Evaluation metadata only — detectors never read it. `None` on
+    /// clean data and on datasets serialized before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    noise_tag: Option<String>,
 }
 
 impl Dataset {
@@ -45,6 +50,7 @@ impl Dataset {
             ids: (0..n as u64).collect(),
             missing: vec![false; n],
             classes,
+            noise_tag: None,
         }
     }
 
@@ -112,6 +118,17 @@ impl Dataset {
         self.missing[i] = missing;
     }
 
+    /// Name of the noise model that produced this dataset's observed
+    /// labels, if recorded.
+    pub fn noise_tag(&self) -> Option<&str> {
+        self.noise_tag.as_deref()
+    }
+
+    /// Records which noise model corrupted this dataset.
+    pub fn set_noise_tag(&mut self, tag: impl Into<String>) {
+        self.noise_tag = Some(tag.into());
+    }
+
     /// Indices where the observed label disagrees with the ground truth
     /// (the noisy-label ground truth set `D_N`, excluding missing labels).
     pub fn noisy_indices(&self) -> Vec<usize> {
@@ -151,7 +168,16 @@ impl Dataset {
             ids.push(self.ids[i]);
             missing.push(self.missing[i]);
         }
-        Dataset { xs, dim: self.dim, labels, true_labels, ids, missing, classes: self.classes }
+        Dataset {
+            xs,
+            dim: self.dim,
+            labels,
+            true_labels,
+            ids,
+            missing,
+            classes: self.classes,
+            noise_tag: self.noise_tag.clone(),
+        }
     }
 
     /// Concatenates two datasets over the same task.
@@ -252,5 +278,20 @@ mod tests {
     #[should_panic(expected = "label out of range")]
     fn rejects_out_of_range_labels() {
         let _ = Dataset::new(vec![0.0; 4], vec![0, 5], 2, 3);
+    }
+
+    #[test]
+    fn noise_tag_travels_with_subsets_and_serde() {
+        let mut d = toy();
+        assert_eq!(d.noise_tag(), None);
+        d.set_noise_tag("drift");
+        assert_eq!(d.subset(&[0, 1]).noise_tag(), Some("drift"));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.noise_tag(), Some("drift"));
+        // Pre-field serialized datasets still deserialize (tag defaults).
+        let legacy = json.replace(",\"noise_tag\":\"drift\"", "");
+        let old: Dataset = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old.noise_tag(), None);
     }
 }

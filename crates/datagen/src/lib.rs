@@ -13,17 +13,19 @@
 //!
 //! Label corruption follows the paper's §V-A2: *pair asymmetric noise*
 //! (`T[i][i] = 1−η`, `T[i][succ(i)] = η`), with symmetric and
-//! general-asymmetric variants for extension experiments, plus missing
-//! labels (§V-H).
+//! general-asymmetric variants, plus missing labels (§V-H). Beyond the
+//! paper, the [`zoo`] module adds instance-dependent, annotator-confusion,
+//! long-tail and time-varying-drift noise behind the common
+//! [`noise::NoiseModel`] trait, addressable by name via [`zoo::NoiseSpec`].
 //!
 //! # Example
 //!
 //! ```
-//! use enld_datagen::{noise::NoiseModel, presets::DatasetPreset, split};
+//! use enld_datagen::{noise::TransitionMatrix, presets::DatasetPreset, split};
 //!
 //! let preset = DatasetPreset::emnist_sim().scaled(0.1);
 //! let clean = preset.generate(42);
-//! let noisy = NoiseModel::pair_asymmetric(preset.classes, 0.2).corrupt(&clean, 7);
+//! let noisy = TransitionMatrix::pair_asymmetric(preset.classes, 0.2).corrupt(&clean, 7);
 //! let rate = noisy.noisy_indices().len() as f64 / noisy.len() as f64;
 //! assert!((rate - 0.2).abs() < 0.05);
 //!
@@ -38,8 +40,10 @@ pub mod manifold;
 pub mod noise;
 pub mod presets;
 pub mod split;
+pub mod zoo;
 
 pub use dataset::Dataset;
 pub use manifold::ManifoldSpec;
-pub use noise::NoiseModel;
+pub use noise::{NoiseModel, TransitionMatrix};
 pub use presets::DatasetPreset;
+pub use zoo::NoiseSpec;

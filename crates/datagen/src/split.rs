@@ -145,7 +145,7 @@ pub fn partition_incremental(pool: &Dataset, spec: &IncrementalSpec, seed: u64) 
 mod tests {
     use super::*;
     use crate::manifold::ManifoldSpec;
-    use crate::noise::NoiseModel;
+    use crate::noise::TransitionMatrix;
     use std::collections::BTreeSet;
 
     fn pool(classes: usize, per_class: usize) -> Dataset {
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn partition_keeps_noisy_labels_with_samples() {
-        let d = NoiseModel::pair_asymmetric(8, 0.3).corrupt(&pool(8, 40), 5);
+        let d = TransitionMatrix::pair_asymmetric(8, 0.3).corrupt(&pool(8, 40), 5);
         let spec = IncrementalSpec { subsets: 4, classes_min: 3, classes_max: 4 };
         let parts = partition_incremental(&d, &spec, 7);
         let noisy_total: usize = parts.iter().map(|p| p.noisy_indices().len()).sum();

@@ -1,0 +1,641 @@
+//! The noise-model zoo: corruption processes beyond the paper's
+//! transition-matrix flips.
+//!
+//! Detector rankings are known to invert once noise stops being a fixed
+//! class-conditional matrix (see the probing survey and the benchmarking
+//! papers in PAPERS.md). This module adds the four families those studies
+//! use, all behind [`NoiseModel`] so the lake, CLI and benchmark grid
+//! treat them uniformly:
+//!
+//! - [`InstanceDependentNoise`] — flip probability is a logistic function
+//!   of each sample's distance to its class decision boundary, so hard
+//!   samples near boundaries corrupt first.
+//! - [`AnnotatorConfusion`] — a sampled row-stochastic confusion matrix
+//!   shared across every arrival, modelling a consistent but imperfect
+//!   labelling workforce.
+//! - [`LongTailNoise`] — resamples the class distribution to an
+//!   exponential long tail (head classes dominate) before flipping
+//!   symmetrically, preserving the exact total sample count.
+//! - [`DriftNoise`] — per-arrival interpolation between two transition
+//!   matrices, so the conditional mislabelling prior P̃ estimated on the
+//!   inventory goes stale mid-stream (exercising Alg. 4 model updates and
+//!   the drift monitor).
+//!
+//! [`NoiseSpec`] is the string-addressable registry used by
+//! `enld generate --noise-model` and the benchmark grid.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::noise::{NoiseModel, TransitionMatrix};
+
+/// Instance-dependent label noise: the flip probability of sample `i` is
+/// a logistic function of its margin to the class decision boundary,
+/// approximated by per-class centroids of the *true* labels:
+///
+/// ```text
+/// margin_i = d(x_i, nearest other centroid) − d(x_i, own centroid)
+/// s_i      = σ(−margin_i / τ)          // boundary-hugging score in (0,1)
+/// p_i      = clamp(α · s_i, 0, p_max)  // α calibrated so mean(p) ≈ rate
+/// ```
+///
+/// Flipped samples take the label of their nearest *other* centroid, so
+/// corruption is feature-dependent both in *where* it strikes and *what*
+/// it writes — the regime the paper's class-conditional P̃ prior cannot
+/// represent. Mirrors the `InstanceDependentNoiseAdder` construction from
+/// the probing-benchmark literature.
+#[derive(Debug, Clone)]
+pub struct InstanceDependentNoise {
+    classes: usize,
+    rate: f32,
+    /// Logistic temperature relative to the mean absolute margin; larger
+    /// values spread corruption further from the boundary.
+    tau_scale: f32,
+    /// Per-sample probability ceiling.
+    p_max: f32,
+}
+
+impl InstanceDependentNoise {
+    pub fn new(classes: usize, rate: f32) -> Self {
+        assert!(classes > 1, "instance-dependent noise needs at least 2 classes");
+        assert!((0.0..=1.0).contains(&rate), "noise rate must be in [0, 1]");
+        Self { classes, rate, tau_scale: 0.5, p_max: 0.95 }
+    }
+
+    /// Per-sample flip probabilities and flip targets for `dataset`,
+    /// calibrated so the mean probability matches the configured rate.
+    /// Exposed for property tests.
+    pub fn flip_probabilities(&self, dataset: &Dataset) -> Vec<(f32, u32)> {
+        let centroids = class_centroids(dataset);
+        let n = dataset.len();
+        let mut scores = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        let mut margin_abs_sum = 0.0f64;
+        let mut margins = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = dataset.row(i);
+            let own = dataset.true_labels()[i] as usize;
+            let d_own = centroids[own].as_ref().map(|c| dist2(x, c).sqrt()).unwrap_or(0.0);
+            let mut best = f32::INFINITY;
+            let mut best_class = (own + 1) % self.classes;
+            for (c, centroid) in centroids.iter().enumerate() {
+                if c == own {
+                    continue;
+                }
+                if let Some(centroid) = centroid {
+                    let d = dist2(x, centroid).sqrt();
+                    if d < best {
+                        best = d;
+                        best_class = c;
+                    }
+                }
+            }
+            let margin = if best.is_finite() { best - d_own } else { 0.0 };
+            margins.push(margin);
+            targets.push(best_class as u32);
+            margin_abs_sum += margin.abs() as f64;
+        }
+        let tau = (self.tau_scale * (margin_abs_sum / n.max(1) as f64) as f32).max(1e-6);
+        for &m in &margins {
+            scores.push(sigmoid(-m / tau));
+        }
+        let alpha = calibrate_alpha(&scores, self.rate, self.p_max);
+        scores.iter().zip(targets).map(|(&s, t)| ((alpha * s).clamp(0.0, self.p_max), t)).collect()
+    }
+}
+
+impl NoiseModel for InstanceDependentNoise {
+    fn name(&self) -> String {
+        "instance".to_owned()
+    }
+
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn corrupt_at(&self, dataset: &Dataset, _position: f64, seed: u64) -> Dataset {
+        assert_eq!(dataset.classes(), self.classes, "class-count mismatch");
+        let probs = self.flip_probabilities(dataset);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = dataset.clone();
+        for (i, &(p, target)) in probs.iter().enumerate() {
+            if rng.gen_range(0.0f32..1.0) < p {
+                out.set_label(i, target);
+            } else {
+                out.set_label(i, dataset.true_labels()[i]);
+            }
+        }
+        out.set_noise_tag(self.name());
+        out
+    }
+}
+
+/// Annotator-confusion noise: a row-stochastic confusion matrix sampled
+/// once (diagonal `1−rate`, off-diagonal mass distributed over random
+/// positive weights) and shared across every arrival — the same imperfect
+/// annotators label the whole stream, so the confusion structure is
+/// stationary but unlike [`TransitionMatrix::symmetric`] it is neither
+/// uniform nor single-partner.
+#[derive(Debug, Clone)]
+pub struct AnnotatorConfusion {
+    matrix: TransitionMatrix,
+}
+
+impl AnnotatorConfusion {
+    /// Samples the confusion matrix from `seed`. Each row's off-diagonal
+    /// mass `rate` is split over `Exp(1)`-like random weights, so some
+    /// class pairs are confused far more than others.
+    pub fn sample(classes: usize, rate: f32, seed: u64) -> Self {
+        assert!(classes > 1, "confusion noise needs at least 2 classes");
+        assert!((0.0..=1.0).contains(&rate), "noise rate must be in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = vec![0.0f32; classes * classes];
+        for i in 0..classes {
+            let mut weights = vec![0.0f32; classes];
+            let mut sum = 0.0f32;
+            for (j, w) in weights.iter_mut().enumerate() {
+                if j != i {
+                    // Inverse-CDF exponential draw: heavier tails than
+                    // uniform weights, so confusion concentrates on a few
+                    // pairs per class (human-like).
+                    let u: f32 = rng.gen_range(0.0..1.0);
+                    *w = -(1.0 - u).ln();
+                    sum += *w;
+                }
+            }
+            t[i * classes + i] = 1.0 - rate;
+            for j in 0..classes {
+                if j != i {
+                    t[i * classes + j] = rate * weights[j] / sum.max(1e-12);
+                }
+            }
+        }
+        Self { matrix: TransitionMatrix::from_rows(classes, t) }
+    }
+
+    /// The sampled confusion matrix (row-stochastic by construction).
+    pub fn matrix(&self) -> &TransitionMatrix {
+        &self.matrix
+    }
+}
+
+impl NoiseModel for AnnotatorConfusion {
+    fn name(&self) -> String {
+        "confusion".to_owned()
+    }
+
+    fn classes(&self) -> usize {
+        self.matrix.classes()
+    }
+
+    fn corrupt_at(&self, dataset: &Dataset, _position: f64, seed: u64) -> Dataset {
+        let mut out = self.matrix.corrupt(dataset, seed);
+        out.set_noise_tag(self.name());
+        out
+    }
+}
+
+/// Long-tail class imbalance plus symmetric noise: rows are resampled so
+/// per-class counts follow an exponential profile `γ^(c / (C−1))`
+/// (class 0 is the head, class C−1 the tail, `γ` = tail fraction), with
+/// the remainder after rounding distributed head-first so the **total
+/// sample count is preserved exactly**. Symmetric flips at the configured
+/// rate are then applied on the reshaped data, so tail classes have both
+/// fewer samples *and* proportionally noisier support.
+#[derive(Debug, Clone)]
+pub struct LongTailNoise {
+    classes: usize,
+    rate: f32,
+    /// Tail class size as a fraction of the head class (e.g. 0.1 = 10×
+    /// imbalance factor).
+    gamma: f32,
+}
+
+impl LongTailNoise {
+    pub fn new(classes: usize, rate: f32) -> Self {
+        Self::with_gamma(classes, rate, 0.1)
+    }
+
+    pub fn with_gamma(classes: usize, rate: f32, gamma: f32) -> Self {
+        assert!(classes > 1, "long-tail noise needs at least 2 classes");
+        assert!((0.0..=1.0).contains(&rate), "noise rate must be in [0, 1]");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        Self { classes, rate, gamma }
+    }
+
+    /// Target per-class counts for `total` samples: exponential profile,
+    /// rounded down, with the shortfall handed out head-first. Sums to
+    /// `total` exactly. Exposed for property tests.
+    pub fn target_counts(&self, total: usize) -> Vec<usize> {
+        let c = self.classes;
+        let weights: Vec<f64> =
+            (0..c).map(|k| (self.gamma as f64).powf(k as f64 / (c - 1) as f64)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut counts: Vec<usize> =
+            weights.iter().map(|w| ((w / wsum) * total as f64).floor() as usize).collect();
+        let mut short = total - counts.iter().sum::<usize>();
+        let mut k = 0;
+        while short > 0 {
+            counts[k % c] += 1;
+            short -= 1;
+            k += 1;
+        }
+        counts
+    }
+}
+
+impl NoiseModel for LongTailNoise {
+    fn name(&self) -> String {
+        "longtail".to_owned()
+    }
+
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn corrupt_at(&self, dataset: &Dataset, _position: f64, seed: u64) -> Dataset {
+        assert_eq!(dataset.classes(), self.classes, "class-count mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Bucket row indices by true class.
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.classes];
+        for (i, &y) in dataset.true_labels().iter().enumerate() {
+            by_class[y as usize].push(i);
+        }
+        let targets = self.target_counts(dataset.len());
+        // Draw `targets[c]` rows per class: without replacement while
+        // supply lasts (Fisher–Yates prefix), then with replacement for
+        // any overflow a small class cannot cover.
+        let mut picked = Vec::with_capacity(dataset.len());
+        for (c, rows) in by_class.iter_mut().enumerate() {
+            let want = targets[c];
+            if rows.is_empty() {
+                continue;
+            }
+            let take = want.min(rows.len());
+            for k in 0..take {
+                let j = k + rng.gen_range(0..rows.len() - k);
+                rows.swap(k, j);
+                picked.push(rows[k]);
+            }
+            for _ in take..want {
+                picked.push(rows[rng.gen_range(0..rows.len())]);
+            }
+        }
+        let out = dataset.subset(&picked);
+        // Symmetric flips on the reshaped data; fresh decorrelated seed so
+        // the resample and flip streams stay independent.
+        let flips = TransitionMatrix::symmetric(self.classes, self.rate);
+        let mut out = flips.corrupt(&out, seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        out.set_noise_tag(self.name());
+        out
+    }
+}
+
+/// Time-varying label drift: arrival position `t ∈ [0, 1]` corrupts with
+/// the entry-wise interpolation `(1−t)·from + t·to`. The inventory and
+/// early arrivals see `from`, so ENLD's P̃ prior is estimated on a noise
+/// process that no longer holds by the end of the stream — exactly the
+/// staleness that Alg. 4 model updates and the `enld.drift.*` monitor
+/// rules exist to catch.
+#[derive(Debug, Clone)]
+pub struct DriftNoise {
+    from: TransitionMatrix,
+    to: TransitionMatrix,
+}
+
+impl DriftNoise {
+    pub fn new(from: TransitionMatrix, to: TransitionMatrix) -> Self {
+        assert_eq!(from.classes(), to.classes(), "class-count mismatch");
+        Self { from, to }
+    }
+
+    /// Default drift used by [`NoiseSpec`]: pair-asymmetric at `rate`
+    /// drifting to a *different* random-partner asymmetric matrix at
+    /// `min(2·rate, 0.9)` — both the flip targets and the overall rate
+    /// change mid-stream.
+    pub fn default_for(classes: usize, rate: f32, seed: u64) -> Self {
+        let from = TransitionMatrix::pair_asymmetric(classes, rate);
+        let to = TransitionMatrix::asymmetric_random(classes, (2.0 * rate).min(0.9), seed);
+        Self::new(from, to)
+    }
+
+    /// The effective transition matrix at stream position `t` (clamped to
+    /// `[0, 1]`). Endpoints return the source matrices exactly.
+    pub fn matrix_at(&self, t: f64) -> TransitionMatrix {
+        let w = t.clamp(0.0, 1.0) as f32;
+        if w == 0.0 {
+            self.from.clone()
+        } else if w == 1.0 {
+            self.to.clone()
+        } else {
+            self.from.lerp(&self.to, w)
+        }
+    }
+}
+
+impl NoiseModel for DriftNoise {
+    fn name(&self) -> String {
+        "drift".to_owned()
+    }
+
+    fn classes(&self) -> usize {
+        self.from.classes()
+    }
+
+    fn corrupt_at(&self, dataset: &Dataset, position: f64, seed: u64) -> Dataset {
+        let mut out = self.matrix_at(position).corrupt(dataset, seed);
+        out.set_noise_tag(self.name());
+        out
+    }
+}
+
+/// String-addressable noise-model registry: what `enld generate
+/// --noise-model` and the benchmark grid's `noise_models` field parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseSpec {
+    /// Paper default: pair-asymmetric flips to the successor class.
+    Pairwise,
+    /// Uniform flips to any other class.
+    Symmetric,
+    /// Random single-partner asymmetric flips.
+    Asymmetric,
+    /// [`InstanceDependentNoise`].
+    Instance,
+    /// [`AnnotatorConfusion`].
+    Confusion,
+    /// [`LongTailNoise`].
+    LongTail,
+    /// [`DriftNoise`].
+    Drift,
+}
+
+impl NoiseSpec {
+    /// Every known spec, in registry order.
+    pub const ALL: [NoiseSpec; 7] = [
+        NoiseSpec::Pairwise,
+        NoiseSpec::Symmetric,
+        NoiseSpec::Asymmetric,
+        NoiseSpec::Instance,
+        NoiseSpec::Confusion,
+        NoiseSpec::LongTail,
+        NoiseSpec::Drift,
+    ];
+
+    /// Canonical name (round-trips through [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            NoiseSpec::Pairwise => "pairwise",
+            NoiseSpec::Symmetric => "symmetric",
+            NoiseSpec::Asymmetric => "asymmetric",
+            NoiseSpec::Instance => "instance",
+            NoiseSpec::Confusion => "confusion",
+            NoiseSpec::LongTail => "longtail",
+            NoiseSpec::Drift => "drift",
+        }
+    }
+
+    /// Builds the model for a task with `classes` classes at the given
+    /// rate. `seed` parameterises models with sampled structure
+    /// (confusion matrix, drift target, asymmetric partners); matrix-free
+    /// models ignore it.
+    pub fn build(self, classes: usize, rate: f32, seed: u64) -> Box<dyn NoiseModel> {
+        match self {
+            NoiseSpec::Pairwise => Box::new(TransitionMatrix::pair_asymmetric(classes, rate)),
+            NoiseSpec::Symmetric => Box::new(TransitionMatrix::symmetric(classes, rate)),
+            NoiseSpec::Asymmetric => {
+                Box::new(TransitionMatrix::asymmetric_random(classes, rate, seed))
+            }
+            NoiseSpec::Instance => Box::new(InstanceDependentNoise::new(classes, rate)),
+            NoiseSpec::Confusion => Box::new(AnnotatorConfusion::sample(classes, rate, seed)),
+            NoiseSpec::LongTail => Box::new(LongTailNoise::new(classes, rate)),
+            NoiseSpec::Drift => Box::new(DriftNoise::default_for(classes, rate, seed)),
+        }
+    }
+}
+
+impl fmt::Display for NoiseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for NoiseSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pairwise" | "pair" | "pair-asymmetric" => Ok(NoiseSpec::Pairwise),
+            "symmetric" | "uniform" => Ok(NoiseSpec::Symmetric),
+            "asymmetric" => Ok(NoiseSpec::Asymmetric),
+            "instance" | "instance-dependent" => Ok(NoiseSpec::Instance),
+            "confusion" | "annotator" => Ok(NoiseSpec::Confusion),
+            "longtail" | "long-tail" => Ok(NoiseSpec::LongTail),
+            "drift" | "time-varying" => Ok(NoiseSpec::Drift),
+            other => Err(format!(
+                "unknown noise model '{other}' (expected one of: pairwise, symmetric, \
+                 asymmetric, instance, confusion, longtail, drift)"
+            )),
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Per-class feature centroids over *true* labels; `None` for classes with
+/// no samples.
+fn class_centroids(d: &Dataset) -> Vec<Option<Vec<f32>>> {
+    let mut sums = vec![vec![0.0f32; d.dim()]; d.classes()];
+    let mut counts = vec![0usize; d.classes()];
+    for i in 0..d.len() {
+        let c = d.true_labels()[i] as usize;
+        for (s, &x) in sums[c].iter_mut().zip(d.row(i)) {
+            *s += x;
+        }
+        counts[c] += 1;
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(mut s, n)| {
+            if n == 0 {
+                None
+            } else {
+                for v in &mut s {
+                    *v /= n as f32;
+                }
+                Some(s)
+            }
+        })
+        .collect()
+}
+
+/// Finds `α` by bisection so `mean(clamp(α·sᵢ, 0, p_max)) ≈ rate`. The
+/// mean is monotone in `α`, so 40 halvings pin it well past f32 precision.
+fn calibrate_alpha(scores: &[f32], rate: f32, p_max: f32) -> f32 {
+    if scores.is_empty() || rate <= 0.0 {
+        return 0.0;
+    }
+    let mean = |alpha: f32| -> f32 {
+        scores.iter().map(|&s| (alpha * s).clamp(0.0, p_max)).sum::<f32>() / scores.len() as f32
+    };
+    // mean(α) saturates at p_max ≤ 1; if even saturation cannot reach the
+    // requested rate, return the ceiling.
+    let mut hi = 1.0f32;
+    while mean(hi) < rate && hi < 1e6 {
+        hi *= 2.0;
+    }
+    if mean(hi) < rate {
+        return hi;
+    }
+    let mut lo = 0.0f32;
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if mean(mid) < rate {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifold::ManifoldSpec;
+
+    fn toy(classes: usize, per_class: usize) -> Dataset {
+        ManifoldSpec {
+            classes,
+            dim: 6,
+            manifold_dim: 2,
+            modes: 1,
+            separation: 4.0,
+            basis_scale: 0.5,
+            jitter: 0.3,
+        }
+        .generate(per_class, 3)
+    }
+
+    #[test]
+    fn instance_noise_hits_rate_and_prefers_boundaries() {
+        let d = toy(5, 300);
+        let model = InstanceDependentNoise::new(5, 0.25);
+        let probs = model.flip_probabilities(&d);
+        let mean: f32 = probs.iter().map(|&(p, _)| p).sum::<f32>() / probs.len() as f32;
+        assert!((mean - 0.25).abs() < 0.01, "calibrated mean {mean}");
+        assert!(probs.iter().all(|&(p, _)| (0.0..=1.0).contains(&p)));
+        let noisy = model.corrupt_with(&d, 3);
+        let rate = noisy.noisy_indices().len() as f32 / noisy.len() as f32;
+        assert!((rate - 0.25).abs() < 0.06, "realized rate {rate}");
+        assert_eq!(noisy.noise_tag(), Some("instance"));
+        // Corrupted samples sit closer to the boundary (higher flip
+        // probability) than surviving ones on average.
+        let flipped: Vec<usize> = noisy.noisy_indices();
+        let mean_p_flipped: f32 =
+            flipped.iter().map(|&i| probs[i].0).sum::<f32>() / flipped.len().max(1) as f32;
+        assert!(mean_p_flipped > mean, "flips should concentrate near boundaries");
+    }
+
+    #[test]
+    fn confusion_rows_are_stochastic_and_shared() {
+        let model = AnnotatorConfusion::sample(6, 0.3, 9);
+        for i in 0..6 {
+            let row = model.matrix().row(i);
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+            assert!((model.matrix().prob(i, i) - 0.7).abs() < 1e-5);
+        }
+        // Same model corrupts two arrivals with the same matrix structure
+        // (different seeds, same conditional distribution).
+        let d = toy(6, 200);
+        let a = model.corrupt_at(&d, 0.0, 1);
+        let b = model.corrupt_at(&d, 1.0, 1);
+        assert_eq!(a.labels(), b.labels(), "position must not affect a stationary model");
+    }
+
+    #[test]
+    fn longtail_preserves_total_count_with_exponential_profile() {
+        let d = toy(6, 120);
+        let model = LongTailNoise::with_gamma(6, 0.2, 0.1);
+        let targets = model.target_counts(d.len());
+        assert_eq!(targets.iter().sum::<usize>(), d.len());
+        assert!(targets.windows(2).all(|w| w[0] >= w[1]), "head-to-tail non-increasing");
+        assert!(targets[0] >= 5 * targets[5], "~10x imbalance, got {targets:?}");
+        let out = model.corrupt_with(&d, 4);
+        assert_eq!(out.len(), d.len(), "total sample count preserved");
+        assert_eq!(out.noise_tag(), Some("longtail"));
+        // Per-class realized counts match targets over true labels.
+        let mut realized = vec![0usize; 6];
+        for &y in out.true_labels() {
+            realized[y as usize] += 1;
+        }
+        assert_eq!(realized, targets);
+    }
+
+    #[test]
+    fn drift_endpoints_match_sources() {
+        let from = TransitionMatrix::pair_asymmetric(4, 0.1);
+        let to = TransitionMatrix::symmetric(4, 0.5);
+        let model = DriftNoise::new(from.clone(), to.clone());
+        assert_eq!(model.matrix_at(0.0), from);
+        assert_eq!(model.matrix_at(1.0), to);
+        assert_eq!(model.matrix_at(-3.0), from, "clamped below");
+        assert_eq!(model.matrix_at(7.0), to, "clamped above");
+        let d = toy(4, 150);
+        let early = model.corrupt_at(&d, 0.0, 5);
+        let late = model.corrupt_at(&d, 1.0, 5);
+        assert_eq!(early.labels(), from.corrupt(&d, 5).labels());
+        assert_eq!(late.labels(), to.corrupt(&d, 5).labels());
+        assert_ne!(early.labels(), late.labels());
+    }
+
+    #[test]
+    fn drift_rate_increases_along_stream() {
+        let d = toy(5, 200);
+        let model = DriftNoise::default_for(5, 0.15, 2);
+        let rate = |pos: f64| {
+            let c = model.corrupt_at(&d, pos, 8);
+            c.noisy_indices().len() as f32 / c.len() as f32
+        };
+        assert!(rate(1.0) > rate(0.0) + 0.05, "rate must roughly double across the stream");
+    }
+
+    #[test]
+    fn spec_round_trips_and_builds() {
+        for spec in NoiseSpec::ALL {
+            assert_eq!(spec.name().parse::<NoiseSpec>().unwrap(), spec);
+            let model = spec.build(5, 0.2, 11);
+            assert_eq!(model.classes(), 5);
+            let d = toy(5, 60);
+            let out = model.corrupt_with(&d, 3);
+            assert_eq!(out.len(), d.len());
+            assert!(out.noise_tag().is_some());
+        }
+        assert!("nope".parse::<NoiseSpec>().is_err());
+        assert_eq!("pair".parse::<NoiseSpec>().unwrap(), NoiseSpec::Pairwise);
+        assert_eq!("annotator".parse::<NoiseSpec>().unwrap(), NoiseSpec::Confusion);
+    }
+
+    #[test]
+    fn zoo_models_are_deterministic() {
+        let d = toy(4, 80);
+        for spec in NoiseSpec::ALL {
+            let m = spec.build(4, 0.3, 7);
+            let a = m.corrupt_at(&d, 0.5, 13);
+            let b = m.corrupt_at(&d, 0.5, 13);
+            assert_eq!(a.labels(), b.labels(), "{spec} must be seed-deterministic");
+            assert_eq!(a.true_labels(), b.true_labels());
+            assert_eq!(a.ids(), b.ids());
+        }
+    }
+}

@@ -9,10 +9,10 @@
 
 use std::collections::VecDeque;
 
-use enld_datagen::noise::apply_missing_labels;
+use enld_datagen::noise::{apply_missing_labels, arrival_seed};
 use enld_datagen::presets::DatasetPreset;
 use enld_datagen::split::{inventory_incremental, partition_incremental};
-use enld_datagen::{Dataset, NoiseModel};
+use enld_datagen::{Dataset, NoiseModel, TransitionMatrix};
 
 use crate::catalog::{Catalog, DatasetKind};
 use crate::request::DetectionRequest;
@@ -44,25 +44,59 @@ impl DataLake {
     /// Like [`DataLake::build`], but additionally masks a fraction
     /// `missing_rate` of labels in every incremental dataset (§V-H).
     pub fn build_with_missing(config: &LakeConfig, missing_rate: f32) -> Self {
-        let model = NoiseModel::pair_asymmetric(config.preset.classes, config.noise_rate);
+        let model = TransitionMatrix::pair_asymmetric(config.preset.classes, config.noise_rate);
         Self::build_full(config, &model, missing_rate)
     }
 
-    /// Builds the lake with an arbitrary label-noise model (extension
+    /// Builds the lake with an arbitrary transition matrix (extension
     /// experiments evaluate symmetric and random-asymmetric corruption;
     /// `config.noise_rate` is ignored in favour of `model`).
-    pub fn build_with_noise_model(config: &LakeConfig, model: &NoiseModel) -> Self {
+    pub fn build_with_noise_model(config: &LakeConfig, model: &TransitionMatrix) -> Self {
         Self::build_full(config, model, 0.0)
     }
 
-    fn build_full(config: &LakeConfig, model: &NoiseModel, missing_rate: f32) -> Self {
+    /// Builds the lake with any [`NoiseModel`] from the zoo, corrupting
+    /// *after* the inventory/incremental split so position-aware models
+    /// (drift) can vary along the arrival stream: the inventory is
+    /// corrupted at stream position 0 and arrival `i` of `n` at
+    /// `i / (n−1)`, each with a decorrelated per-arrival seed. For
+    /// stationary matrix models this yields the same noise *distribution*
+    /// as [`DataLake::build_with_noise_model`] but a different RNG
+    /// stream, so the two builders are not byte-interchangeable.
+    pub fn build_with_zoo(config: &LakeConfig, model: &dyn NoiseModel) -> Self {
         let clean = config.preset.generate(config.seed);
-        let noisy = model.corrupt(&clean, config.seed.wrapping_add(1));
-        let (mut inventory, pool) =
-            inventory_incremental(&noisy, 2, 1, config.seed.wrapping_add(2));
+        let (inventory, pool) = inventory_incremental(&clean, 2, 1, config.seed.wrapping_add(2));
         let parts =
             partition_incremental(&pool, &config.preset.incremental, config.seed.wrapping_add(3));
+        let noise_seed = config.seed.wrapping_add(1);
+        let inventory = model.corrupt_at(&inventory, 0.0, arrival_seed(noise_seed, 0));
+        let n = parts.len();
+        let parts: Vec<Dataset> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| {
+                let position = if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                model.corrupt_at(&part, position, arrival_seed(noise_seed, i + 1))
+            })
+            .collect();
+        Self::assemble(config, inventory, parts, 0.0)
+    }
 
+    fn build_full(config: &LakeConfig, model: &TransitionMatrix, missing_rate: f32) -> Self {
+        let clean = config.preset.generate(config.seed);
+        let noisy = model.corrupt(&clean, config.seed.wrapping_add(1));
+        let (inventory, pool) = inventory_incremental(&noisy, 2, 1, config.seed.wrapping_add(2));
+        let parts =
+            partition_incremental(&pool, &config.preset.incremental, config.seed.wrapping_add(3));
+        Self::assemble(config, inventory, parts, missing_rate)
+    }
+
+    fn assemble(
+        config: &LakeConfig,
+        mut inventory: Dataset,
+        parts: Vec<Dataset>,
+        missing_rate: f32,
+    ) -> Self {
         let catalog = Catalog::new();
         catalog.register(
             &mut inventory,
@@ -171,7 +205,7 @@ mod tests {
 
     #[test]
     fn custom_noise_model_flows_through() {
-        let model = NoiseModel::symmetric(config().preset.classes, 0.3);
+        let model = TransitionMatrix::symmetric(config().preset.classes, 0.3);
         let lake = DataLake::build_with_noise_model(&config(), &model);
         // Symmetric noise flips to arbitrary classes, not just successors.
         let mut non_successor = 0;
@@ -187,6 +221,37 @@ mod tests {
         }
         assert!(noisy > 0);
         assert!(non_successor > 0, "symmetric noise must hit non-successor classes");
+    }
+
+    #[test]
+    fn zoo_build_varies_noise_along_the_stream() {
+        let drift = enld_datagen::zoo::DriftNoise::new(
+            TransitionMatrix::pair_asymmetric(8, 0.05),
+            TransitionMatrix::pair_asymmetric(8, 0.6),
+        );
+        let mut lake = DataLake::build_with_zoo(&config(), &drift);
+        // Inventory is corrupted at stream position 0 → the low rate.
+        let inv_rate =
+            lake.inventory().noisy_indices().len() as f32 / lake.inventory().len() as f32;
+        assert!(inv_rate < 0.2, "inventory rate {inv_rate} should match the drift start");
+        assert_eq!(lake.inventory().noise_tag(), Some("drift"));
+        // Noise rate grows monotonically-ish: last arrival far noisier
+        // than the first.
+        let first = lake.next_request().expect("non-empty");
+        let mut last = first.data.clone();
+        while let Some(r) = lake.next_request() {
+            last = r.data;
+        }
+        let first_rate = first.data.noisy_indices().len() as f32 / first.data.len() as f32;
+        let last_rate = last.noisy_indices().len() as f32 / last.len() as f32;
+        assert!(
+            last_rate > first_rate + 0.2,
+            "drift must raise the rate along the stream ({first_rate} → {last_rate})"
+        );
+        // And the zoo build is reproducible.
+        let a = DataLake::build_with_zoo(&config(), &drift);
+        let b = DataLake::build_with_zoo(&config(), &drift);
+        assert_eq!(a.inventory().labels(), b.inventory().labels());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use enld_core::metrics::detection_metrics;
 use enld_datagen::images::ImageSpec;
-use enld_datagen::noise::NoiseModel;
+use enld_datagen::noise::TransitionMatrix;
 use enld_nn::conv::{Cnn, ImageShape};
 use enld_nn::loss::{one_hot, softmax_cross_entropy};
 use enld_nn::model::argmax;
@@ -23,7 +23,7 @@ fn main() {
     let spec = ImageSpec::small();
     let spec = enld_datagen::images::ImageSpec { noise: 0.25, ..spec };
     let clean = spec.generate(60, 11);
-    let noisy = NoiseModel::pair_asymmetric(spec.classes, 0.2).corrupt(&clean, 12);
+    let noisy = TransitionMatrix::pair_asymmetric(spec.classes, 0.2).corrupt(&clean, 12);
     println!(
         "image task: {} samples of {}x{}, {} truly mislabelled",
         noisy.len(),

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Benchmark-suite smoke test: run `enld bench` over the committed 2-cell
+# smoke grid, validate the emitted results JSON (format tag, one cell per
+# grid point, a ranking row per detector), check the markdown ranking
+# table rendered, and make sure a malformed grid file fails loudly with a
+# non-zero exit. Also exercises `enld generate --noise-model`. Called
+# from check.sh and CI; results land in $SMOKE_ARTIFACT_DIR when set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p enld-cli
+
+SMOKE_DIR=$(mktemp -d)
+save_artifacts() {
+  if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$SMOKE_DIR"/out/bench-grid.json "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+    cp "$SMOKE_DIR"/out/bench-grid-ranking.md "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+  fi
+}
+cleanup() {
+  save_artifacts
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+# ---- the committed smoke grid must run end to end --------------------------
+
+./target/release/enld bench --grid bench/grids/smoke.json --out "$SMOKE_DIR/out" \
+  > "$SMOKE_DIR/bench.log"
+
+JSON="$SMOKE_DIR/out/bench-grid.json"
+MD="$SMOKE_DIR/out/bench-grid-ranking.md"
+for f in "$JSON" "$MD"; do
+  if [ ! -s "$f" ]; then
+    echo "enld bench did not write $f:"
+    cat "$SMOKE_DIR/bench.log"
+    exit 1
+  fi
+done
+
+# Schema: versioned format tag, every cell of the 1x1x1x2 smoke grid, a
+# ranking row per detector, and no wall-clock fields (byte-determinism).
+for token in '"format": "enld-bench-results-v1"' '"cells"' '"ranking"' \
+  '"detector": "ENLD"' '"detector": "Default"' '"f1"' '"downstream_acc"' \
+  '"noise_model": "pairwise"'; do
+  if ! grep -qF "$token" "$JSON"; then
+    echo "results JSON is missing $token:"
+    head -c 600 "$JSON"
+    exit 1
+  fi
+done
+for bad in '"secs"' '"timestamp"' '"date"'; do
+  if grep -qF "$bad" "$JSON"; then
+    echo "results JSON contains a wall-clock field ($bad); thread-count byte-identity breaks"
+    exit 1
+  fi
+done
+CELLS=$(grep -cF '"f1":' "$JSON")
+if [ "$CELLS" -ne 2 ]; then
+  echo "expected 2 scored cells in the smoke grid, found $CELLS"
+  exit 1
+fi
+
+# The markdown ranking table rendered with both sections.
+for token in '# Detector ranking' '| rank | detector |' '## Cells' 'ENLD'; do
+  if ! grep -qF "$token" "$MD"; then
+    echo "ranking markdown is missing '$token':"
+    cat "$MD"
+    exit 1
+  fi
+done
+
+# Stdout mirrors the ranking so CI logs show the result inline.
+if ! grep -qF '# Detector ranking' "$SMOKE_DIR/bench.log"; then
+  echo "enld bench did not print the ranking table:"
+  cat "$SMOKE_DIR/bench.log"
+  exit 1
+fi
+
+# ---- malformed grids must fail with a non-zero exit ------------------------
+
+echo '{not json' > "$SMOKE_DIR/broken.json"
+if ./target/release/enld bench --grid "$SMOKE_DIR/broken.json" --out "$SMOKE_DIR/out2" \
+  2> "$SMOKE_DIR/broken.log"; then
+  echo "enld bench accepted a malformed grid file"
+  exit 1
+fi
+if ! grep -q 'malformed grid file' "$SMOKE_DIR/broken.log"; then
+  echo "malformed-grid error message missing:"
+  cat "$SMOKE_DIR/broken.log"
+  exit 1
+fi
+
+cat > "$SMOKE_DIR/badaxis.json" <<'GRID'
+{
+  "seed": 1,
+  "noise_models": ["no-such-model"],
+  "rates": [0.2],
+  "presets": [{ "name": "test-sim", "scale": 0.4 }],
+  "detectors": ["ENLD"]
+}
+GRID
+if ./target/release/enld bench --grid "$SMOKE_DIR/badaxis.json" --out "$SMOKE_DIR/out3" \
+  2> "$SMOKE_DIR/badaxis.log"; then
+  echo "enld bench accepted an unknown noise model"
+  exit 1
+fi
+if ! grep -q 'no-such-model' "$SMOKE_DIR/badaxis.log"; then
+  echo "unknown-axis error does not name the bad entry:"
+  cat "$SMOKE_DIR/badaxis.log"
+  exit 1
+fi
+
+# ---- generate --noise-model round-trips through the zoo --------------------
+
+./target/release/enld generate --preset test-sim --noise 0.3 --noise-model confusion \
+  --seed 5 --out "$SMOKE_DIR/zoo-lake.json" > "$SMOKE_DIR/generate.log"
+if ! grep -qF 'noise model confusion' "$SMOKE_DIR/generate.log"; then
+  echo "generate --noise-model did not report the model:"
+  cat "$SMOKE_DIR/generate.log"
+  exit 1
+fi
+if ! grep -qF '"noise_tag":"confusion"' "$SMOKE_DIR/zoo-lake.json"; then
+  echo "generated lake is missing the noise_tag provenance marker"
+  exit 1
+fi
+# And the detector consumes a zoo-corrupted lake end to end.
+./target/release/enld detect --lake "$SMOKE_DIR/zoo-lake.json" --iterations 2 --k 2 \
+  --seed 5 > "$SMOKE_DIR/detect.log"
+if ! grep -q 'arrival 0:' "$SMOKE_DIR/detect.log"; then
+  echo "enld detect failed on the zoo-generated lake:"
+  cat "$SMOKE_DIR/detect.log"
+  exit 1
+fi
+
+echo "bench suite smoke OK (grid ran, schema valid, malformed grids rejected)"

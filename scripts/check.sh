@@ -45,4 +45,7 @@ bash scripts/profile_smoke.sh
 echo "==> streaming-monitor smoke (injected drift fires /alerts, stationary stays quiet)"
 bash scripts/monitor_smoke.sh
 
+echo "==> bench suite smoke (enld bench grid run, schema + ranking, malformed grids rejected)"
+bash scripts/bench_suite_smoke.sh
+
 echo "All checks passed."

@@ -221,6 +221,108 @@ fn resume_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn noise_zoo_models_are_bit_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
+    // Every zoo model draws all of its randomness from the per-call seed,
+    // never from pool scheduling — corruption at any stream position must
+    // be byte-identical whatever the thread count.
+    use enld_datagen::zoo::NoiseSpec;
+    use enld_datagen::NoiseModel;
+    let clean = DatasetPreset::test_sim().scaled(0.5).generate(33);
+    for spec in NoiseSpec::ALL {
+        let model = spec.build(clean.classes(), 0.3, 99);
+        let base = enld_par::with_threads(1, || model.corrupt_at(&clean, 0.5, 7));
+        for threads in THREAD_COUNTS {
+            let got = enld_par::with_threads(threads, || model.corrupt_at(&clean, 0.5, 7));
+            assert_eq!(got.labels(), base.labels(), "{} labels, threads={threads}", spec.name());
+            assert_eq!(got.xs(), base.xs(), "{} features, threads={threads}", spec.name());
+            assert_eq!(
+                got.true_labels(),
+                base.true_labels(),
+                "{} truth, threads={threads}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn transition_matrix_rng_stream_is_pinned() {
+    let _chaos_lock = enld_chaos::scenario();
+    // The historical corruption contract, unchanged since the original
+    // flipper: one uniform draw per sample, in index order, inverse-CDF
+    // against the true label's transition row. Re-deriving the stream
+    // here from `rand` directly means any reordering or extra draw inside
+    // `TransitionMatrix::corrupt` — however the internals are refactored —
+    // breaks this test, and with it every seed-pinned lake in the repo.
+    use enld_datagen::TransitionMatrix;
+    let clean = DatasetPreset::test_sim().scaled(0.4).generate(21);
+    let tm = TransitionMatrix::pair_asymmetric(clean.classes(), 0.35);
+    let corrupted = tm.corrupt(&clean, 77);
+    let mut rng = StdRng::seed_from_u64(77);
+    for i in 0..clean.len() {
+        let y = clean.true_labels()[i] as usize;
+        let mut u: f32 = rng.gen_range(0.0..1.0);
+        let mut expect = y as u32;
+        for (j, &p) in tm.row(y).iter().enumerate() {
+            if u < p {
+                expect = j as u32;
+                break;
+            }
+            u -= p;
+        }
+        assert_eq!(corrupted.labels()[i], expect, "draw order diverged at sample {i}");
+    }
+    assert_eq!(corrupted.true_labels(), clean.true_labels(), "ground truth must be untouched");
+}
+
+/// The 2×2 benchmark grid (2 noise models × 2 detectors) must score
+/// identically at 1 and 4 threads: configurations are sharded over the
+/// pool, so any scheduling leak between cells shows up here.
+fn thread_invariant_grid() -> enld_bench::grid::GridConfig {
+    enld_bench::grid::GridConfig {
+        seed: 23,
+        noise_models: vec!["pairwise".to_owned(), "drift".to_owned()],
+        rates: vec![0.2],
+        presets: vec![enld_bench::grid::GridPreset { name: "test-sim".to_owned(), scale: 0.4 }],
+        detectors: vec!["ENLD".to_owned(), "Default".to_owned()],
+        iterations: 2,
+        init_epochs: 8,
+        max_arrivals: 2,
+        downstream_epochs: 4,
+    }
+}
+
+#[test]
+fn bench_grid_results_are_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
+    let grid = thread_invariant_grid();
+    let opts = enld_bench::grid::GridOptions::default();
+    let base =
+        enld_par::with_threads(1, || enld_bench::grid::run_grid(&grid, &opts).expect("grid runs"));
+    let got =
+        enld_par::with_threads(4, || enld_bench::grid::run_grid(&grid, &opts).expect("grid runs"));
+    assert_eq!(got, base, "grid results diverged between 1 and 4 threads");
+}
+
+#[test]
+fn bench_grid_json_is_byte_identical_across_thread_counts() {
+    let _chaos_lock = enld_chaos::scenario();
+    // Stronger than struct equality: the emitted results document itself —
+    // what `enld bench` writes and the golden test reads — must be the
+    // same bytes at any thread count (no timestamps, no map ordering).
+    let grid = thread_invariant_grid();
+    let opts = enld_bench::grid::GridOptions::default();
+    let json = |threads| {
+        enld_par::with_threads(threads, || {
+            let results = enld_bench::grid::run_grid(&grid, &opts).expect("grid runs");
+            serde_json::to_string_pretty(&results).expect("serializable")
+        })
+    };
+    assert_eq!(json(1), json(4), "results JSON diverged between 1 and 4 threads");
+}
+
+#[test]
 fn detection_reports_are_identical_across_thread_counts() {
     let _chaos_lock = enld_chaos::scenario();
     // The full pipeline: lake construction, model training, the iterative

@@ -22,7 +22,7 @@ use enld_core::config::EnldConfig;
 use enld_core::detector::Enld;
 use enld_core::ledger::{JsonlLedger, LedgerRecord, LedgerSink};
 use enld_datagen::dataset::Dataset;
-use enld_datagen::noise::NoiseModel;
+use enld_datagen::noise::TransitionMatrix;
 use enld_datagen::presets::DatasetPreset;
 use enld_lake::lake::{DataLake, LakeConfig};
 use enld_telemetry::{default_rules, monitor};
@@ -56,7 +56,7 @@ fn drain(lake: &mut DataLake, drift: bool) -> Vec<Dataset> {
     }
     if drift {
         let onset = out.len() / 2;
-        let model = NoiseModel::symmetric(out[0].classes(), DRIFT_NOISE);
+        let model = TransitionMatrix::symmetric(out[0].classes(), DRIFT_NOISE);
         for (i, arrival) in out.iter_mut().enumerate().skip(onset) {
             *arrival = model.corrupt(arrival, 105 ^ (0x9E37_79B9 + i as u64));
         }
@@ -141,6 +141,59 @@ fn injected_drift_fires_the_default_alert_and_the_stationary_control_does_not() 
     assert!(mon.firing() >= 1);
     // The /alerts surfacing keeps the firing edge in its recent log.
     assert!(mon.alerts_json().contains("\"event\":\"firing\""));
+}
+
+/// The benchmark grid drives the same detector pipeline as production,
+/// so a drifting grid cell must light up the same default alert rules: a
+/// one-cell grid over the `drift` noise model (whose transition matrix
+/// degrades along the arrival stream) fires, while the stationary
+/// `pairwise` cell — same preset, same rate, same budget — stays quiet.
+/// The drift also has to show up in the cell's own score as a higher
+/// mean `enld.drift.p_staleness`.
+#[test]
+fn a_drifting_bench_cell_fires_the_default_rules_and_a_stationary_cell_does_not() {
+    let _guard = monitor_lock();
+    // The drift model *ramps* rather than stepping, and the default CUSUM
+    // freezes its baseline on a 2-observation warmup — so the cell needs
+    // a stream long enough for the ramp's tail to clear the frozen
+    // baseline: emnist-sim's 10 near-uniform subsets give 8 arrivals,
+    // i.e. 6 scored observations past the warmup.
+    let grid = |model: &str| enld_bench::grid::GridConfig {
+        seed: 31,
+        noise_models: vec![model.to_owned()],
+        rates: vec![0.25],
+        presets: vec![enld_bench::grid::GridPreset { name: "emnist-sim".to_owned(), scale: 0.3 }],
+        detectors: vec!["ENLD".to_owned()],
+        iterations: 2,
+        init_epochs: 12,
+        max_arrivals: 8,
+        downstream_epochs: 4,
+    };
+    let opts = enld_bench::grid::GridOptions::default();
+    let staleness = |r: &enld_bench::grid::GridResults| {
+        r.cells[0].p_staleness.expect("ENLD cells carry p_staleness")
+    };
+
+    // Stationary control cell.
+    let mon = fresh_monitor();
+    let stationary = enld_bench::grid::run_grid(&grid("pairwise"), &opts).expect("grid runs");
+    assert_eq!(mon.firing(), 0, "stationary cell fired: {}", mon.engine_json());
+
+    // Drifting cell: pair-asymmetric 0.25 decaying to random-asymmetric
+    // 0.5 across the stream.
+    let mon = fresh_monitor();
+    let drifting = enld_bench::grid::run_grid(&grid("drift"), &opts).expect("grid runs");
+    assert!(
+        mon.firing() >= 1,
+        "drifting cell left every default rule quiet: {}",
+        mon.engine_json()
+    );
+    assert!(
+        staleness(&drifting) > staleness(&stationary),
+        "p_staleness must separate the drifting cell ({}) from the stationary one ({})",
+        staleness(&drifting),
+        staleness(&stationary)
+    );
 }
 
 /// Chaos parity: a run killed by the `monitor.alert_emit` failpoint and

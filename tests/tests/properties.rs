@@ -6,8 +6,11 @@ use proptest::prelude::*;
 
 use enld_ann::{AnnClassIndex, HnswShard};
 use enld_core::{config::EnldConfig, detector::Enld};
-use enld_datagen::noise::{apply_missing_labels, NoiseModel};
+use enld_datagen::noise::{apply_missing_labels, NoiseModel, TransitionMatrix};
 use enld_datagen::presets::DatasetPreset;
+use enld_datagen::zoo::{
+    AnnotatorConfusion, DriftNoise, InstanceDependentNoise, LongTailNoise, NoiseSpec,
+};
 use enld_knn::class_index::ClassIndex;
 use enld_knn::AnnParams;
 use enld_lake::lake::{DataLake, LakeConfig};
@@ -52,10 +55,116 @@ proptest! {
     fn prop_pair_noise_structure(seed in 0u64..1_000, eta in 0.0f32..1.0) {
         let preset = DatasetPreset::test_sim().scaled(0.3);
         let clean = preset.generate(seed);
-        let noisy = NoiseModel::pair_asymmetric(preset.classes, eta).corrupt(&clean, seed + 1);
+        let noisy = TransitionMatrix::pair_asymmetric(preset.classes, eta).corrupt(&clean, seed + 1);
         for &i in &noisy.noisy_indices() {
             let truth = noisy.true_labels()[i];
             prop_assert_eq!(noisy.labels()[i], (truth + 1) % preset.classes as u32);
+        }
+    }
+
+    /// Every zoo noise model realizes a flip rate within tolerance of the
+    /// configured rate on a well-separated dataset (long-tail is checked
+    /// loosely: its effective rate compounds resampling with flips).
+    #[test]
+    fn prop_zoo_models_hit_configured_rate(
+        seed in 0u64..1_000,
+        rate in 0.05f32..0.4,
+    ) {
+        let preset = DatasetPreset::test_sim().scaled(0.4);
+        let clean = preset.generate(seed);
+        for spec in [
+            NoiseSpec::Pairwise,
+            NoiseSpec::Symmetric,
+            NoiseSpec::Asymmetric,
+            NoiseSpec::Instance,
+            NoiseSpec::Confusion,
+        ] {
+            let model = spec.build(preset.classes, rate, seed + 3);
+            let noisy = model.corrupt_with(&clean, seed + 1);
+            prop_assert_eq!(noisy.len(), clean.len());
+            let realized = noisy.noisy_indices().len() as f32 / noisy.len() as f32;
+            // 192 samples → binomial σ ≈ 0.035 at worst; ~3.5σ cushion.
+            prop_assert!(
+                (realized - rate).abs() < 0.13,
+                "{} realized {} vs configured {}", spec, realized, rate
+            );
+        }
+    }
+
+    /// Instance-dependent flip probabilities are always valid
+    /// probabilities and calibrate to the configured mean.
+    #[test]
+    fn prop_instance_probs_in_unit_interval(
+        seed in 0u64..1_000,
+        rate in 0.0f32..0.5,
+    ) {
+        let preset = DatasetPreset::test_sim().scaled(0.3);
+        let clean = preset.generate(seed);
+        let model = InstanceDependentNoise::new(preset.classes, rate);
+        let probs = model.flip_probabilities(&clean);
+        prop_assert_eq!(probs.len(), clean.len());
+        for &(p, target) in &probs {
+            prop_assert!((0.0..=1.0).contains(&p), "flip prob {} outside [0,1]", p);
+            prop_assert!((target as usize) < preset.classes);
+        }
+        let mean = probs.iter().map(|&(p, _)| p).sum::<f32>() / probs.len() as f32;
+        prop_assert!((mean - rate).abs() < 0.02, "calibrated mean {} vs {}", mean, rate);
+    }
+
+    /// Sampled annotator-confusion matrices are row-stochastic with the
+    /// configured diagonal.
+    #[test]
+    fn prop_confusion_rows_sum_to_one(
+        seed in 0u64..1_000,
+        rate in 0.0f32..0.9,
+        classes in 2usize..12,
+    ) {
+        let model = AnnotatorConfusion::sample(classes, rate, seed);
+        for i in 0..classes {
+            let row = model.matrix().row(i);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3, "row {} sums to {}", i, sum);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            prop_assert!((model.matrix().prob(i, i) - (1.0 - rate)).abs() < 1e-4);
+        }
+    }
+
+    /// Long-tail resampling preserves the exact total sample count, and
+    /// its target profile is non-increasing head → tail.
+    #[test]
+    fn prop_longtail_preserves_total_count(
+        seed in 0u64..1_000,
+        rate in 0.0f32..0.4,
+        gamma in 0.05f32..1.0,
+    ) {
+        let preset = DatasetPreset::test_sim().scaled(0.4);
+        let clean = preset.generate(seed);
+        let model = LongTailNoise::with_gamma(preset.classes, rate, gamma);
+        let targets = model.target_counts(clean.len());
+        prop_assert_eq!(targets.iter().sum::<usize>(), clean.len());
+        let out = model.corrupt_with(&clean, seed + 5);
+        prop_assert_eq!(out.len(), clean.len());
+    }
+
+    /// Drift interpolation matches its source matrices exactly at the
+    /// stream endpoints and stays row-stochastic in between.
+    #[test]
+    fn prop_drift_endpoints_match_sources(
+        seed in 0u64..1_000,
+        rate_a in 0.0f32..0.5,
+        rate_b in 0.0f32..0.5,
+        t in 0.0f64..1.0,
+    ) {
+        let classes = 8usize;
+        let from = TransitionMatrix::pair_asymmetric(classes, rate_a);
+        let to = TransitionMatrix::asymmetric_random(classes, rate_b, seed);
+        let drift = DriftNoise::new(from.clone(), to.clone());
+        prop_assert_eq!(drift.matrix_at(0.0), from);
+        prop_assert_eq!(drift.matrix_at(1.0), to);
+        let mid = drift.matrix_at(t);
+        for i in 0..classes {
+            let sum: f32 = mid.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", i, sum);
         }
     }
 
